@@ -1,0 +1,51 @@
+// Ablation bench (Section 6.4.1's space/accuracy trade-off): "if we take
+// a sample of ten percent of ROAD dataset into the GPU, one GPU can
+// support more than ten thousands of sensors. But its prediction
+// performance may be degenerate." Sweeps the retained history length and
+// reports per-sensor index memory, the implied sensors-per-6GB capacity,
+// and the prediction accuracy.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace smiler;
+  using namespace smiler::bench;
+  const BenchScale scale = GetScale();
+  const SmilerConfig cfg = PaperConfig();
+  PrintHeader("Ablation: retained history vs accuracy vs capacity");
+  std::printf("sensors=%d steps=%d horizon=1\n", scale.accuracy_sensors,
+              scale.predict_steps);
+  std::printf("%-6s %10s %14s %16s %10s %10s\n", "data", "history",
+              "bytes/sensor", "sensors@6GB", "MAE", "MNLPD");
+
+  for (auto kind : AllDatasets()) {
+    auto full = MakeBenchDataset(kind, scale, scale.accuracy_sensors,
+                                 scale.points);
+    for (double fraction : {0.125, 0.25, 0.5, 1.0}) {
+      const int keep = static_cast<int>(scale.points * fraction);
+      // Truncate each sensor's history to its most recent `keep` points.
+      std::vector<ts::TimeSeries> sensors;
+      for (const auto& s : full) {
+        sensors.emplace_back(
+            s.sensor_id(),
+            std::vector<double>(s.values().end() - keep, s.values().end()));
+      }
+      simgpu::Device device;
+      const int warmup = keep - scale.predict_steps - 32;
+      AccuracyResult r = RunSmiler(&device, sensors, cfg,
+                                   core::PredictorKind::kGp, /*h=*/1,
+                                   warmup, scale.predict_steps);
+      // Footprint of one retained-history index.
+      simgpu::Device probe;
+      auto idx = index::SmilerIndex::Build(&probe, sensors[0], cfg);
+      if (!idx.ok()) return 1;
+      const double bytes = static_cast<double>(idx->MemoryFootprintBytes());
+      std::printf("%-6s %10d %14.0f %16.0f %10.4f %10.4f\n",
+                  ts::DatasetKindName(kind), keep, bytes,
+                  6.0 * (1ULL << 30) / bytes, r.mae, r.mnlpd);
+    }
+  }
+  return 0;
+}

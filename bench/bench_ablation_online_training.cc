@@ -1,0 +1,51 @@
+// Ablation bench (DESIGN.md section 5, decision 4): the paper's online
+// training for the GP predictor — warm-started fixed-step CG (Section
+// 5.2.2) — against (a) no per-step re-optimization, (b) more CG steps and
+// (c) cold restarts from the heuristic seed each step. Reports MAE,
+// MNLPD and prediction latency.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace smiler;
+  using namespace smiler::bench;
+  const BenchScale scale = GetScale();
+  PrintHeader("Ablation: GP online training strategy");
+  const int warmup_points = scale.points - scale.predict_steps - 32;
+  std::printf("sensors=%d points=%d steps=%d\n", scale.accuracy_sensors,
+              scale.points, scale.predict_steps);
+  std::printf("%-6s %-22s %10s %10s %12s\n", "data", "strategy", "MAE",
+              "MNLPD", "prd(ms)");
+
+  struct Strategy {
+    const char* label;
+    int online_steps;
+    bool warm_start;
+  };
+  const Strategy strategies[] = {
+      {"warm+0step", 0, true},
+      {"warm+5step (paper)", 5, true},
+      {"warm+15step", 15, true},
+      {"cold+5step", 5, false},
+  };
+
+  for (auto kind : AllDatasets()) {
+    auto sensors =
+        MakeBenchDataset(kind, scale, scale.accuracy_sensors, scale.points);
+    for (const Strategy& strat : strategies) {
+      simgpu::Device device;
+      SmilerConfig cfg;  // Table 2 defaults
+      cfg.online_cg_steps = strat.online_steps;
+      cfg.gp_warm_start = strat.warm_start;
+      AccuracyResult r = RunSmiler(&device, sensors, cfg,
+                                   core::PredictorKind::kGp, /*h=*/1,
+                                   warmup_points, scale.predict_steps);
+      std::printf("%-6s %-22s %10.4f %10.4f %12.3f\n",
+                  ts::DatasetKindName(kind), strat.label, r.mae, r.mnlpd,
+                  r.predict_millis);
+    }
+  }
+  return 0;
+}

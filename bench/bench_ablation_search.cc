@@ -1,0 +1,62 @@
+// Ablation bench (DESIGN.md section 5, decisions 1-3): dissects the
+// search-side design choices the paper motivates qualitatively —
+//   (1) the enhanced bound LBen vs either constituent (also Table 3),
+//   (2) continuous threshold reuse (Section 4.3.3) on vs off,
+//   (3) the two-level index vs the direct bound computation (also Fig 8).
+// Reports per-step search time and verified-candidate counts.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+
+int main() {
+  using namespace smiler;
+  using namespace smiler::bench;
+  const BenchScale scale = GetScale();
+  const SmilerConfig cfg = PaperConfig();
+  PrintHeader("Ablation: search-side design choices");
+  std::printf("sensors=%d points=%d steps=%d k=%d\n", scale.sensors,
+              scale.points, scale.search_steps, cfg.MaxK());
+  std::printf("%-6s %-6s %-10s %12s %18s\n", "data", "bound", "reuse",
+              "sec/step", "verified/query");
+
+  for (auto kind : AllDatasets()) {
+    auto sensors = MakeBenchDataset(kind, scale);
+    const int steps = scale.search_steps;
+    for (index::LowerBoundMode mode :
+         {index::LowerBoundMode::kLbeq, index::LowerBoundMode::kLbec,
+          index::LowerBoundMode::kLben}) {
+      for (bool reuse : {false, true}) {
+        simgpu::Device device;
+        index::SearchStats total;
+        double seconds = 0.0;
+        for (const auto& s : sensors) {
+          ts::TimeSeries history(
+              s.sensor_id(), std::vector<double>(s.values().begin(),
+                                                 s.values().end() - steps));
+          auto idx = index::SmilerIndex::Build(&device, history, cfg);
+          if (!idx.ok()) return 1;
+          for (int step = 0; step < steps; ++step) {
+            (void)idx->Append(s.values()[history.size() + step]);
+            index::SuffixSearchOptions opts;
+            opts.k = cfg.MaxK();
+            opts.bound = mode;
+            opts.reuse_previous_threshold = reuse;
+            WallTimer timer;
+            (void)idx->Search(opts, &total);
+            seconds += timer.ElapsedSeconds();
+          }
+        }
+        const double per_query =
+            static_cast<double>(total.candidates_verified) /
+            (static_cast<double>(steps) * sensors.size());
+        std::printf("%-6s %-6s %-10s %12.4f %18.1f\n",
+                    ts::DatasetKindName(kind),
+                    index::LowerBoundModeName(mode), reuse ? "on" : "off",
+                    seconds / steps, per_query);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Fig 10: MAE and MNLPD of SMiLer-GP / SMiLer-AR against the
+// online learning models (LazyKNN, FullHW, SegHW, OnlineSVR, OnlineRR)
+// with varying h-step-ahead prediction.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/registry.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace smiler;
+  using namespace smiler::bench;
+  const BenchScale scale = GetScale();
+  const SmilerConfig cfg = PaperConfig();
+  PrintHeader("Fig 10: accuracy vs online models, varying h");
+  const int warmup_points = scale.points - scale.predict_steps - 32;
+  std::printf("sensors=%d points=%d steps=%d input_d=64\n",
+              scale.accuracy_sensors, scale.points, scale.predict_steps);
+  std::printf("%-6s %3s  %-10s %10s %10s\n", "data", "h", "model", "MAE",
+              "MNLPD");
+
+  for (auto kind : AllDatasets()) {
+    auto sensors =
+        MakeBenchDataset(kind, scale, scale.accuracy_sensors, scale.points);
+    for (int h : HorizonSweep()) {
+      simgpu::Device device;
+      for (core::PredictorKind kind2 :
+           {core::PredictorKind::kGp, core::PredictorKind::kAr}) {
+        AccuracyResult r = RunSmiler(&device, sensors, cfg, kind2, h,
+                                     warmup_points, scale.predict_steps);
+        std::printf("%-6s %3d  %-10s %10.4f %10.4f\n",
+                    ts::DatasetKindName(kind), h,
+                    core::PredictorKindName(kind2), r.mae, r.mnlpd);
+      }
+      for (const std::string& name :
+           baselines::BaselineNames(baselines::BaselineGroup::kOnline)) {
+        AccuracyResult r =
+            RunBaseline(name, &device, sensors, scale.samples_per_day,
+                        /*input_d=*/64, h, warmup_points,
+                        scale.predict_steps);
+        std::printf("%-6s %3d  %-10s %10.4f %10.4f\n",
+                    ts::DatasetKindName(kind), h, name.c_str(), r.mae,
+                    r.mnlpd);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Fig 11: effect of the adaptive auto-tuning mechanism.
+// SMiLer (full ensemble + self-adaptive weights) vs SMiLerNE (single
+// predictor, k = 32, d = 64) vs SMiLerNS (ensemble with fixed uniform
+// weights), for both GP and AR instantiations. Paper shape:
+// SMiLer <= SMiLerNS <= SMiLerNE on MAE (GP also on MNLPD).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+namespace {
+
+smiler::SmilerConfig VariantConfig(const std::string& variant) {
+  smiler::SmilerConfig cfg;  // Table 2 defaults
+  if (variant == "NE") {
+    cfg.use_ensemble = false;
+    cfg.elv = {64};
+    cfg.ekv = {32};
+  } else if (variant == "NS") {
+    cfg.self_adaptive_weights = false;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace smiler;
+  using namespace smiler::bench;
+  const BenchScale scale = GetScale();
+  PrintHeader("Fig 11: effect of the adaptive auto-tuning mechanism");
+  const int warmup_points = scale.points - scale.predict_steps - 32;
+  std::printf("sensors=%d points=%d steps=%d\n", scale.accuracy_sensors,
+              scale.points, scale.predict_steps);
+  std::printf("%-6s %3s  %-14s %10s %10s\n", "data", "h", "model", "MAE",
+              "MNLPD");
+
+  for (auto kind : AllDatasets()) {
+    auto sensors =
+        MakeBenchDataset(kind, scale, scale.accuracy_sensors, scale.points);
+    for (int h : HorizonSweep()) {
+      simgpu::Device device;
+      for (core::PredictorKind pk :
+           {core::PredictorKind::kGp, core::PredictorKind::kAr}) {
+        for (const std::string& variant : {"", "NE", "NS"}) {
+          const SmilerConfig cfg = VariantConfig(variant);
+          AccuracyResult r = RunSmiler(&device, sensors, cfg, pk, h,
+                                       warmup_points, scale.predict_steps);
+          const std::string label =
+              std::string("SMiLer") + variant +
+              (pk == core::PredictorKind::kGp ? "-GP" : "-AR");
+          std::printf("%-6s %3d  %-14s %10.4f %10.4f\n",
+                      ts::DatasetKindName(kind), h, label.c_str(), r.mae,
+                      r.mnlpd);
+        }
+      }
+    }
+  }
+  return 0;
+}

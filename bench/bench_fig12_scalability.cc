@@ -1,0 +1,79 @@
+// Reproduces Fig 12: scalability of SMiLer.
+// (a)/(b) total time cost of all sensors per prediction step, split into
+// the Search Step and the Prediction Step, for SMiLer-AR and SMiLer-GP.
+// (c) maximum number of sensors one 6 GB device supports, from the
+// measured per-sensor index footprint (extrapolated to the paper's
+// one-year-per-sensor histories).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace smiler;
+  using namespace smiler::bench;
+  const BenchScale scale = GetScale();
+  const SmilerConfig cfg = PaperConfig();
+  PrintHeader("Fig 12(a,b): total step time of all sensors");
+  const int warmup_points = scale.points - scale.predict_steps - 32;
+  std::printf("sensors=%d points=%d steps=%d\n", scale.sensors, scale.points,
+              scale.predict_steps);
+  std::printf("%-6s %-10s %12s %14s %12s\n", "data", "model", "search(s)",
+              "prediction(s)", "total(s)");
+
+  for (auto kind : AllDatasets()) {
+    auto sensors = MakeBenchDataset(kind, scale);
+    for (core::PredictorKind pk :
+         {core::PredictorKind::kAr, core::PredictorKind::kGp}) {
+      simgpu::Device device;
+      // Build engines over the warmup prefix.
+      std::vector<core::SensorEngine> engines;
+      for (const auto& s : sensors) {
+        ts::TimeSeries history(
+            s.sensor_id(), std::vector<double>(s.values().begin(),
+                                               s.values().begin() +
+                                                   warmup_points));
+        auto engine = core::SensorEngine::Create(&device, history, cfg, pk);
+        if (!engine.ok()) {
+          std::fprintf(stderr, "create failed: %s\n",
+                       engine.status().ToString().c_str());
+          return 1;
+        }
+        engines.push_back(std::move(*engine));
+      }
+      core::EngineStats stats;
+      int steps_run = 0;
+      for (int step = 0; step < scale.predict_steps; ++step) {
+        for (std::size_t s = 0; s < engines.size(); ++s) {
+          (void)engines[s].Predict(&stats);
+          (void)engines[s].Observe(sensors[s].values()[warmup_points + step]);
+        }
+        ++steps_run;
+      }
+      std::printf("%-6s %-10s %12.4f %14.4f %12.4f\n",
+                  ts::DatasetKindName(kind), core::PredictorKindName(pk),
+                  stats.search_seconds / steps_run,
+                  stats.predict_seconds / steps_run,
+                  (stats.search_seconds + stats.predict_seconds) / steps_run);
+    }
+  }
+
+  PrintHeader("Fig 12(c): max sensors per 6 GB device");
+  std::printf("%-6s %16s %18s %20s\n", "data", "bytes/sensor",
+              "sensors@scale", "sensors@1yr-10min");
+  for (auto kind : AllDatasets()) {
+    auto sensors = MakeBenchDataset(kind, scale, /*sensors=*/1);
+    simgpu::Device device;
+    auto idx = index::SmilerIndex::Build(&device, sensors[0], cfg);
+    if (!idx.ok()) return 1;
+    const double bytes = static_cast<double>(idx->MemoryFootprintBytes());
+    const double budget = 6.0 * (1ULL << 30);
+    // Footprint is linear in the history length (series + posting lists);
+    // extrapolate to the paper's one year of 10-minute samples.
+    const double paper_points = 365.0 * 24 * 6;
+    const double paper_bytes = bytes * paper_points / scale.points;
+    std::printf("%-6s %16.0f %18.0f %20.0f\n", ts::DatasetKindName(kind),
+                bytes, budget / bytes, budget / paper_bytes);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces Fig 13: comparison of PSGP and SMiLer-GP. For each dataset,
+// sweeps PSGP's number of active points (4..128) and reports its average
+// per-sensor training time and MAE, with SMiLer-GP's MAE (no training
+// phase) as the reference line. Paper shape: PSGP's MAE plateaus beyond
+// ~32 active points while training time keeps growing steeply, and
+// SMiLer-GP's MAE stays below the plateau.
+
+#include <cstdio>
+
+#include "baselines/psgp.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/metrics.h"
+
+int main() {
+  using namespace smiler;
+  using namespace smiler::bench;
+  const BenchScale scale = GetScale();
+  const SmilerConfig cfg = PaperConfig();
+  PrintHeader("Fig 13: PSGP active points vs SMiLer-GP");
+  const int warmup_points = scale.points - scale.predict_steps - 32;
+  std::printf("sensors=%d points=%d steps=%d input_d=64\n",
+              scale.accuracy_sensors, scale.points, scale.predict_steps);
+  std::printf("%-6s %-12s %8s %14s %10s\n", "data", "model", "active",
+              "train(s)/sensor", "MAE");
+
+  for (auto kind : AllDatasets()) {
+    auto sensors =
+        MakeBenchDataset(kind, scale, scale.accuracy_sensors, scale.points);
+    simgpu::Device device;
+
+    // SMiLer-GP reference (no training phase).
+    AccuracyResult smiler = RunSmiler(&device, sensors, cfg,
+                                      core::PredictorKind::kGp, /*h=*/1,
+                                      warmup_points, scale.predict_steps);
+    std::printf("%-6s %-12s %8s %14s %10.4f\n", ts::DatasetKindName(kind),
+                "SMiLer-GP", "-", "0 (none)", smiler.mae);
+
+    for (int active : {4, 8, 16, 32, 64, 128}) {
+      double train_seconds = 0.0;
+      core::MetricAccumulator acc;
+      for (const auto& s : sensors) {
+        const std::vector<double>& all = s.values();
+        baselines::PsgpModel::Options options;
+        options.active_points = active;
+        baselines::PsgpModel psgp(options);
+        std::vector<double> history(all.begin(),
+                                    all.begin() + warmup_points);
+        WallTimer timer;
+        Status st = psgp.Train(history, /*d=*/64, /*h=*/1);
+        train_seconds += timer.ElapsedSeconds();
+        if (!st.ok()) {
+          std::fprintf(stderr, "PSGP train failed: %s\n",
+                       st.ToString().c_str());
+          return 1;
+        }
+        for (int step = 0; step < scale.predict_steps; ++step) {
+          auto pred = psgp.Predict();
+          if (pred.ok()) acc.Add(all[warmup_points + step], *pred);
+          (void)psgp.Observe(all[warmup_points + step]);
+        }
+      }
+      std::printf("%-6s %-12s %8d %14.4f %10.4f\n",
+                  ts::DatasetKindName(kind), "PSGP", active,
+                  train_seconds / sensors.size(), acc.Mae());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels underneath the
+// SMiLer index: banded DTW (reference vs compressed warping matrix),
+// envelope construction, LB_Keogh, and k-selection. These are the
+// per-candidate / per-window costs that every macro number in Fig 7/8
+// decomposes into.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "dtw/dtw.h"
+#include "dtw/envelope.h"
+#include "dtw/lower_bounds.h"
+#include "index/kselect.h"
+
+namespace {
+
+using smiler::Rng;
+
+std::vector<double> RandomWalk(uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (int i = 0; i < n; ++i) {
+    x += rng.Normal();
+    v[i] = x;
+  }
+  return v;
+}
+
+void BM_BandedDtw(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int rho = 8;
+  const auto q = RandomWalk(1, d);
+  const auto c = RandomWalk(2, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smiler::dtw::BandedDtw(q.data(), c.data(), d, rho));
+  }
+}
+BENCHMARK(BM_BandedDtw)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_CompressedDtw(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const int rho = 8;
+  const auto q = RandomWalk(1, d);
+  const auto c = RandomWalk(2, d);
+  std::vector<double> scratch(smiler::dtw::CompressedDtwScratchSize(rho));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smiler::dtw::CompressedDtw(
+        q.data(), c.data(), d, rho, scratch.data()));
+  }
+}
+BENCHMARK(BM_CompressedDtw)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_UnconstrainedDtw(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const auto q = RandomWalk(1, d);
+  const auto c = RandomWalk(2, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smiler::dtw::UnconstrainedDtw(q.data(), c.data(), d));
+  }
+}
+BENCHMARK(BM_UnconstrainedDtw)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_Envelope(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto v = RandomWalk(3, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smiler::dtw::ComputeEnvelope(v.data(), n, 8));
+  }
+}
+BENCHMARK(BM_Envelope)->Arg(96)->Arg(4096)->Arg(32768);
+
+void BM_LbKeogh(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const auto q = RandomWalk(4, d);
+  const auto c = RandomWalk(5, d);
+  const auto env = smiler::dtw::ComputeEnvelope(q, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smiler::dtw::LbKeogh(env, c.data(), d));
+  }
+}
+BENCHMARK(BM_LbKeogh)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_KSelect(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  std::vector<smiler::index::Neighbor> cands(n);
+  for (int i = 0; i < n; ++i) {
+    cands[i] = smiler::index::Neighbor{i, rng.Normal() * 100};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smiler::index::KSelectSmallest(cands, 32));
+  }
+}
+BENCHMARK(BM_KSelect)->Arg(1024)->Arg(8192)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Reproduces Table 4: running time comparison. For every model and
+// dataset reports the total training time over all sensors ("trn",
+// seconds here; the paper reports hours at its 1000-sensor scale) and the
+// average prediction time per sensor per query ("prd", milliseconds).
+// Paper shape: SMiLer has no training phase but a larger prediction time
+// than the eager models (the accuracy-for-latency trade-off); FullHW /
+// SegHW are the slowest predictors because they refit per query.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace smiler;
+  using namespace smiler::bench;
+  const BenchScale scale = GetScale();
+  const SmilerConfig cfg = PaperConfig();
+  PrintHeader("Table 4: running time comparison");
+  const int warmup_points = scale.points - scale.predict_steps - 32;
+  std::printf("sensors=%d points=%d steps=%d input_d=64\n",
+              scale.accuracy_sensors, scale.points, scale.predict_steps);
+  std::printf("%-6s %-10s %14s %12s\n", "data", "model", "trn(s,total)",
+              "prd(ms/qry)");
+
+  std::vector<std::string> all_baselines;
+  for (auto group :
+       {baselines::BaselineGroup::kOnline, baselines::BaselineGroup::kOffline}) {
+    for (const auto& n : baselines::BaselineNames(group)) {
+      all_baselines.push_back(n);
+    }
+  }
+
+  for (auto kind : AllDatasets()) {
+    auto sensors =
+        MakeBenchDataset(kind, scale, scale.accuracy_sensors, scale.points);
+    simgpu::Device device;
+    for (core::PredictorKind pk :
+         {core::PredictorKind::kGp, core::PredictorKind::kAr}) {
+      AccuracyResult r = RunSmiler(&device, sensors, cfg, pk, /*h=*/1,
+                                   warmup_points, scale.predict_steps);
+      std::printf("%-6s %-10s %14s %12.3f\n", ts::DatasetKindName(kind),
+                  core::PredictorKindName(pk), "- (none)",
+                  r.predict_millis);
+    }
+    for (const std::string& name : all_baselines) {
+      AccuracyResult r =
+          RunBaseline(name, &device, sensors, scale.samples_per_day,
+                      /*input_d=*/64, /*h=*/1, warmup_points,
+                      scale.predict_steps);
+      std::printf("%-6s %-10s %14.3f %12.3f\n", ts::DatasetKindName(kind),
+                  name.c_str(), r.train_seconds, r.predict_millis);
+    }
+  }
+  return 0;
+}

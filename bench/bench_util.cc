@@ -1,0 +1,146 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "baselines/registry.h"
+#include "common/timer.h"
+
+namespace smiler {
+namespace bench {
+
+BenchScale GetScale() {
+  BenchScale scale;
+  const char* env = std::getenv("SMILER_BENCH_SCALE");
+  if (env != nullptr && std::strcmp(env, "full") == 0) {
+    scale.sensors = 16;
+    scale.points = 32768;
+    scale.search_steps = 10;
+    scale.predict_steps = 200;
+    scale.accuracy_sensors = 4;
+  }
+  return scale;
+}
+
+std::vector<ts::DatasetKind> AllDatasets() {
+  return {ts::DatasetKind::kRoad, ts::DatasetKind::kMall,
+          ts::DatasetKind::kNet};
+}
+
+std::vector<ts::TimeSeries> MakeBenchDataset(ts::DatasetKind kind,
+                                             const BenchScale& scale,
+                                             int sensors_override,
+                                             int points_override) {
+  ts::DatasetSpec spec;
+  spec.kind = kind;
+  spec.num_sensors =
+      sensors_override > 0 ? sensors_override : scale.sensors;
+  spec.points_per_sensor =
+      points_override > 0 ? points_override : scale.points;
+  spec.samples_per_day = scale.samples_per_day;
+  spec.seed = 2015;
+  auto data = ts::MakeDataset(spec);
+  if (!data.ok()) {
+    std::fprintf(stderr, "dataset generation failed: %s\n",
+                 data.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*data);
+}
+
+SmilerConfig PaperConfig() { return SmilerConfig{}; }
+
+std::vector<int> HorizonSweep() { return {1, 5, 10, 15, 20, 25, 30}; }
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+AccuracyResult RunSmiler(simgpu::Device* device,
+                         const std::vector<ts::TimeSeries>& sensors,
+                         const SmilerConfig& cfg_template,
+                         core::PredictorKind kind, int h, int warmup,
+                         int steps) {
+  AccuracyResult out;
+  core::MetricAccumulator acc;
+  double predict_seconds = 0.0;
+  std::size_t queries = 0;
+
+  for (const ts::TimeSeries& sensor : sensors) {
+    const std::vector<double>& all = sensor.values();
+    SmilerConfig cfg = cfg_template;
+    cfg.horizon = h;
+    ts::TimeSeries history(
+        sensor.sensor_id(),
+        std::vector<double>(all.begin(), all.begin() + warmup));
+    auto engine = core::SensorEngine::Create(device, history, cfg, kind);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine create failed: %s\n",
+                   engine.status().ToString().c_str());
+      std::exit(1);
+    }
+    for (int step = 0; step < steps; ++step) {
+      const std::size_t target = warmup + step + h - 1;
+      if (target >= all.size()) break;
+      WallTimer timer;
+      auto pred = engine->Predict();
+      predict_seconds += timer.ElapsedSeconds();
+      ++queries;
+      if (pred.ok()) acc.Add(all[target], *pred);
+      (void)engine->Observe(all[warmup + step]);
+    }
+  }
+  out.mae = acc.Mae();
+  out.mnlpd = acc.Mnlpd();
+  out.predictions = acc.count();
+  out.predict_millis = queries > 0 ? predict_seconds * 1e3 / queries : 0.0;
+  return out;
+}
+
+AccuracyResult RunBaseline(const std::string& name, simgpu::Device* device,
+                           const std::vector<ts::TimeSeries>& sensors,
+                           int period, int input_d, int h, int warmup,
+                           int steps) {
+  AccuracyResult out;
+  core::MetricAccumulator acc;
+  double train_seconds = 0.0;
+  double predict_seconds = 0.0;
+  std::size_t queries = 0;
+
+  for (const ts::TimeSeries& sensor : sensors) {
+    const std::vector<double>& all = sensor.values();
+    auto model = baselines::MakeBaseline(name, device, period);
+    if (model == nullptr) {
+      std::fprintf(stderr, "unknown baseline %s\n", name.c_str());
+      std::exit(1);
+    }
+    std::vector<double> history(all.begin(), all.begin() + warmup);
+    WallTimer timer;
+    Status st = model->Train(history, input_d, h);
+    train_seconds += timer.ElapsedSeconds();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s train failed: %s\n", name.c_str(),
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    for (int step = 0; step < steps; ++step) {
+      const std::size_t target = warmup + step + h - 1;
+      if (target >= all.size()) break;
+      timer.Reset();
+      auto pred = model->Predict();
+      predict_seconds += timer.ElapsedSeconds();
+      ++queries;
+      if (pred.ok()) acc.Add(all[target], *pred);
+      (void)model->Observe(all[warmup + step]);
+    }
+  }
+  out.mae = acc.Mae();
+  out.mnlpd = acc.Mnlpd();
+  out.predictions = acc.count();
+  out.train_seconds = train_seconds;
+  out.predict_millis = queries > 0 ? predict_seconds * 1e3 / queries : 0.0;
+  return out;
+}
+
+}  // namespace bench
+}  // namespace smiler

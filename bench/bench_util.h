@@ -1,0 +1,78 @@
+#ifndef SMILER_BENCH_BENCH_UTIL_H_
+#define SMILER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/smiler.h"
+
+namespace smiler {
+namespace bench {
+
+/// \brief Workload sizes of the reproduction harness.
+///
+/// The paper's datasets hold 20-61M points over ~1000 sensors; this
+/// harness scales them down so the full suite completes in minutes on a
+/// CPU (the *shape* of every result is what must reproduce, see
+/// EXPERIMENTS.md). Set SMILER_BENCH_SCALE=full for a heavier run.
+struct BenchScale {
+  int sensors = 4;          ///< sensors per dataset
+  int points = 16384;       ///< history points per sensor
+  int samples_per_day = 96; ///< synthetic day length (HW period)
+  int search_steps = 5;     ///< continuous query steps (Fig 7/8, Tab 3)
+  int predict_steps = 60;   ///< continuous prediction steps (Fig 9-11)
+  int accuracy_sensors = 2; ///< sensors for accuracy sweeps (Fig 9-11)
+};
+
+/// Reads the scale from the SMILER_BENCH_SCALE env var ("quick" default,
+/// "full" for the heavier configuration).
+BenchScale GetScale();
+
+/// The three synthetic stand-ins for the paper's datasets.
+std::vector<ts::DatasetKind> AllDatasets();
+
+/// Generates the scaled dataset of \p kind (z-normalized).
+std::vector<ts::TimeSeries> MakeBenchDataset(ts::DatasetKind kind,
+                                             const BenchScale& scale,
+                                             int sensors_override = -1,
+                                             int points_override = -1);
+
+/// Table 2 defaults (rho 8, omega 16, ELV {32,64,96}, EKV {8,16,32}).
+SmilerConfig PaperConfig();
+
+/// The h sweep of Fig 9/10/11.
+std::vector<int> HorizonSweep();
+
+/// Prints a banner line for a bench section.
+void PrintHeader(const std::string& title);
+
+/// \brief Result of one continuous-prediction evaluation run.
+struct AccuracyResult {
+  double mae = 0.0;
+  double mnlpd = 0.0;
+  double train_seconds = 0.0;        ///< total training time (offline models)
+  double predict_millis = 0.0;       ///< mean prediction latency per query
+  std::size_t predictions = 0;
+};
+
+/// \brief Runs SMiLer (GP or AR) continuous prediction over the held-out
+/// tails of \p sensors at horizon \p h and returns aggregate metrics.
+/// \p cfg_template carries the ensemble/ablation switches.
+AccuracyResult RunSmiler(simgpu::Device* device,
+                         const std::vector<ts::TimeSeries>& sensors,
+                         const SmilerConfig& cfg_template,
+                         core::PredictorKind kind, int h, int warmup,
+                         int steps);
+
+/// \brief Runs one baseline model (fresh instance per sensor) over the
+/// same protocol. \p input_d is the model's input window length.
+AccuracyResult RunBaseline(const std::string& name, simgpu::Device* device,
+                           const std::vector<ts::TimeSeries>& sensors,
+                           int period, int input_d, int h, int warmup,
+                           int steps);
+
+}  // namespace bench
+}  // namespace smiler
+
+#endif  // SMILER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,39 @@
+#include "baselines/baseline.h"
+
+#include <algorithm>
+
+namespace smiler {
+namespace baselines {
+
+WindowDataset MakeWindowDataset(const std::vector<double>& series, int d,
+                                int h, std::size_t max_pairs) {
+  WindowDataset out;
+  const long n = static_cast<long>(series.size());
+  const long total = n - d - h + 1;  // valid window starts
+  if (total <= 0 || max_pairs == 0) return out;
+  const std::size_t keep = std::min<std::size_t>(total, max_pairs);
+  const double stride = static_cast<double>(total) / static_cast<double>(keep);
+
+  out.x = la::Matrix(keep, d);
+  out.y.resize(keep);
+  for (std::size_t j = 0; j < keep; ++j) {
+    const long t = static_cast<long>(j * stride);
+    double* row = out.x.Row(j);
+    for (int p = 0; p < d; ++p) row[p] = series[t + p];
+    out.y[j] = series[t + d - 1 + h];
+  }
+  return out;
+}
+
+double ResidualVariance(const LinearModel& model, const WindowDataset& data) {
+  if (data.y.empty()) return 1.0;
+  double s = 0.0;
+  for (std::size_t j = 0; j < data.y.size(); ++j) {
+    const double r = data.y[j] - model.Eval(data.x.Row(j));
+    s += r * r;
+  }
+  return std::max(s / static_cast<double>(data.y.size()), 1e-6);
+}
+
+}  // namespace baselines
+}  // namespace smiler

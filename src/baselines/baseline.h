@@ -1,0 +1,76 @@
+#ifndef SMILER_BASELINES_BASELINE_H_
+#define SMILER_BASELINES_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gp/gp_regressor.h"
+#include "la/matrix.h"
+
+namespace smiler {
+namespace baselines {
+
+using Prediction = gp::Prediction;
+
+/// \brief Common interface of the paper's ten prediction competitors
+/// (Section 6.3.1). The protocol mirrors core::SensorEngine: `Train` on a
+/// (z-normalized) history for a fixed input window length d and horizon h,
+/// then alternate `Predict` (forecast for now + h from the stored series'
+/// tail) and `Observe` (ingest the next observation; online models also
+/// update their parameters here).
+class BaselineModel {
+ public:
+  virtual ~BaselineModel() = default;
+
+  /// Model display name ("PSGP", "SgdSVR", ...).
+  virtual const char* name() const = 0;
+
+  /// Trains on \p history. Offline models do their full training here
+  /// (Table 4's "trn" column times this call); online models only
+  /// initialize state.
+  virtual Status Train(const std::vector<double>& history, int d, int h) = 0;
+
+  /// Predicts the distribution of the value h steps after the latest
+  /// observation.
+  virtual Result<Prediction> Predict() = 0;
+
+  /// Ingests the next observation.
+  virtual Status Observe(double value) = 0;
+};
+
+/// \brief A supervised sliding-window dataset extracted from a series:
+/// row j of `x` is the d-length window ending at time e_j and `y[j]` is
+/// the value h steps later. At most \p max_pairs pairs are kept, sampled
+/// with a uniform stride so training covers the whole history.
+struct WindowDataset {
+  la::Matrix x;
+  std::vector<double> y;
+};
+
+/// Builds a WindowDataset from \p series. Returns an empty dataset when
+/// the series is shorter than d + h.
+WindowDataset MakeWindowDataset(const std::vector<double>& series, int d,
+                                int h, std::size_t max_pairs);
+
+/// \brief Linear-model helper shared by SGD baselines: prediction wᵀx + b.
+struct LinearModel {
+  std::vector<double> w;
+  double b = 0.0;
+
+  double Eval(const double* x) const {
+    double s = b;
+    for (std::size_t i = 0; i < w.size(); ++i) s += w[i] * x[i];
+    return s;
+  }
+};
+
+/// Mean squared residual of \p model over a dataset (predictive variance
+/// proxy for the linear baselines; clamped away from zero).
+double ResidualVariance(const LinearModel& model, const WindowDataset& data);
+
+}  // namespace baselines
+}  // namespace smiler
+
+#endif  // SMILER_BASELINES_BASELINE_H_

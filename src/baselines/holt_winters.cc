@@ -1,0 +1,161 @@
+#include "baselines/holt_winters.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smiler {
+namespace baselines {
+
+double HoltWintersFit::Forecast(int h) const {
+  const int m = static_cast<int>(seasonal.size());
+  // seasonal holds the last m smoothed indices, seasonal[j] applying to
+  // times congruent to (fitted_points + j) mod m going forward.
+  const int idx = (h - 1) % m;
+  return level + h * trend + seasonal[idx];
+}
+
+double HoltWintersFit::ForecastVariance(int h) const {
+  const int m = static_cast<int>(seasonal.size());
+  const double sigma2 =
+      fitted_points > 0 ? std::max(sse / fitted_points, 1e-6) : 1.0;
+  double factor = 1.0;
+  for (int j = 1; j < h; ++j) {
+    const double cj = alpha * (1.0 + j * beta) + (j % m == 0 ? gamma : 0.0);
+    factor += cj * cj;
+  }
+  return sigma2 * factor;
+}
+
+namespace {
+
+// Runs the smoothing recursion over `data` for fixed coefficients and
+// returns the final state + SSE.
+HoltWintersFit RunRecursion(const std::vector<double>& data, int period,
+                            double alpha, double beta, double gamma) {
+  HoltWintersFit fit;
+  fit.alpha = alpha;
+  fit.beta = beta;
+  fit.gamma = gamma;
+  const int m = period;
+  const long n = static_cast<long>(data.size());
+
+  // Classic initialisation from the first two seasons.
+  double mean1 = 0.0;
+  double mean2 = 0.0;
+  for (int i = 0; i < m; ++i) {
+    mean1 += data[i];
+    mean2 += data[m + i];
+  }
+  mean1 /= m;
+  mean2 /= m;
+  double level = mean1;
+  double trend = (mean2 - mean1) / m;
+  std::vector<double> seasonal(m);
+  for (int i = 0; i < m; ++i) seasonal[i] = data[i] - mean1;
+
+  double sse = 0.0;
+  long count = 0;
+  for (long t = m; t < n; ++t) {
+    const double s_prev = seasonal[t % m];
+    const double forecast = level + trend + s_prev;
+    const double err = data[t] - forecast;
+    sse += err * err;
+    ++count;
+    const double new_level =
+        alpha * (data[t] - s_prev) + (1.0 - alpha) * (level + trend);
+    trend = beta * (new_level - level) + (1.0 - beta) * trend;
+    seasonal[t % m] = gamma * (data[t] - new_level) + (1.0 - gamma) * s_prev;
+    level = new_level;
+  }
+  fit.level = level;
+  fit.trend = trend;
+  // Rotate so seasonal[j] is the index for forecast step j+1: the next
+  // time is n, whose seasonal slot is n % m.
+  fit.seasonal.resize(m);
+  for (int j = 0; j < m; ++j) fit.seasonal[j] = seasonal[(n + j) % m];
+  fit.sse = sse;
+  fit.fitted_points = count;
+  return fit;
+}
+
+}  // namespace
+
+Result<HoltWintersFit> FitHoltWinters(const std::vector<double>& data,
+                                      int period) {
+  if (period < 2) return Status::InvalidArgument("period must be >= 2");
+  if (static_cast<long>(data.size()) < 2L * period) {
+    return Status::InvalidArgument(
+        "need at least two full seasons to fit Holt-Winters");
+  }
+  // The grid approximates R forecast::HoltWinters' optimizer effort
+  // ("parameters were determined by minimizing the squared error"); its
+  // density is what makes the per-prediction refit of FullHW the slowest
+  // predictor of Table 4.
+  static constexpr double kAlphas[] = {0.05, 0.15, 0.25, 0.35, 0.45,
+                                       0.55, 0.65, 0.75, 0.85, 0.95};
+  static constexpr double kBetas[] = {0.01, 0.05, 0.1, 0.2, 0.3};
+  static constexpr double kGammas[] = {0.05, 0.1, 0.2, 0.35, 0.5, 0.65};
+
+  HoltWintersFit best;
+  bool have_best = false;
+  for (double a : kAlphas) {
+    for (double b : kBetas) {
+      for (double g : kGammas) {
+        HoltWintersFit fit = RunRecursion(data, period, a, b, g);
+        if (!have_best || fit.sse < best.sse) {
+          best = fit;
+          have_best = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+HoltWintersModel::HoltWintersModel(int period, bool full, int seg_days)
+    : period_(period), full_(full), seg_days_(seg_days) {}
+
+Status HoltWintersModel::Train(const std::vector<double>& history, int /*d*/,
+                               int h) {
+  if (h < 1) return Status::InvalidArgument("h must be >= 1");
+  if (static_cast<long>(history.size()) < 2L * period_) {
+    return Status::InvalidArgument("history shorter than two seasons");
+  }
+  h_ = h;
+  series_ = history;
+  return Status::OK();
+}
+
+Result<Prediction> HoltWintersModel::Predict() {
+  if (series_.empty()) return Status::FailedPrecondition("model not trained");
+  // Re-fit on every prediction (the defining cost of FullHW / SegHW).
+  const long n = static_cast<long>(series_.size());
+  long begin = 0;
+  if (!full_) {
+    begin = std::max<long>(0, n - static_cast<long>(seg_days_) * period_);
+  }
+  std::vector<double> window(series_.begin() + begin, series_.end());
+  SMILER_ASSIGN_OR_RETURN(HoltWintersFit fit,
+                          FitHoltWinters(window, period_));
+  Prediction p;
+  p.mean = fit.Forecast(h_);
+  p.variance = std::max(fit.ForecastVariance(h_), 1e-6);
+  return p;
+}
+
+Status HoltWintersModel::Observe(double value) {
+  if (series_.empty()) return Status::FailedPrecondition("model not trained");
+  series_.push_back(value);
+  return Status::OK();
+}
+
+std::unique_ptr<BaselineModel> MakeFullHw(int period) {
+  return std::make_unique<HoltWintersModel>(period, /*full=*/true);
+}
+
+std::unique_ptr<BaselineModel> MakeSegHw(int period) {
+  return std::make_unique<HoltWintersModel>(period, /*full=*/false);
+}
+
+}  // namespace baselines
+}  // namespace smiler

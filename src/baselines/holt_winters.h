@@ -1,0 +1,71 @@
+#ifndef SMILER_BASELINES_HOLT_WINTERS_H_
+#define SMILER_BASELINES_HOLT_WINTERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace smiler {
+namespace baselines {
+
+/// \brief State and one-step recursion of additive triple exponential
+/// smoothing (Holt [38] / Winters [71]) with period m:
+///   l_t = alpha (y_t - s_{t-m}) + (1 - alpha)(l_{t-1} + b_{t-1})
+///   b_t = beta (l_t - l_{t-1}) + (1 - beta) b_{t-1}
+///   s_t = gamma (y_t - l_t) + (1 - gamma) s_{t-m}
+/// Exposed for unit tests; BaselineModel users go through
+/// HoltWintersModel.
+struct HoltWintersFit {
+  double alpha = 0.3;
+  double beta = 0.1;
+  double gamma = 0.3;
+  double level = 0.0;
+  double trend = 0.0;
+  std::vector<double> seasonal;  // length = period
+  double sse = 0.0;              // one-step in-sample squared error
+  long fitted_points = 0;
+
+  /// h-step-ahead forecast from the final state.
+  double Forecast(int h) const;
+  /// Forecast variance: sigma^2 (1 + sum_{j<h} c_j^2) with the standard
+  /// additive-HW error-weight c_j = alpha (1 + j beta) + gamma [j % m == 0].
+  double ForecastVariance(int h) const;
+};
+
+/// \brief Fits additive Holt-Winters on \p data by coarse grid search over
+/// (alpha, beta, gamma) minimizing one-step squared error (the paper:
+/// "parameters were determined by minimizing the squared error").
+/// Requires data.size() >= 2 * period.
+Result<HoltWintersFit> FitHoltWinters(const std::vector<double>& data,
+                                      int period);
+
+/// \brief The FullHW / SegHW competitors: re-fits the model at every
+/// Predict call — on the whole history (full = true, the paper's FullHW)
+/// or on the last \p seg_days days (SegHW). The per-prediction re-fit is
+/// what makes these the slowest predictors of Table 4.
+class HoltWintersModel : public BaselineModel {
+ public:
+  /// \param period samples per season (the paper uses one day).
+  HoltWintersModel(int period, bool full, int seg_days = 10);
+
+  const char* name() const override { return full_ ? "FullHW" : "SegHW"; }
+  Status Train(const std::vector<double>& history, int d, int h) override;
+  Result<Prediction> Predict() override;
+  Status Observe(double value) override;
+
+ private:
+  int period_;
+  bool full_;
+  int seg_days_;
+  int h_ = 1;
+  std::vector<double> series_;
+};
+
+std::unique_ptr<BaselineModel> MakeFullHw(int period);
+std::unique_ptr<BaselineModel> MakeSegHw(int period);
+
+}  // namespace baselines
+}  // namespace smiler
+
+#endif  // SMILER_BASELINES_HOLT_WINTERS_H_

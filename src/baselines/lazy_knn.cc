@@ -1,0 +1,88 @@
+#include "baselines/lazy_knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ts/series.h"
+
+namespace smiler {
+namespace baselines {
+
+LazyKnnModel::LazyKnnModel(simgpu::Device* device, int k, int d, int rho,
+                           int omega)
+    : device_(device), k_(k) {
+  cfg_.rho = rho;
+  cfg_.omega = omega;
+  cfg_.elv = {d};
+  cfg_.ekv = {k};
+  cfg_.use_ensemble = false;
+}
+
+Status LazyKnnModel::Train(const std::vector<double>& history, int d, int h) {
+  if (h < 1) return Status::InvalidArgument("h must be >= 1");
+  if (d > 0) cfg_.elv = {std::max(d, cfg_.omega)};
+  h_ = h;
+  cfg_.horizon = h;
+  SMILER_RETURN_NOT_OK(cfg_.Validate());
+  SMILER_ASSIGN_OR_RETURN(
+      auto idx, index::SmilerIndex::Build(
+                    device_, ts::TimeSeries("lazyknn", history), cfg_));
+  index_.emplace(std::move(idx));
+  return Status::OK();
+}
+
+Result<Prediction> LazyKnnModel::Predict() {
+  if (!index_.has_value()) {
+    return Status::FailedPrecondition("model not trained");
+  }
+  index::SuffixSearchOptions opts;
+  opts.k = k_;
+  opts.reserve_horizon = h_;
+  SMILER_ASSIGN_OR_RETURN(index::SuffixKnnResult knn, index_->Search(opts));
+  const index::ItemQueryResult& item = knn.items[0];
+  if (item.neighbors.empty()) {
+    return Status::FailedPrecondition("no neighbors available");
+  }
+  const std::vector<double>& series = index_->series();
+  const int d = item.d;
+
+  // Inverse-DTW weights (a zero-distance exact match dominates smoothly
+  // via the epsilon floor).
+  double wsum = 0.0;
+  double mean = 0.0;
+  std::vector<double> weights;
+  std::vector<double> values;
+  for (const index::Neighbor& nb : item.neighbors) {
+    const double w = 1.0 / (nb.dist + 1e-6);
+    const double y = series[nb.t + d - 1 + h_];
+    weights.push_back(w);
+    values.push_back(y);
+    wsum += w;
+    mean += w * y;
+  }
+  mean /= wsum;
+  double var = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    var += weights[i] * (values[i] - mean) * (values[i] - mean);
+  }
+  var /= wsum;
+
+  Prediction p;
+  p.mean = mean;
+  p.variance = std::max(var, 1e-6);
+  return p;
+}
+
+Status LazyKnnModel::Observe(double value) {
+  if (!index_.has_value()) {
+    return Status::FailedPrecondition("model not trained");
+  }
+  return index_->Append(value);
+}
+
+std::unique_ptr<BaselineModel> MakeLazyKnn(simgpu::Device* device) {
+  return std::make_unique<LazyKnnModel>(device);
+}
+
+}  // namespace baselines
+}  // namespace smiler

@@ -1,0 +1,48 @@
+#ifndef SMILER_BASELINES_LAZY_KNN_H_
+#define SMILER_BASELINES_LAZY_KNN_H_
+
+#include <memory>
+#include <optional>
+
+#include "baselines/baseline.h"
+#include "common/config.h"
+#include "index/smiler_index.h"
+#include "simgpu/device.h"
+
+namespace smiler {
+namespace baselines {
+
+/// \brief LazyKNN (Section 6.3.1): classic lazy-learning prediction [4].
+/// The forecast is the average of the kNN segments' h-step-ahead values
+/// weighted by inverse DTW distance; the predicted variance is the
+/// (weighted) variance of those values.
+///
+/// Retrieval runs on a single-(k, d) SMiLer index so the comparison with
+/// SMiLer isolates the predictor, not the search.
+class LazyKnnModel : public BaselineModel {
+ public:
+  /// \param device simulated GPU for the retrieval index.
+  /// \param k neighbors, \param d segment length (paper ablations use
+  /// k = 32, d = 64), \param rho / \param omega DTW band and window size.
+  explicit LazyKnnModel(simgpu::Device* device, int k = 32, int d = 64,
+                        int rho = 8, int omega = 16);
+
+  const char* name() const override { return "LazyKNN"; }
+  Status Train(const std::vector<double>& history, int d, int h) override;
+  Result<Prediction> Predict() override;
+  Status Observe(double value) override;
+
+ private:
+  simgpu::Device* device_;
+  int k_;
+  SmilerConfig cfg_;
+  int h_ = 1;
+  std::optional<index::SmilerIndex> index_;
+};
+
+std::unique_ptr<BaselineModel> MakeLazyKnn(simgpu::Device* device);
+
+}  // namespace baselines
+}  // namespace smiler
+
+#endif  // SMILER_BASELINES_LAZY_KNN_H_

@@ -1,0 +1,138 @@
+#include "baselines/linear_sgd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smiler {
+namespace baselines {
+
+void LinearSgdModel::Step(const double* x, double y, double lr) {
+  const double pred = model_.Eval(x);
+  const double err = y - pred;  // positive when under-predicting
+
+  // dLoss/dpred for the two supported losses.
+  double g = 0.0;
+  switch (options_.loss) {
+    case LinearLoss::kEpsilonInsensitive:
+      if (err > options_.epsilon) {
+        g = -1.0;
+      } else if (err < -options_.epsilon) {
+        g = 1.0;
+      }
+      break;
+    case LinearLoss::kHuber:
+      if (std::fabs(err) <= options_.epsilon) {
+        g = -err;
+      } else {
+        g = err > 0 ? -options_.epsilon : options_.epsilon;
+      }
+      break;
+  }
+
+  const double decay = 1.0 - lr * options_.l2;
+  for (std::size_t i = 0; i < model_.w.size(); ++i) {
+    model_.w[i] = model_.w[i] * decay - lr * g * x[i];
+  }
+  model_.b -= lr * g;
+
+  // Exponentially smoothed residual variance for the predictive band.
+  const double r2 = err * err;
+  residual_var_ = 0.999 * residual_var_ + 0.001 * r2;
+  ++updates_;
+}
+
+Status LinearSgdModel::Train(const std::vector<double>& history, int d,
+                             int h) {
+  if (d <= 0 || h < 1) {
+    return Status::InvalidArgument("d must be > 0 and h >= 1");
+  }
+  if (static_cast<long>(history.size()) < d + h) {
+    return Status::InvalidArgument("history shorter than d + h");
+  }
+  d_ = d;
+  h_ = h;
+  series_ = history;
+  model_.w.assign(d, 0.0);
+  model_.b = 0.0;
+  updates_ = 0;
+  residual_var_ = 1.0;
+
+  WindowDataset data =
+      MakeWindowDataset(history, d, h, options_.max_pairs);
+  if (data.y.empty()) {
+    return Status::InvalidArgument("no training pairs available");
+  }
+  const int epochs = online_ ? 1 : options_.epochs;
+  Rng rng(options_.seed);
+  std::vector<std::size_t> order(data.y.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int e = 0; e < epochs; ++e) {
+    // Fisher-Yates shuffle for SGD.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.UniformInt(i)]);
+    }
+    for (std::size_t idx : order) {
+      const double lr =
+          options_.learning_rate / std::sqrt(1.0 + 0.01 * updates_);
+      Step(data.x.Row(idx), data.y[idx], lr);
+    }
+  }
+  residual_var_ = ResidualVariance(model_, data);
+  return Status::OK();
+}
+
+Result<Prediction> LinearSgdModel::Predict() {
+  if (d_ == 0 || static_cast<long>(series_.size()) < d_) {
+    return Status::FailedPrecondition("model not trained");
+  }
+  Prediction p;
+  p.mean = model_.Eval(series_.data() + series_.size() - d_);
+  p.variance = std::max(residual_var_, 1e-6);
+  return p;
+}
+
+Status LinearSgdModel::Observe(double value) {
+  if (d_ == 0) return Status::FailedPrecondition("model not trained");
+  series_.push_back(value);
+  if (online_) {
+    // The newest resolvable pair: window ending h before the new point.
+    const long t = static_cast<long>(series_.size()) - d_ - h_;
+    if (t >= 0) {
+      const double lr =
+          options_.learning_rate / std::sqrt(1.0 + 0.01 * updates_);
+      Step(series_.data() + t, value, lr);
+    }
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<BaselineModel> MakeSgdSvr() {
+  LinearSgdOptions options;
+  options.loss = LinearLoss::kEpsilonInsensitive;
+  return std::make_unique<LinearSgdModel>("SgdSVR", options, /*online=*/false);
+}
+
+std::unique_ptr<BaselineModel> MakeSgdRr() {
+  LinearSgdOptions options;
+  options.loss = LinearLoss::kHuber;
+  options.epsilon = 1.0;  // Huber transition
+  return std::make_unique<LinearSgdModel>("SgdRR", options, /*online=*/false);
+}
+
+std::unique_ptr<BaselineModel> MakeOnlineSvr() {
+  LinearSgdOptions options;
+  options.loss = LinearLoss::kEpsilonInsensitive;
+  return std::make_unique<LinearSgdModel>("OnlineSVR", options,
+                                          /*online=*/true);
+}
+
+std::unique_ptr<BaselineModel> MakeOnlineRr() {
+  LinearSgdOptions options;
+  options.loss = LinearLoss::kHuber;
+  options.epsilon = 1.0;
+  return std::make_unique<LinearSgdModel>("OnlineRR", options,
+                                          /*online=*/true);
+}
+
+}  // namespace baselines
+}  // namespace smiler

@@ -1,0 +1,85 @@
+#ifndef SMILER_BASELINES_LINEAR_SGD_H_
+#define SMILER_BASELINES_LINEAR_SGD_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "common/rng.h"
+
+namespace smiler {
+namespace baselines {
+
+/// Loss functions of the linear baselines.
+enum class LinearLoss {
+  /// epsilon-insensitive (Support Vector Regression, [75]).
+  kEpsilonInsensitive,
+  /// Huber loss (robust regression, [59]).
+  kHuber,
+};
+
+/// \brief Options of the SGD linear baselines.
+struct LinearSgdOptions {
+  LinearLoss loss = LinearLoss::kEpsilonInsensitive;
+  /// Offline epochs over the training pairs (online models use 1 warmup
+  /// pass followed by per-observation updates).
+  int epochs = 5;
+  double learning_rate = 0.05;
+  /// L2 regularization strength.
+  double l2 = 1e-4;
+  /// Epsilon of the insensitive tube / Huber transition point.
+  double epsilon = 0.05;
+  /// Max training pairs sampled from the history.
+  std::size_t max_pairs = 20000;
+  uint64_t seed = 1;
+};
+
+/// \brief Linear model y = w.x + b trained with stochastic gradient
+/// descent, covering four of the paper's competitors:
+///
+/// - SgdSVR / SgdRR (offline): multi-epoch SGD over the history's sliding
+///   window dataset at Train time.
+/// - OnlineSVR / OnlineRR (\p online = true): a single warmup pass at
+///   Train time, then one SGD update per incoming observation ("trained
+///   in a one-pass online fashion", Bottou [14]).
+///
+/// Predictive variance is the residual variance on the training pairs
+/// (kept updated from streaming residuals for the online variants).
+class LinearSgdModel : public BaselineModel {
+ public:
+  LinearSgdModel(std::string name, const LinearSgdOptions& options,
+                 bool online)
+      : name_(std::move(name)), options_(options), online_(online) {}
+
+  const char* name() const override { return name_.c_str(); }
+  Status Train(const std::vector<double>& history, int d, int h) override;
+  Result<Prediction> Predict() override;
+  Status Observe(double value) override;
+
+  const LinearModel& model() const { return model_; }
+
+ private:
+  /// One SGD step on pair (x, y) with step size \p lr.
+  void Step(const double* x, double y, double lr);
+
+  std::string name_;
+  LinearSgdOptions options_;
+  bool online_;
+  int d_ = 0;
+  int h_ = 0;
+  LinearModel model_;
+  std::vector<double> series_;
+  double residual_var_ = 1.0;
+  long updates_ = 0;  // SGD steps taken (for the 1/sqrt(t) schedule)
+};
+
+/// Factory helpers matching the paper's competitor names.
+std::unique_ptr<BaselineModel> MakeSgdSvr();
+std::unique_ptr<BaselineModel> MakeSgdRr();
+std::unique_ptr<BaselineModel> MakeOnlineSvr();
+std::unique_ptr<BaselineModel> MakeOnlineRr();
+
+}  // namespace baselines
+}  // namespace smiler
+
+#endif  // SMILER_BASELINES_LINEAR_SGD_H_

@@ -1,0 +1,137 @@
+#include "baselines/nys_svr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace smiler {
+namespace baselines {
+
+NysSvrModel::NysSvrModel(const Options& options) : options_(options) {}
+
+std::vector<double> NysSvrModel::Features(const double* x) const {
+  const std::size_t m = landmarks_.rows();
+  std::vector<double> km(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    km[a] = kernel_.CovFromSqDist(
+        gp::SquaredDistance(landmarks_.Row(a), x, d_));
+  }
+  // phi = L^{-1} k_m  (forward substitution against chol(K_mm)).
+  return kmm_chol_.SolveLower(km);
+}
+
+Status NysSvrModel::Train(const std::vector<double>& history, int d, int h) {
+  if (d <= 0 || h < 1) {
+    return Status::InvalidArgument("d must be > 0 and h >= 1");
+  }
+  if (static_cast<long>(history.size()) < d + h) {
+    return Status::InvalidArgument("history shorter than d + h");
+  }
+  d_ = d;
+  h_ = h;
+  series_ = history;
+
+  WindowDataset data = MakeWindowDataset(history, d, h, options_.max_pairs);
+  if (data.y.empty()) {
+    return Status::InvalidArgument("no training pairs available");
+  }
+  kernel_ = gp::SeKernel::Heuristic(data.x, data.y);
+
+  // Landmarks: uniform subsample.
+  const std::size_t m =
+      std::min<std::size_t>(std::max(options_.rank, 1), data.y.size());
+  landmarks_ = la::Matrix(m, d);
+  const double stride =
+      static_cast<double>(data.y.size()) / static_cast<double>(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    const std::size_t idx = static_cast<std::size_t>(a * stride);
+    for (int p = 0; p < d; ++p) landmarks_(a, p) = data.x(idx, p);
+  }
+  la::Matrix kmm(m, m);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a; b < m; ++b) {
+      const double v = kernel_.CovFromSqDist(
+          gp::SquaredDistance(landmarks_.Row(a), landmarks_.Row(b), d));
+      kmm(a, b) = v;
+      kmm(b, a) = v;
+    }
+  }
+  kmm.AddToDiagonal(1e-6 * kernel_.CovFromSqDist(0.0));
+  SMILER_ASSIGN_OR_RETURN(kmm_chol_, la::Cholesky::Factor(kmm));
+
+  // Precompute features for all pairs, then SGD-train the linear SVR.
+  la::Matrix features(data.y.size(), m);
+  for (std::size_t j = 0; j < data.y.size(); ++j) {
+    const std::vector<double> phi = Features(data.x.Row(j));
+    for (std::size_t a = 0; a < m; ++a) features(j, a) = phi[a];
+  }
+  model_.w.assign(m, 0.0);
+  model_.b = 0.0;
+  Rng rng(options_.seed);
+  std::vector<std::size_t> order(data.y.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  long updates = 0;
+  for (int e = 0; e < options_.epochs; ++e) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.UniformInt(i)]);
+    }
+    for (std::size_t idx : order) {
+      const double* phi = features.Row(idx);
+      const double err = data.y[idx] - model_.Eval(phi);
+      double g = 0.0;
+      if (err > options_.epsilon) {
+        g = -1.0;
+      } else if (err < -options_.epsilon) {
+        g = 1.0;
+      }
+      const double lr =
+          options_.learning_rate / std::sqrt(1.0 + 0.01 * updates);
+      const double decay = 1.0 - lr * options_.l2;
+      for (std::size_t a = 0; a < m; ++a) {
+        model_.w[a] = model_.w[a] * decay - lr * g * phi[a];
+      }
+      model_.b -= lr * g;
+      ++updates;
+    }
+  }
+
+  // Residual variance on the training features.
+  double sse = 0.0;
+  for (std::size_t j = 0; j < data.y.size(); ++j) {
+    const double r = data.y[j] - model_.Eval(features.Row(j));
+    sse += r * r;
+  }
+  residual_var_ =
+      std::max(sse / static_cast<double>(data.y.size()), 1e-6);
+  trained_ = true;
+  return Status::OK();
+}
+
+Prediction NysSvrModel::PredictAt(const double* x) const {
+  const std::vector<double> phi = Features(x);
+  Prediction p;
+  p.mean = model_.Eval(phi.data());
+  p.variance = residual_var_;
+  return p;
+}
+
+Result<Prediction> NysSvrModel::Predict() {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  return PredictAt(series_.data() + series_.size() - d_);
+}
+
+Status NysSvrModel::Observe(double value) {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  series_.push_back(value);
+  return Status::OK();
+}
+
+std::unique_ptr<BaselineModel> MakeNysSvr(int rank) {
+  NysSvrModel::Options options;
+  options.rank = rank;
+  return std::make_unique<NysSvrModel>(options);
+}
+
+}  // namespace baselines
+}  // namespace smiler

@@ -1,0 +1,67 @@
+#ifndef SMILER_BASELINES_NYS_SVR_H_
+#define SMILER_BASELINES_NYS_SVR_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "gp/kernel.h"
+#include "la/cholesky.h"
+
+namespace smiler {
+namespace baselines {
+
+/// \brief NysSVR (Section 6.3.1): low-rank approximation of RBF-kernel
+/// Support Vector Regression via the Nystrom method [69].
+///
+/// Landmarks Z are a uniform subsample of the training windows; the
+/// feature map phi(x) = L^{-1} k_m(x) with K_mm = L L^T reproduces the
+/// Nystrom kernel (phi(a).phi(b) = k_a^T K_mm^{-1} k_b). A linear
+/// epsilon-insensitive SVR is then trained on the features with SGD.
+class NysSvrModel : public BaselineModel {
+ public:
+  struct Options {
+    /// Reduced rank / number of landmarks (the paper uses 128).
+    int rank = 128;
+    std::size_t max_pairs = 4000;
+    int epochs = 5;
+    double learning_rate = 0.05;
+    double l2 = 1e-4;
+    double epsilon = 0.05;
+    uint64_t seed = 1;
+  };
+
+  NysSvrModel() : NysSvrModel(Options{}) {}
+  explicit NysSvrModel(const Options& options);
+
+  const char* name() const override { return "NysSVR"; }
+  Status Train(const std::vector<double>& history, int d, int h) override;
+  Result<Prediction> Predict() override;
+  Status Observe(double value) override;
+
+  /// Predicts at an arbitrary input (exposed for tests).
+  Prediction PredictAt(const double* x) const;
+
+ private:
+  /// Nystrom feature map of one input window.
+  std::vector<double> Features(const double* x) const;
+
+  Options options_;
+  int d_ = 0;
+  int h_ = 0;
+  std::vector<double> series_;
+
+  gp::SeKernel kernel_;
+  la::Matrix landmarks_;
+  la::Cholesky kmm_chol_;
+  LinearModel model_;  // on the rank-dimensional features
+  double residual_var_ = 1.0;
+  bool trained_ = false;
+};
+
+std::unique_ptr<BaselineModel> MakeNysSvr(int rank = 128);
+
+}  // namespace baselines
+}  // namespace smiler
+
+#endif  // SMILER_BASELINES_NYS_SVR_H_

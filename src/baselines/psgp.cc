@@ -1,0 +1,303 @@
+#include "baselines/psgp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "gp/trainer.h"
+
+namespace smiler {
+namespace baselines {
+
+namespace {
+
+// Removes row/col `idx` from a square matrix.
+la::Matrix DropRowCol(const la::Matrix& m, std::size_t idx) {
+  const std::size_t n = m.rows();
+  la::Matrix out(n - 1, n - 1);
+  std::size_t r2 = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r == idx) continue;
+    std::size_t c2 = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c == idx) continue;
+      out(r2, c2) = m(r, c);
+      ++c2;
+    }
+    ++r2;
+  }
+  return out;
+}
+
+}  // namespace
+
+PsgpModel::PsgpModel(const Options& options) : options_(options) {}
+
+void PsgpModel::ProcessPoint(const double* x, double y) {
+  const std::size_t m = basis_.rows();
+  const double noise2 = kernel_.theta2() * kernel_.theta2();
+  const double kstar = kernel_.CovFromSqDist(0.0);  // theta0^2
+
+  if (m == 0) {
+    // First point: trivial full update.
+    basis_ = la::Matrix(1, d_);
+    for (int p = 0; p < d_; ++p) basis_(0, p) = x[p];
+    const double sigma2 = kstar + noise2;
+    alpha_ = {y / sigma2};  // q_coef * s with s = [1]
+    c_ = la::Matrix(1, 1);
+    c_(0, 0) = -1.0 / sigma2;
+    q_ = la::Matrix(1, 1);
+    q_(0, 0) = 1.0 / kstar;
+    return;
+  }
+
+  // Kernel vector to the basis (noise-free).
+  std::vector<double> k(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    k[i] = kernel_.CovFromSqDist(
+        gp::SquaredDistance(basis_.Row(i), x, d_));
+  }
+  const std::vector<double> ck = c_.MatVec(k);
+  const std::vector<double> e_hat = q_.MatVec(k);
+
+  const double mean = la::Dot(k, alpha_);
+  const double var_f = kstar + la::Dot(k, ck);  // latent variance
+  // Numerical guards: heavily quantized series (exact-duplicate windows)
+  // can drift the recursive (alpha, C, Q) state; a pathological predictive
+  // variance or non-finite statistic means this point cannot be absorbed
+  // safely — skipping it keeps the posterior sane (standard practice for
+  // streaming sparse GPs).
+  if (!std::isfinite(mean) || !std::isfinite(var_f) ||
+      var_f < -0.5 * kstar) {
+    return;
+  }
+  const double sigma2 = std::max(var_f + noise2, 1e-8);
+  const double q_coef = (y - mean) / sigma2;
+  const double r_coef = -1.0 / sigma2;
+  if (!std::isfinite(q_coef)) return;
+
+  double gamma = kstar - la::Dot(k, e_hat);  // novelty
+  gamma = std::max(gamma, 0.0);
+
+  // Scale-aware novelty threshold.
+  const bool full_update = gamma > options_.novelty_tol * kstar;
+  if (!full_update) {
+    // Projected update: s = C k + e_hat, dimension m.
+    std::vector<double> s = ck;
+    la::Axpy(1.0, e_hat, &s);
+    for (std::size_t i = 0; i < m; ++i) alpha_[i] += q_coef * s[i];
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        c_(i, j) += r_coef * s[i] * s[j];
+      }
+    }
+    return;
+  }
+
+  // Full update: extend the basis with x; s = [C k; 1].
+  std::vector<double> s(m + 1);
+  for (std::size_t i = 0; i < m; ++i) s[i] = ck[i];
+  s[m] = 1.0;
+
+  la::Matrix new_basis(m + 1, d_);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (int p = 0; p < d_; ++p) new_basis(i, p) = basis_(i, p);
+  }
+  for (int p = 0; p < d_; ++p) new_basis(m, p) = x[p];
+  basis_ = std::move(new_basis);
+
+  alpha_.push_back(0.0);
+  for (std::size_t i = 0; i <= m; ++i) alpha_[i] += q_coef * s[i];
+
+  la::Matrix new_c(m + 1, m + 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) new_c(i, j) = c_(i, j);
+  }
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = 0; j <= m; ++j) {
+      new_c(i, j) += r_coef * s[i] * s[j];
+    }
+  }
+  c_ = std::move(new_c);
+
+  // Q update: Q' = [[Q,0],[0,0]] + (1/gamma) [e_hat; -1][e_hat; -1]^T.
+  la::Matrix new_q(m + 1, m + 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) new_q(i, j) = q_(i, j);
+  }
+  std::vector<double> eh(m + 1);
+  for (std::size_t i = 0; i < m; ++i) eh[i] = e_hat[i];
+  eh[m] = -1.0;
+  const double inv_gamma = 1.0 / std::max(gamma, 1e-12);
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = 0; j <= m; ++j) {
+      new_q(i, j) += inv_gamma * eh[i] * eh[j];
+    }
+  }
+  q_ = std::move(new_q);
+
+  if (static_cast<int>(basis_.rows()) > options_.active_points) {
+    DeleteLowestScore();
+  }
+}
+
+void PsgpModel::DeleteLowestScore() {
+  const std::size_t m = basis_.rows();
+  // Score epsilon_i = alpha_i^2 / (Q_ii + C_ii): the KL penalty of
+  // removing basis vector i.
+  std::size_t victim = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double denom = q_(i, i) + c_(i, i);
+    const double score =
+        alpha_[i] * alpha_[i] / (std::fabs(denom) > 1e-12 ? denom : 1e-12);
+    if (score < best) {
+      best = score;
+      victim = i;
+    }
+  }
+
+  const double a_star = alpha_[victim];
+  const double c_star = c_(victim, victim);
+  const double q_star = q_(victim, victim);
+  std::vector<double> c_col;
+  std::vector<double> q_col;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == victim) continue;
+    c_col.push_back(c_(i, victim));
+    q_col.push_back(q_(i, victim));
+  }
+
+  // KL-optimal deletion (Csató & Opper, appendix):
+  //   alpha' = alpha_r - a*/(q* + c*) (Q*col + C*col)
+  //   C'     = C_r + (Q*col Q*col^T)/q* - ((Q+C)col (Q+C)col^T)/(q*+c*)
+  //   Q'     = Q_r - (Q*col Q*col^T)/q*
+  std::vector<double> new_alpha;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i != victim) new_alpha.push_back(alpha_[i]);
+  }
+  const double qc = q_star + c_star;
+  const double inv_qc = std::fabs(qc) > 1e-8 ? 1.0 / qc : 0.0;
+  const double inv_q = std::fabs(q_star) > 1e-8 ? 1.0 / q_star : 0.0;
+  for (std::size_t i = 0; i < m - 1; ++i) {
+    new_alpha[i] -= a_star * inv_qc * (q_col[i] + c_col[i]);
+  }
+
+  la::Matrix new_c = DropRowCol(c_, victim);
+  la::Matrix new_q = DropRowCol(q_, victim);
+  for (std::size_t i = 0; i < m - 1; ++i) {
+    for (std::size_t j = 0; j < m - 1; ++j) {
+      new_c(i, j) += q_col[i] * q_col[j] * inv_q -
+                     (q_col[i] + c_col[i]) * (q_col[j] + c_col[j]) * inv_qc;
+      new_q(i, j) -= q_col[i] * q_col[j] * inv_q;
+    }
+  }
+
+  la::Matrix new_basis(m - 1, d_);
+  std::size_t r2 = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == victim) continue;
+    for (int p = 0; p < d_; ++p) new_basis(r2, p) = basis_(i, p);
+    ++r2;
+  }
+
+  basis_ = std::move(new_basis);
+  alpha_ = std::move(new_alpha);
+  c_ = std::move(new_c);
+  q_ = std::move(new_q);
+}
+
+Status PsgpModel::Train(const std::vector<double>& history, int d, int h) {
+  if (d <= 0 || h < 1) {
+    return Status::InvalidArgument("d must be > 0 and h >= 1");
+  }
+  if (static_cast<long>(history.size()) < d + h) {
+    return Status::InvalidArgument("history shorter than d + h");
+  }
+  d_ = d;
+  h_ = h;
+  series_ = history;
+  basis_ = la::Matrix();
+  alpha_.clear();
+  c_ = la::Matrix();
+  q_ = la::Matrix();
+
+  WindowDataset data = MakeWindowDataset(history, d, h, options_.max_pairs);
+  if (data.y.empty()) {
+    return Status::InvalidArgument("no training pairs available");
+  }
+
+  // Hyperparameters: exact LOO training on a random subsample ("an offline
+  // processing to learn the hyperparameters" — the eager part of PSGP).
+  {
+    Rng rng(options_.seed);
+    const std::size_t sub =
+        std::min<std::size_t>(options_.hyper_subsample, data.y.size());
+    la::Matrix xs(sub, d);
+    std::vector<double> ys(sub);
+    for (std::size_t j = 0; j < sub; ++j) {
+      const std::size_t idx = rng.UniformInt(data.y.size());
+      for (int p = 0; p < d; ++p) xs(j, p) = data.x(idx, p);
+      ys[j] = data.y[idx];
+    }
+    // Regularized LOO training (prior + trust region, cf. TrainLoo): the
+    // unbounded noise-collapse direction on duplicate-heavy data would
+    // otherwise destabilize the recursive online updates.
+    auto trained = gp::TrainLoo(xs, ys, nullptr, options_.hyper_cg_steps,
+                                /*prior_precision=*/8.0,
+                                /*trust_radius=*/1.0);
+    kernel_ = trained.ok() ? trained->kernel : gp::SeKernel::Heuristic(xs, ys);
+    // Absolute noise floor on the z-normalized scale.
+    auto params = kernel_.log_params();
+    params[2] = std::max(params[2], 0.5 * std::log(1e-4));
+    kernel_ = gp::SeKernel(params[0], params[1], params[2]);
+  }
+
+  // Online sweep.
+  for (std::size_t j = 0; j < data.y.size(); ++j) {
+    ProcessPoint(data.x.Row(j), data.y[j]);
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Prediction PsgpModel::PredictAt(const double* x) const {
+  const std::size_t m = basis_.rows();
+  const double noise2 = kernel_.theta2() * kernel_.theta2();
+  Prediction p;
+  if (m == 0) {
+    p.mean = 0.0;
+    p.variance = kernel_.SelfCovariance();
+    return p;
+  }
+  std::vector<double> k(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    k[i] = kernel_.CovFromSqDist(gp::SquaredDistance(basis_.Row(i), x, d_));
+  }
+  p.mean = la::Dot(k, alpha_);
+  const double var_f =
+      kernel_.CovFromSqDist(0.0) + la::Dot(k, c_.MatVec(k));
+  p.variance = std::max(var_f + noise2, 1e-9);
+  return p;
+}
+
+Result<Prediction> PsgpModel::Predict() {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  return PredictAt(series_.data() + series_.size() - d_);
+}
+
+Status PsgpModel::Observe(double value) {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  series_.push_back(value);
+  return Status::OK();
+}
+
+std::unique_ptr<BaselineModel> MakePsgp(int active_points) {
+  PsgpModel::Options options;
+  options.active_points = active_points;
+  return std::make_unique<PsgpModel>(options);
+}
+
+}  // namespace baselines
+}  // namespace smiler

@@ -1,0 +1,81 @@
+#ifndef SMILER_BASELINES_PSGP_H_
+#define SMILER_BASELINES_PSGP_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "gp/kernel.h"
+
+namespace smiler {
+namespace baselines {
+
+/// \brief PSGP: Projected Sparse Gaussian Process (Section 6.3.1), the
+/// sparse on-line GP of Csató & Opper [25] that the paper's PSGP baseline
+/// [9] implements — "projecting all information onto a set of active
+/// points".
+///
+/// The posterior is parameterized by basis vectors BV plus (alpha, C); for
+/// each training point either a *full update* (grows BV, exact Bayesian
+/// update) or a *projected update* (KL-projection onto the current basis)
+/// is applied depending on the novelty gamma = k** - k^T Q k. When BV
+/// exceeds the active-point budget, the lowest-score basis vector is
+/// removed with the KL-optimal deletion equations.
+///
+/// Training cost grows ~ O(n * m^2) in the number of active points m —
+/// the Fig 13 trade-off.
+class PsgpModel : public BaselineModel {
+ public:
+  struct Options {
+    /// Active-point budget (the paper sweeps 4..128; default 32).
+    int active_points = 32;
+    /// Training pairs subsampled from the history.
+    std::size_t max_pairs = 4000;
+    /// Novelty threshold below which a projected update is used.
+    double novelty_tol = 1e-6;
+    /// Hyperparameters are fit by exact LOO training on a random
+    /// subsample of this size before the online sweep.
+    std::size_t hyper_subsample = 48;
+    int hyper_cg_steps = 10;
+    uint64_t seed = 1;
+  };
+
+  PsgpModel() : PsgpModel(Options{}) {}
+  explicit PsgpModel(const Options& options);
+
+  const char* name() const override { return "PSGP"; }
+  Status Train(const std::vector<double>& history, int d, int h) override;
+  Result<Prediction> Predict() override;
+  Status Observe(double value) override;
+
+  /// Number of active points after training (exposed for tests).
+  int num_basis() const { return static_cast<int>(basis_.rows()); }
+  /// Predicts at an arbitrary input (exposed for tests).
+  Prediction PredictAt(const double* x) const;
+
+ private:
+  /// Processes one training pair through the online update.
+  void ProcessPoint(const double* x, double y);
+  /// Removes the basis vector with the lowest score.
+  void DeleteLowestScore();
+
+  Options options_;
+  gp::SeKernel kernel_;
+  int d_ = 0;
+  int h_ = 0;
+  std::vector<double> series_;
+
+  // On-line GP posterior state.
+  la::Matrix basis_;     // m x d active inputs
+  std::vector<double> alpha_;
+  la::Matrix c_;         // posterior covariance correction
+  la::Matrix q_;         // inverse gram matrix of the basis
+  bool trained_ = false;
+};
+
+std::unique_ptr<BaselineModel> MakePsgp(int active_points = 32);
+
+}  // namespace baselines
+}  // namespace smiler
+
+#endif  // SMILER_BASELINES_PSGP_H_

@@ -1,0 +1,40 @@
+#include "baselines/registry.h"
+
+#include "baselines/holt_winters.h"
+#include "baselines/lazy_knn.h"
+#include "baselines/linear_sgd.h"
+#include "baselines/nys_svr.h"
+#include "baselines/psgp.h"
+#include "baselines/vlgp.h"
+
+namespace smiler {
+namespace baselines {
+
+std::unique_ptr<BaselineModel> MakeBaseline(const std::string& name,
+                                            simgpu::Device* device,
+                                            int period) {
+  if (name == "PSGP") return MakePsgp();
+  if (name == "VLGP") return MakeVlgp();
+  if (name == "NysSVR") return MakeNysSvr();
+  if (name == "SgdSVR") return MakeSgdSvr();
+  if (name == "SgdRR") return MakeSgdRr();
+  if (name == "LazyKNN") return MakeLazyKnn(device);
+  if (name == "FullHW") return MakeFullHw(period);
+  if (name == "SegHW") return MakeSegHw(period);
+  if (name == "OnlineSVR") return MakeOnlineSvr();
+  if (name == "OnlineRR") return MakeOnlineRr();
+  return nullptr;
+}
+
+std::vector<std::string> BaselineNames(BaselineGroup group) {
+  switch (group) {
+    case BaselineGroup::kOffline:
+      return {"PSGP", "VLGP", "NysSVR", "SgdSVR", "SgdRR"};
+    case BaselineGroup::kOnline:
+      return {"LazyKNN", "FullHW", "SegHW", "OnlineSVR", "OnlineRR"};
+  }
+  return {};
+}
+
+}  // namespace baselines
+}  // namespace smiler

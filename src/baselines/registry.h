@@ -1,0 +1,35 @@
+#ifndef SMILER_BASELINES_REGISTRY_H_
+#define SMILER_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "simgpu/device.h"
+
+namespace smiler {
+namespace baselines {
+
+/// Grouping used by the paper's accuracy figures.
+enum class BaselineGroup {
+  kOffline,  ///< Fig 9: PSGP, VLGP, NysSVR, SgdSVR, SgdRR
+  kOnline,   ///< Fig 10: LazyKNN, FullHW, SegHW, OnlineSVR, OnlineRR
+};
+
+/// \brief Instantiates one competitor by its paper name. Names: "PSGP",
+/// "VLGP", "NysSVR", "SgdSVR", "SgdRR", "LazyKNN", "FullHW", "SegHW",
+/// "OnlineSVR", "OnlineRR". \p device is required by LazyKNN (retrieval
+/// index); \p period is the Holt-Winters season length in samples.
+/// Returns nullptr for an unknown name.
+std::unique_ptr<BaselineModel> MakeBaseline(const std::string& name,
+                                            simgpu::Device* device,
+                                            int period);
+
+/// The five members of \p group in the order the paper plots them.
+std::vector<std::string> BaselineNames(BaselineGroup group);
+
+}  // namespace baselines
+}  // namespace smiler
+
+#endif  // SMILER_BASELINES_REGISTRY_H_

@@ -1,0 +1,220 @@
+#include "baselines/vlgp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+
+namespace smiler {
+namespace baselines {
+
+namespace {
+
+// K_nm: cross covariance between dataset rows and inducing rows
+// (noise-free kernel part).
+la::Matrix CrossGram(const gp::SeKernel& kernel, const la::Matrix& x,
+                     const la::Matrix& z) {
+  la::Matrix knm(x.rows(), z.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < z.rows(); ++j) {
+      knm(i, j) = kernel.CovFromSqDist(
+          gp::SquaredDistance(x.Row(i), z.Row(j), x.cols()));
+    }
+  }
+  return knm;
+}
+
+// K_mm with a tiny stabilizing jitter (no observation noise).
+la::Matrix InducingGram(const gp::SeKernel& kernel, const la::Matrix& z) {
+  la::Matrix kmm(z.rows(), z.rows());
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    for (std::size_t j = i; j < z.rows(); ++j) {
+      const double v = kernel.CovFromSqDist(
+          gp::SquaredDistance(z.Row(i), z.Row(j), z.cols()));
+      kmm(i, j) = v;
+      kmm(j, i) = v;
+    }
+  }
+  kmm.AddToDiagonal(1e-8 * kernel.CovFromSqDist(0.0));
+  return kmm;
+}
+
+}  // namespace
+
+VlgpModel::VlgpModel(const Options& options) : options_(options) {}
+
+double VlgpModel::ComputeElbo(const WindowDataset& data,
+                              const gp::SeKernel& kernel,
+                              const la::Matrix& z) const {
+  const std::size_t n = data.y.size();
+  const std::size_t m = z.rows();
+  const double noise2 =
+      std::max(kernel.theta2() * kernel.theta2(), 1e-8);
+
+  auto kmm_chol = la::Cholesky::Factor(InducingGram(kernel, z));
+  if (!kmm_chol.ok()) return -std::numeric_limits<double>::infinity();
+  const la::Matrix knm = CrossGram(kernel, data.x, z);
+
+  // Sigma = K_mm + sigma^{-2} K_mn K_nm.
+  la::Matrix sigma = InducingGram(kernel, z);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) s += knm(i, a) * knm(i, b);
+      sigma(a, b) += s / noise2;
+    }
+  }
+  auto sigma_chol = la::Cholesky::Factor(sigma);
+  if (!sigma_chol.ok()) return -std::numeric_limits<double>::infinity();
+
+  // K_mn y.
+  std::vector<double> kmny(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < m; ++a) kmny[a] += knm(i, a) * data.y[i];
+  }
+
+  // log det(Q + sigma^2 I) = n log sigma^2 + log det(Sigma) - log det(Kmm).
+  const double logdet =
+      n * std::log(noise2) + sigma_chol->LogDet() - kmm_chol->LogDet();
+
+  // y^T (Q + sigma^2 I)^{-1} y
+  //   = y^T y / sigma^2 - (K_mn y)^T Sigma^{-1} (K_mn y) / sigma^4.
+  const double yty = la::Dot(data.y, data.y);
+  const std::vector<double> sv = sigma_chol->Solve(kmny);
+  const double quad = yty / noise2 - la::Dot(kmny, sv) / (noise2 * noise2);
+
+  // tr(K_nn - Q_nn) = n k** - sum_i k_i^T Kmm^{-1} k_i.
+  double trace = n * kernel.CovFromSqDist(0.0);
+  std::vector<double> ki(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < m; ++a) ki[a] = knm(i, a);
+    trace -= la::Dot(ki, kmm_chol->Solve(ki));
+  }
+  trace = std::max(trace, 0.0);
+
+  return -0.5 * (n * kLog2Pi + logdet + quad) - trace / (2.0 * noise2);
+}
+
+Status VlgpModel::FitPosterior(const WindowDataset& data,
+                               const gp::SeKernel& kernel,
+                               const la::Matrix& z) {
+  const std::size_t n = data.y.size();
+  const std::size_t m = z.rows();
+  const double noise2 =
+      std::max(kernel.theta2() * kernel.theta2(), 1e-8);
+
+  SMILER_ASSIGN_OR_RETURN(kmm_chol_,
+                          la::Cholesky::Factor(InducingGram(kernel, z)));
+  const la::Matrix knm = CrossGram(kernel, data.x, z);
+  la::Matrix sigma = InducingGram(kernel, z);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) s += knm(i, a) * knm(i, b);
+      sigma(a, b) += s / noise2;
+    }
+  }
+  SMILER_ASSIGN_OR_RETURN(sigma_chol_, la::Cholesky::Factor(sigma));
+
+  std::vector<double> kmny(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < m; ++a) kmny[a] += knm(i, a) * data.y[i];
+  }
+  proj_y_ = sigma_chol_.Solve(kmny);
+  for (double& v : proj_y_) v /= noise2;
+  kernel_ = kernel;
+  z_ = z;
+  return Status::OK();
+}
+
+Status VlgpModel::Train(const std::vector<double>& history, int d, int h) {
+  if (d <= 0 || h < 1) {
+    return Status::InvalidArgument("d must be > 0 and h >= 1");
+  }
+  if (static_cast<long>(history.size()) < d + h) {
+    return Status::InvalidArgument("history shorter than d + h");
+  }
+  d_ = d;
+  h_ = h;
+  series_ = history;
+
+  WindowDataset data = MakeWindowDataset(history, d, h, options_.max_pairs);
+  if (data.y.empty()) {
+    return Status::InvalidArgument("no training pairs available");
+  }
+
+  // Inducing inputs: uniform subsample of the training windows.
+  const std::size_t m = std::min<std::size_t>(
+      std::max(options_.inducing_points, 1), data.y.size());
+  la::Matrix z(m, d);
+  const double stride =
+      static_cast<double>(data.y.size()) / static_cast<double>(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    const std::size_t idx = static_cast<std::size_t>(a * stride);
+    for (int p = 0; p < d; ++p) z(a, p) = data.x(idx, p);
+  }
+
+  // Variational learning: select hyperparameters by ELBO over a grid
+  // around the heuristic seed.
+  const gp::SeKernel seed = gp::SeKernel::Heuristic(data.x, data.y);
+  double best_elbo = -std::numeric_limits<double>::infinity();
+  gp::SeKernel best = seed;
+  for (double len_factor : {0.5, 1.0, 2.0}) {
+    for (double noise_factor : {0.5, 1.0, 2.0}) {
+      gp::SeKernel cand(seed.log_params()[0],
+                        seed.log_params()[1] + std::log(len_factor),
+                        seed.log_params()[2] + std::log(noise_factor));
+      const double elbo = ComputeElbo(data, cand, z);
+      if (elbo > best_elbo) {
+        best_elbo = elbo;
+        best = cand;
+      }
+    }
+  }
+  if (!std::isfinite(best_elbo)) {
+    return Status::NumericalError("no feasible VLGP hyperparameters");
+  }
+  elbo_ = best_elbo;
+  SMILER_RETURN_NOT_OK(FitPosterior(data, best, z));
+  trained_ = true;
+  return Status::OK();
+}
+
+Prediction VlgpModel::PredictAt(const double* x) const {
+  const std::size_t m = z_.rows();
+  std::vector<double> km(m);
+  for (std::size_t a = 0; a < m; ++a) {
+    km[a] =
+        kernel_.CovFromSqDist(gp::SquaredDistance(z_.Row(a), x, d_));
+  }
+  const double noise2 =
+      std::max(kernel_.theta2() * kernel_.theta2(), 1e-8);
+  Prediction p;
+  p.mean = la::Dot(km, proj_y_);
+  const double prior = kernel_.CovFromSqDist(0.0);
+  const double explained = la::Dot(km, kmm_chol_.Solve(km));
+  const double reintro = la::Dot(km, sigma_chol_.Solve(km));
+  p.variance = std::max(prior - explained + reintro + noise2, 1e-9);
+  return p;
+}
+
+Result<Prediction> VlgpModel::Predict() {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  return PredictAt(series_.data() + series_.size() - d_);
+}
+
+Status VlgpModel::Observe(double value) {
+  if (!trained_) return Status::FailedPrecondition("model not trained");
+  series_.push_back(value);
+  return Status::OK();
+}
+
+std::unique_ptr<BaselineModel> MakeVlgp(int inducing_points) {
+  VlgpModel::Options options;
+  options.inducing_points = inducing_points;
+  return std::make_unique<VlgpModel>(options);
+}
+
+}  // namespace baselines
+}  // namespace smiler

@@ -1,0 +1,96 @@
+#ifndef SMILER_COMMON_CONFIG_H_
+#define SMILER_COMMON_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smiler {
+
+/// \brief System-wide configuration of a SMiLer deployment.
+///
+/// Defaults follow Table 2 of the paper: warping width rho = 8, window
+/// length omega = 16, ELV = {32, 64, 96}, EKV = {8, 16, 32}.
+struct SmilerConfig {
+  /// Sakoe-Chiba warping width for every DTW computation.
+  int rho = 8;
+  /// Disjoint / sliding window length omega of the SMiLer index.
+  int omega = 16;
+  /// Ensemble Length Vector: candidate query segment lengths d (ascending).
+  std::vector<int> elv = {32, 64, 96};
+  /// Ensemble kNN Vector: candidate neighbor counts k (ascending).
+  std::vector<int> ekv = {8, 16, 32};
+  /// Prediction horizon h (steps ahead).
+  int horizon = 1;
+
+  /// Number of conjugate-gradient steps per online hyperparameter update
+  /// during continuous prediction (Section 5.2.2 uses five).
+  int online_cg_steps = 5;
+  /// Number of conjugate-gradient steps for the initial (first query)
+  /// hyperparameter optimization.
+  int initial_cg_steps = 30;
+  /// Warm-start GP hyperparameters from the previous step during
+  /// continuous prediction (Section 5.2.2 "online training"). Disabling
+  /// re-optimizes from the heuristic seed every step (ablation).
+  bool gp_warm_start = true;
+
+  /// Fits the ensemble's cells concurrently over the thread pool during
+  /// the Prediction Step (Section 6.4.1: "the running time of SMiLer-GP
+  /// can be further reduced by multithreading on multi-core
+  /// architecture"). Deterministic: cells are independent.
+  bool parallel_prediction = true;
+
+  /// Enables the ensemble-of-predictors matrix (Section 3.2.2). When false
+  /// a single (k, d) predictor is used (the paper's "SMiLerNE" ablation).
+  bool use_ensemble = true;
+  /// Enables self-adaptive weight updates (Section 5.1.1). When false the
+  /// ensemble mixes with uniform fixed weights ("SMiLerNS" ablation).
+  bool self_adaptive_weights = true;
+  /// Enables the sleep & recovery strategy (Section 5.1.2).
+  bool sleep_and_recovery = true;
+
+  /// Largest ensemble segment length (= max(elv)); master query length.
+  int MasterQueryLength() const {
+    int m = 0;
+    for (int d : elv) m = d > m ? d : m;
+    return m;
+  }
+  /// Largest ensemble k (= max(ekv)).
+  int MaxK() const {
+    int m = 0;
+    for (int k : ekv) m = k > m ? k : m;
+    return m;
+  }
+
+  /// Validates internal consistency (omega > 0, rho >= 0, ascending ELV,
+  /// every d >= omega, positive EKV entries, horizon >= 1).
+  Status Validate() const {
+    if (omega <= 0) return Status::InvalidArgument("omega must be positive");
+    if (rho < 0) return Status::InvalidArgument("rho must be non-negative");
+    if (horizon < 1) return Status::InvalidArgument("horizon must be >= 1");
+    if (elv.empty()) return Status::InvalidArgument("ELV must be non-empty");
+    if (ekv.empty()) return Status::InvalidArgument("EKV must be non-empty");
+    for (std::size_t i = 0; i < elv.size(); ++i) {
+      if (elv[i] < omega) {
+        return Status::InvalidArgument(
+            "every segment length in ELV must be >= omega");
+      }
+      if (i > 0 && elv[i] <= elv[i - 1]) {
+        return Status::InvalidArgument("ELV must be strictly ascending");
+      }
+    }
+    for (std::size_t i = 0; i < ekv.size(); ++i) {
+      if (ekv[i] <= 0) return Status::InvalidArgument("EKV entries must be > 0");
+      if (i > 0 && ekv[i] <= ekv[i - 1]) {
+        return Status::InvalidArgument("EKV must be strictly ascending");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace smiler
+
+#endif  // SMILER_COMMON_CONFIG_H_

@@ -1,0 +1,61 @@
+#ifndef SMILER_COMMON_MATH_UTILS_H_
+#define SMILER_COMMON_MATH_UTILS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace smiler {
+
+/// Positive infinity shorthand used throughout DTW code.
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// log(2*pi), used by Gaussian log densities.
+inline constexpr double kLog2Pi = 1.8378770664093453;
+
+/// \brief Log density of a normal distribution N(mean, var) at \p x.
+/// \p var must be positive; callers clamp degenerate variances beforehand.
+inline double GaussianLogDensity(double x, double mean, double var) {
+  const double diff = x - mean;
+  return -0.5 * (std::log(var) + diff * diff / var + kLog2Pi);
+}
+
+/// \brief Density of a normal distribution N(mean, var) at \p x.
+inline double GaussianDensity(double x, double mean, double var) {
+  return std::exp(GaussianLogDensity(x, mean, var));
+}
+
+/// \brief Squared distance between two scalars, the per-point cost used by
+/// DTW and its lower bounds (consistently unsquare-rooted, UCR-style).
+inline double SquaredDist(double a, double b) {
+  const double d = a - b;
+  return d * d;
+}
+
+/// \brief Mean of a vector. Returns 0 for an empty input.
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// \brief Population variance of a vector. Returns 0 for inputs of size < 2.
+inline double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+/// \brief True when |a - b| <= atol + rtol * |b|.
+inline bool IsClose(double a, double b, double rtol = 1e-9,
+                    double atol = 1e-12) {
+  return std::fabs(a - b) <= atol + rtol * std::fabs(b);
+}
+
+}  // namespace smiler
+
+#endif  // SMILER_COMMON_MATH_UTILS_H_

@@ -1,0 +1,157 @@
+#ifndef SMILER_COMMON_STATUS_H_
+#define SMILER_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace smiler {
+
+/// \brief Error category for a failed operation.
+///
+/// Follows the Arrow / RocksDB convention of returning rich status objects
+/// instead of throwing exceptions across library boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kNumericalError,
+  kResourceExhausted,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a human readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation that returns no value.
+///
+/// A `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// code plus message otherwise. All fallible public APIs in this project
+/// return `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with \p code and a descriptive \p message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "Code: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Outcome of a fallible operation returning a value of type `T`.
+///
+/// Holds either a value or an error `Status`. Access to the value when the
+/// result holds an error is a programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` is a bug.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or \p fallback when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SMILER_RETURN_NOT_OK(expr)        \
+  do {                                    \
+    ::smiler::Status _st = (expr);        \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+/// Assigns `lhs` from a Result expression, propagating errors.
+#define SMILER_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto SMILER_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!SMILER_CONCAT_(_res_, __LINE__).ok())     \
+    return SMILER_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(SMILER_CONCAT_(_res_, __LINE__)).value()
+
+#define SMILER_CONCAT_IMPL_(a, b) a##b
+#define SMILER_CONCAT_(a, b) SMILER_CONCAT_IMPL_(a, b)
+
+}  // namespace smiler
+
+#endif  // SMILER_COMMON_STATUS_H_

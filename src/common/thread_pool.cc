@@ -1,0 +1,116 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace smiler {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+// Shared between ParallelFor and its queued helper tasks; kept alive by
+// shared_ptr so a helper that starts after the caller returned (all
+// iterations were already claimed) still touches valid memory.
+struct ForState {
+  std::function<void(std::size_t)> fn;
+  std::size_t n = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  void Run() {
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      if (remaining.fetch_sub(end - begin) == end - begin) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done = true;
+        done_cv.notify_one();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t num_workers = workers_.size();
+  if (n == 1 || num_workers <= 1 || InWorker()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->fn = fn;
+  state->n = n;
+  // Dynamic chunking: workers repeatedly claim the next chunk so uneven
+  // per-iteration costs (e.g. candidate verification) balance out.
+  state->chunk = std::max<std::size_t>(1, n / (num_workers * 8));
+  state->remaining.store(n);
+
+  const std::size_t helpers = std::min(num_workers, n) - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      tasks_.push([state] { state->Run(); });
+    }
+  }
+  cv_.notify_all();
+  // The calling thread participates instead of idling.
+  state->Run();
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(lock, [&] { return state->done; });
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace smiler

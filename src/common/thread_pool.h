@@ -1,0 +1,57 @@
+#ifndef SMILER_COMMON_THREAD_POOL_H_
+#define SMILER_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace smiler {
+
+/// \brief Fixed-size worker pool with a blocking ParallelFor.
+///
+/// Used by the simulated GPU device (`simgpu::Device`) to distribute thread
+/// blocks over CPU cores, and by the benchmark harness for multi-sensor
+/// fan-out. Tasks must not throw; exceptions escaping a task terminate.
+class ThreadPool {
+ public:
+  /// Creates a pool with \p num_threads workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every i in [0, n), distributing chunks over workers,
+  /// and blocks until all iterations completed. Safe to call with n == 0.
+  /// Must not be called re-entrantly from inside a pool task.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Returns the process-wide default pool (hardware concurrency workers).
+  static ThreadPool& Default();
+
+  /// True when the calling thread is a pool worker. Callers use this to
+  /// avoid re-entrant ParallelFor (which would deadlock) by degrading to
+  /// sequential execution.
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace smiler
+
+#endif  // SMILER_COMMON_THREAD_POOL_H_

@@ -1,0 +1,127 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "predictors/ar_predictor.h"
+#include "predictors/predictor.h"
+
+namespace smiler {
+namespace core {
+
+const char* PredictorKindName(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kGp:
+      return "SMiLer-GP";
+    case PredictorKind::kAr:
+      return "SMiLer-AR";
+  }
+  return "UNKNOWN";
+}
+
+SensorEngine::SensorEngine(SmilerConfig cfg, PredictorKind kind,
+                           index::SmilerIndex index)
+    : cfg_(std::move(cfg)),
+      kind_(kind),
+      index_(std::move(index)),
+      ensemble_(predictors::Ensemble::Options{
+          static_cast<int>(cfg_.ekv.size()),
+          static_cast<int>(cfg_.elv.size()),
+          cfg_.use_ensemble && cfg_.self_adaptive_weights,
+          cfg_.use_ensemble && cfg_.self_adaptive_weights &&
+              cfg_.sleep_and_recovery}),
+      gp_cells_(cfg_.ekv.size() * cfg_.elv.size()) {}
+
+Result<SensorEngine> SensorEngine::Create(simgpu::Device* device,
+                                          const ts::TimeSeries& history,
+                                          const SmilerConfig& config,
+                                          PredictorKind kind) {
+  SmilerConfig cfg = config;
+  if (!cfg.use_ensemble && (cfg.ekv.size() > 1 || cfg.elv.size() > 1)) {
+    return Status::InvalidArgument(
+        "use_ensemble == false requires singleton EKV and ELV");
+  }
+  SMILER_ASSIGN_OR_RETURN(index::SmilerIndex index,
+                          index::SmilerIndex::Build(device, history, cfg));
+  return SensorEngine(std::move(cfg), kind, std::move(index));
+}
+
+Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
+  WallTimer timer;
+  index::SuffixSearchOptions opts;
+  opts.k = cfg_.MaxK();
+  opts.reserve_horizon = cfg_.horizon;
+  index::SearchStats search_stats;
+  SMILER_ASSIGN_OR_RETURN(index::SuffixKnnResult knn,
+                          index_.Search(opts, &search_stats));
+  const double search_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  const int rows = static_cast<int>(cfg_.ekv.size());
+  const int cols = static_cast<int>(cfg_.elv.size());
+  predictors::PredictionGrid grid(rows, cols);
+  const std::vector<double>& series = index_.series();
+
+  // Collect the awake cells, then fit them — concurrently when enabled
+  // (cells are independent: disjoint predictor state, disjoint grid
+  // slots, shared read-only kNN data).
+  std::vector<std::pair<int, int>> cells;
+  cells.reserve(rows * cols);
+  for (int j = 0; j < cols; ++j) {
+    if (knn.items[j].neighbors.empty()) continue;
+    for (int i = 0; i < rows; ++i) {
+      if (ensemble_.IsAwake(i, j)) cells.emplace_back(i, j);
+    }
+  }
+  auto fit_cell = [&](std::size_t idx) {
+    const auto [i, j] = cells[idx];
+    const index::ItemQueryResult& item = knn.items[j];
+    const double* x0 = series.data() + series.size() - item.d;
+    auto set = predictors::MakeTrainingSet(series, item, cfg_.ekv[i],
+                                           cfg_.horizon);
+    if (!set.ok()) return;
+    predictors::Prediction p;
+    if (kind_ == PredictorKind::kGp) {
+      predictors::GpCellPredictor& cell = gp_cells_[i * cols + j];
+      if (!cfg_.gp_warm_start) cell.Reset();
+      p = cell.Predict(*set, x0, cfg_.initial_cg_steps,
+                       cfg_.online_cg_steps);
+    } else {
+      p = predictors::AggregationPredict(*set);
+    }
+    grid.Set(i, j, p);
+  };
+  if (cfg_.parallel_prediction) {
+    ThreadPool::Default().ParallelFor(cells.size(), fit_cell);
+  } else {
+    for (std::size_t idx = 0; idx < cells.size(); ++idx) fit_cell(idx);
+  }
+  const predictors::Prediction raw = ensemble_.CombineRaw(grid);
+  predictors::Prediction combined = raw;
+  combined.variance *= ensemble_.variance_scale();
+  pending_.push_back(
+      PendingForecast{now() + cfg_.horizon, std::move(grid), raw});
+
+  if (stats != nullptr) {
+    stats->search_seconds += search_seconds;
+    stats->predict_seconds += timer.ElapsedSeconds();
+    stats->search.Add(search_stats);
+  }
+  return combined;
+}
+
+Status SensorEngine::Observe(double value) {
+  const long t_new = now() + 1;
+  while (!pending_.empty() && pending_.front().target_time <= t_new) {
+    if (pending_.front().target_time == t_new) {
+      ensemble_.ObserveCalibration(value, pending_.front().raw);
+      ensemble_.Observe(value, pending_.front().grid);
+    }
+    pending_.pop_front();
+  }
+  return index_.Append(value);
+}
+
+}  // namespace core
+}  // namespace smiler

@@ -1,0 +1,96 @@
+#ifndef SMILER_CORE_ENGINE_H_
+#define SMILER_CORE_ENGINE_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "index/smiler_index.h"
+#include "predictors/ensemble.h"
+#include "predictors/gp_predictor.h"
+#include "simgpu/device.h"
+#include "ts/series.h"
+
+namespace smiler {
+namespace core {
+
+/// Which abstract-predictor instantiation the engine runs (Section 5.2).
+enum class PredictorKind {
+  kGp,  ///< SMiLer-GP: query-dependent Gaussian Processes
+  kAr,  ///< SMiLer-AR: the simple aggregation predictor
+};
+
+/// Returns "SMiLer-GP" / "SMiLer-AR".
+const char* PredictorKindName(PredictorKind kind);
+
+/// \brief Per-prediction timing / instrumentation.
+struct EngineStats {
+  double search_seconds = 0.0;   ///< Search Step (Suffix kNN on the index)
+  double predict_seconds = 0.0;  ///< Prediction Step (model fit + combine)
+  index::SearchStats search;
+
+  void Add(const EngineStats& other) {
+    search_seconds += other.search_seconds;
+    predict_seconds += other.predict_seconds;
+    search.Add(other.search);
+  }
+};
+
+/// \brief The end-to-end SMiLer pipeline for one sensor (Section 3.4):
+/// Search Step (Continuous Suffix kNN Search on the SMiLer Index) followed
+/// by Prediction Step (ensemble of semi-lazy predictors with the adaptive
+/// auto-tuning mechanism).
+///
+/// Continuous-prediction protocol: alternate `Predict()` (forecast the
+/// value config.horizon steps after the latest observation) and
+/// `Observe(v)` (ingest the next observation; when it resolves a pending
+/// forecast, the ensemble weights self-adapt).
+class SensorEngine {
+ public:
+  /// Creates an engine for one sensor. \p history must already be
+  /// z-normalized (see ts::ZNormalized) and long enough for the index.
+  static Result<SensorEngine> Create(simgpu::Device* device,
+                                     const ts::TimeSeries& history,
+                                     const SmilerConfig& config,
+                                     PredictorKind kind);
+
+  /// Predicts the posterior distribution of the observation at time
+  /// now() + config.horizon. \p stats, when non-null, accumulates timings.
+  Result<predictors::Prediction> Predict(EngineStats* stats = nullptr);
+
+  /// Ingests the next observation (time now() + 1). Resolves any pending
+  /// forecast targeting that time against the ensemble's self-adaptive
+  /// weight update, then appends the value to the index (Remark 1 path).
+  Status Observe(double value);
+
+  /// Timestamp of the latest observation.
+  long now() const { return index_.now(); }
+  const SmilerConfig& config() const { return cfg_; }
+  const predictors::Ensemble& ensemble() const { return ensemble_; }
+  const index::SmilerIndex& index() const { return index_; }
+
+ private:
+  SensorEngine(SmilerConfig cfg, PredictorKind kind,
+               index::SmilerIndex index);
+
+  struct PendingForecast {
+    long target_time = 0;
+    predictors::PredictionGrid grid;
+    /// Raw (pre-calibration) combined prediction, for the variance
+    /// calibration update.
+    predictors::Prediction raw;
+  };
+
+  SmilerConfig cfg_;
+  PredictorKind kind_;
+  index::SmilerIndex index_;
+  predictors::Ensemble ensemble_;
+  std::vector<predictors::GpCellPredictor> gp_cells_;
+  std::deque<PendingForecast> pending_;
+};
+
+}  // namespace core
+}  // namespace smiler
+
+#endif  // SMILER_CORE_ENGINE_H_

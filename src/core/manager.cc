@@ -1,0 +1,77 @@
+#include "core/manager.h"
+
+#include <mutex>
+
+namespace smiler {
+namespace core {
+
+Result<MultiSensorManager> MultiSensorManager::Create(
+    simgpu::Device* device, const std::vector<ts::TimeSeries>& sensors,
+    const SmilerConfig& config, PredictorKind kind) {
+  return Create(std::vector<simgpu::Device*>{device}, sensors, config, kind);
+}
+
+Result<MultiSensorManager> MultiSensorManager::Create(
+    const std::vector<simgpu::Device*>& devices,
+    const std::vector<ts::TimeSeries>& sensors, const SmilerConfig& config,
+    PredictorKind kind) {
+  if (sensors.empty()) {
+    return Status::InvalidArgument("at least one sensor required");
+  }
+  if (devices.empty() || devices[0] == nullptr) {
+    return Status::InvalidArgument("at least one device required");
+  }
+  std::vector<SensorEngine> engines;
+  engines.reserve(sensors.size());
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    simgpu::Device* device = devices[i % devices.size()];
+    if (device == nullptr) {
+      return Status::InvalidArgument("null device in device list");
+    }
+    SMILER_ASSIGN_OR_RETURN(
+        SensorEngine engine,
+        SensorEngine::Create(device, sensors[i], config, kind));
+    engines.push_back(std::move(engine));
+  }
+  return MultiSensorManager(std::move(engines));
+}
+
+Status MultiSensorManager::PredictAll(std::vector<predictors::Prediction>* out,
+                                      EngineStats* stats) {
+  out->assign(engines_.size(), predictors::Prediction{});
+  std::mutex mu;
+  Status first_error;
+  EngineStats total;
+  ThreadPool::Default().ParallelFor(engines_.size(), [&](std::size_t i) {
+    EngineStats local;
+    auto pred = engines_[i].Predict(&local);
+    std::lock_guard<std::mutex> lock(mu);
+    if (pred.ok()) {
+      (*out)[i] = *pred;
+      total.Add(local);
+    } else if (first_error.ok()) {
+      first_error = pred.status();
+    }
+  });
+  if (stats != nullptr) stats->Add(total);
+  return first_error;
+}
+
+Status MultiSensorManager::ObserveAll(const std::vector<double>& values) {
+  if (values.size() != engines_.size()) {
+    return Status::InvalidArgument("values size must match sensor count");
+  }
+  std::mutex mu;
+  Status first_error;
+  ThreadPool::Default().ParallelFor(engines_.size(), [&](std::size_t i) {
+    Status st = engines_[i].Observe(values[i]);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (first_error.ok()) first_error = st;
+    }
+  });
+  return first_error;
+}
+
+}  // namespace core
+}  // namespace smiler

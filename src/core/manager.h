@@ -1,0 +1,59 @@
+#ifndef SMILER_CORE_MANAGER_H_
+#define SMILER_CORE_MANAGER_H_
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "simgpu/device.h"
+#include "ts/series.h"
+
+namespace smiler {
+namespace core {
+
+/// \brief Drives one SMiLer engine per sensor, fanning each prediction
+/// step over the thread pool ("SMiLer can easily scale up with multiple
+/// sensors, where we only need to create multiple SMiLer Indexes and
+/// invoke more blocks", Section 4.4).
+class MultiSensorManager {
+ public:
+  /// Builds one engine per z-normalized history in \p sensors.
+  static Result<MultiSensorManager> Create(
+      simgpu::Device* device, const std::vector<ts::TimeSeries>& sensors,
+      const SmilerConfig& config, PredictorKind kind);
+
+  /// Multi-device deployment ("we can simply use multiple-GPU system",
+  /// Section 6.4.1): sensors are assigned to \p devices round-robin, and
+  /// a sensor whose index does not fit its device's remaining memory
+  /// budget fails the whole Create with ResourceExhausted.
+  static Result<MultiSensorManager> Create(
+      const std::vector<simgpu::Device*>& devices,
+      const std::vector<ts::TimeSeries>& sensors, const SmilerConfig& config,
+      PredictorKind kind);
+
+  /// Runs Predict on every sensor. \p out receives one prediction per
+  /// sensor (same order as construction). Per-sensor failures abort with
+  /// the first error. \p stats, when non-null, aggregates timings.
+  Status PredictAll(std::vector<predictors::Prediction>* out,
+                    EngineStats* stats = nullptr);
+
+  /// Feeds each sensor its next observed value (size must equal sensors).
+  Status ObserveAll(const std::vector<double>& values);
+
+  std::size_t num_sensors() const { return engines_.size(); }
+  SensorEngine& engine(std::size_t i) { return engines_[i]; }
+  const SensorEngine& engine(std::size_t i) const { return engines_[i]; }
+
+ private:
+  explicit MultiSensorManager(std::vector<SensorEngine> engines)
+      : engines_(std::move(engines)) {}
+
+  std::vector<SensorEngine> engines_;
+};
+
+}  // namespace core
+}  // namespace smiler
+
+#endif  // SMILER_CORE_MANAGER_H_

@@ -1,0 +1,54 @@
+#ifndef SMILER_CORE_METRICS_H_
+#define SMILER_CORE_METRICS_H_
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/math_utils.h"
+#include "gp/gp_regressor.h"
+
+namespace smiler {
+namespace core {
+
+/// \brief Streaming accumulator of the paper's two evaluation measures
+/// (Section 6.3.1): MAE (accuracy of the point prediction) and MNLPD
+/// (quality of the predictive uncertainty: mean negative log density of
+/// the truth under the predicted normal distribution). Lower is better
+/// for both. RMSE is tracked as a bonus diagnostic.
+class MetricAccumulator {
+ public:
+  /// Records one (truth, prediction) pair. Degenerate variances are
+  /// clamped to keep the density defined.
+  void Add(double truth, const gp::Prediction& p) {
+    const double err = truth - p.mean;
+    abs_err_ += std::fabs(err);
+    sq_err_ += err * err;
+    const double var = p.variance > 1e-12 ? p.variance : 1e-12;
+    nlpd_ += -GaussianLogDensity(truth, p.mean, var);
+    count_ += 1;
+  }
+
+  /// Merges another accumulator (multi-sensor aggregation).
+  void Merge(const MetricAccumulator& other) {
+    abs_err_ += other.abs_err_;
+    sq_err_ += other.sq_err_;
+    nlpd_ += other.nlpd_;
+    count_ += other.count_;
+  }
+
+  double Mae() const { return count_ ? abs_err_ / count_ : 0.0; }
+  double Rmse() const { return count_ ? std::sqrt(sq_err_ / count_) : 0.0; }
+  double Mnlpd() const { return count_ ? nlpd_ / count_ : 0.0; }
+  std::size_t count() const { return count_; }
+
+ private:
+  double abs_err_ = 0.0;
+  double sq_err_ = 0.0;
+  double nlpd_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace core
+}  // namespace smiler
+
+#endif  // SMILER_CORE_METRICS_H_

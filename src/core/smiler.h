@@ -1,0 +1,29 @@
+#ifndef SMILER_CORE_SMILER_H_
+#define SMILER_CORE_SMILER_H_
+
+/// \file smiler.h
+/// \brief Umbrella header: the complete public API of the SMiLer library.
+///
+/// Typical usage (see examples/quickstart.cc):
+///
+///   smiler::simgpu::Device device;                 // simulated GPU
+///   smiler::SmilerConfig config;                   // Table 2 defaults
+///   auto series = smiler::ts::ZNormalized(raw);    // per-sensor z-norm
+///   auto engine = smiler::core::SensorEngine::Create(
+///       &device, series, config, smiler::core::PredictorKind::kGp);
+///   auto pred = engine->Predict();                 // mean & variance
+///   engine->Observe(next_value);                   // self-adapt & ingest
+
+#include "common/config.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/manager.h"
+#include "core/metrics.h"
+#include "index/scan_baselines.h"
+#include "index/smiler_index.h"
+#include "predictors/ensemble.h"
+#include "simgpu/device.h"
+#include "ts/datasets.h"
+#include "ts/series.h"
+
+#endif  // SMILER_CORE_SMILER_H_

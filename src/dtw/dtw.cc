@@ -1,0 +1,122 @@
+#include "dtw/dtw.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/math_utils.h"
+
+namespace smiler {
+namespace dtw {
+
+namespace {
+
+// Rolling two-row banded DTW. Rows are indexed 0..d (cell 0 is the gamma
+// boundary); cost rows are laid out full-length for simplicity — the band
+// keeps the inner loop short regardless.
+double BandedDtwImpl(const double* q, const double* c, std::size_t d, int rho,
+                     double cutoff) {
+  const long n = static_cast<long>(d);
+  const long w = std::max<long>(rho, 0);
+  std::vector<double> prev(d + 1, kInf);
+  std::vector<double> curr(d + 1, kInf);
+  prev[0] = 0.0;
+
+  for (long i = 1; i <= n; ++i) {
+    const long lo = std::max<long>(1, i - w);
+    const long hi = std::min<long>(n, i + w);
+    std::fill(curr.begin(), curr.end(), kInf);
+    double row_min = kInf;
+    for (long j = lo; j <= hi; ++j) {
+      const double cost = SquaredDist(q[i - 1], c[j - 1]);
+      const double best =
+          std::min({curr[j - 1], prev[j], prev[j - 1]});
+      curr[j] = cost + best;
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > cutoff) return kInf;  // early abandon
+    prev.swap(curr);
+  }
+  return prev[n];
+}
+
+// True Euclidean-style modulus (C++ % is implementation-friendly but
+// negative-hostile; Algorithm 2's (j - rho - 1) % m can go negative).
+inline long Mod(long a, long m) {
+  const long r = a % m;
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace
+
+double BandedDtw(const double* q, const double* c, std::size_t d, int rho) {
+  return BandedDtwImpl(q, c, d, rho, kInf);
+}
+
+double UnconstrainedDtw(const double* q, const double* c, std::size_t d) {
+  return BandedDtwImpl(q, c, d, static_cast<int>(d), kInf);
+}
+
+double EarlyAbandonDtw(const double* q, const double* c, std::size_t d,
+                       int rho, double cutoff) {
+  return BandedDtwImpl(q, c, d, rho, cutoff);
+}
+
+double CompressedDtw(const double* q, const double* c, std::size_t d, int rho,
+                     double* scratch) {
+  // Algorithm 2 (Appendix E): gamma is a ring buffer of m rows x 2 columns,
+  // m = 2*rho + 2; row index is (i % m), column index is (j % 2). The
+  // modulus reuses the space of cells that have left the band. This
+  // implementation splits the scratch by column parity and replaces the
+  // per-access modulus with wrapped ring cursors — same 2*(2*rho+2)
+  // footprint, branch-light inner loop.
+  const long n = static_cast<long>(d);
+  const long w = std::max<long>(rho, 0);
+  const long m = 2 * w + 2;
+  double* col[2] = {scratch, scratch + m};
+
+  // Boundary conditions: gamma(0,0) = 0; gamma(i,0) = inf for i = 1..m-1;
+  // gamma(0,1) = inf (Algorithm 2 lines 3-5).
+  col[0][0] = 0.0;
+  for (long i = 1; i < m; ++i) col[0][i] = kInf;
+  col[1][0] = kInf;
+
+  for (long j = 1; j <= n; ++j) {
+    double* cur = col[j & 1];
+    const double* prev = col[(j - 1) & 1];
+    const long lo = std::max<long>(1, j - w);
+    const long hi = std::min<long>(n, j + w);
+    // Boundary / reuse invalidations. cur[(lo-1) % m] covers both the
+    // paper's line 7 (gamma(j-w-1, j) when lo = j-w) and the gamma(0, j)
+    // boundary the pseudocode omits (when lo = 1, stale gamma(0, 0) = 0
+    // would otherwise alias gamma(0, even j) and underestimate the
+    // distance). Line 8 invalidates prev[(j+w) % m].
+    col[j & 1][Mod(lo - 1, m)] = kInf;
+    col[(j - 1) & 1][Mod(j + w, m)] = kInf;
+
+    const double qj = c[j - 1];
+    long im = Mod(lo, m);          // ring index of i
+    long pm = im == 0 ? m - 1 : im - 1;  // ring index of i - 1
+    double left = cur[pm];         // gamma(i-1, j), updated as we go
+    for (long i = lo; i <= hi; ++i) {
+      const double up = prev[im];    // gamma(i, j-1)
+      const double diag = prev[pm];  // gamma(i-1, j-1)
+      double best = left < up ? left : up;
+      if (diag < best) best = diag;
+      const double dq = q[i - 1] - qj;
+      left = dq * dq + best;  // becomes gamma(i, j) = next cell's left
+      cur[im] = left;
+      pm = im;
+      im = im + 1 == m ? 0 : im + 1;
+    }
+  }
+  return col[n & 1][Mod(n, m)];
+}
+
+double CompressedDtw(const double* q, const double* c, std::size_t d,
+                     int rho) {
+  std::vector<double> scratch(CompressedDtwScratchSize(rho));
+  return CompressedDtw(q, c, d, rho, scratch.data());
+}
+
+}  // namespace dtw
+}  // namespace smiler

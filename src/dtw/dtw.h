@@ -1,0 +1,48 @@
+#ifndef SMILER_DTW_DTW_H_
+#define SMILER_DTW_DTW_H_
+
+#include <cstddef>
+
+namespace smiler {
+namespace dtw {
+
+/// \brief Banded DTW distance (Sakoe-Chiba width \p rho) between two
+/// equal-length sequences of \p d points; per-point cost is the squared
+/// difference and the returned distance is the accumulated (unsquare-rooted)
+/// warping cost gamma(d, d), matching Appendix B.1.
+///
+/// Reference implementation (full rolling rows); used for verification in
+/// tests and by the CPU scan baseline.
+double BandedDtw(const double* q, const double* c, std::size_t d, int rho);
+
+/// \brief Unconstrained DTW (no band), the distance GPUScan computes.
+/// Equivalent to BandedDtw with rho >= d - 1.
+double UnconstrainedDtw(const double* q, const double* c, std::size_t d);
+
+/// \brief Banded DTW with early abandoning: returns +infinity as soon as
+/// every cell of a warping-matrix row exceeds \p cutoff (the exact distance
+/// can then no longer beat the current kNN threshold). Used by FastCPUScan.
+double EarlyAbandonDtw(const double* q, const double* c, std::size_t d,
+                       int rho, double cutoff);
+
+/// \brief Number of scratch doubles CompressedDtw needs for width \p rho:
+/// the paper's 2 x (2*rho + 2) compressed warping matrix (Appendix E).
+constexpr std::size_t CompressedDtwScratchSize(int rho) {
+  return 2 * (2 * static_cast<std::size_t>(rho) + 2);
+}
+
+/// \brief Banded DTW using the paper's compressed warping matrix
+/// (Algorithm 2): a 2 x (2*rho+2) ring buffer indexed by modulus so the
+/// whole state fits in GPU shared memory. \p scratch must point to at
+/// least CompressedDtwScratchSize(rho) doubles (e.g. carved from a
+/// simgpu::SharedMemory arena). Produces exactly BandedDtw's result.
+double CompressedDtw(const double* q, const double* c, std::size_t d, int rho,
+                     double* scratch);
+
+/// \brief Convenience overload that owns its scratch buffer.
+double CompressedDtw(const double* q, const double* c, std::size_t d, int rho);
+
+}  // namespace dtw
+}  // namespace smiler
+
+#endif  // SMILER_DTW_DTW_H_

@@ -1,0 +1,69 @@
+#include "dtw/envelope.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace smiler {
+namespace dtw {
+
+Envelope ComputeEnvelope(const double* values, std::size_t n, int rho) {
+  Envelope env;
+  env.upper.resize(n);
+  env.lower.resize(n);
+  if (n == 0) return env;
+
+  // Lemire's monotonic deques over the window [i-rho, i+rho].
+  std::deque<std::size_t> maxq;
+  std::deque<std::size_t> minq;
+  const std::size_t w = static_cast<std::size_t>(rho);
+
+  auto push = [&](std::size_t j) {
+    while (!maxq.empty() && values[maxq.back()] <= values[j]) maxq.pop_back();
+    maxq.push_back(j);
+    while (!minq.empty() && values[minq.back()] >= values[j]) minq.pop_back();
+    minq.push_back(j);
+  };
+
+  // Pre-fill the first rho+1 positions.
+  for (std::size_t j = 0; j < std::min(n, w + 1); ++j) push(j);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Window front: drop indices < i - rho.
+    if (i > w) {
+      while (!maxq.empty() && maxq.front() + w < i) maxq.pop_front();
+      while (!minq.empty() && minq.front() + w < i) minq.pop_front();
+    }
+    env.upper[i] = values[maxq.front()];
+    env.lower[i] = values[minq.front()];
+    // Window back: admit index i + rho + 1 for the next iteration.
+    const std::size_t next = i + w + 1;
+    if (next < n) push(next);
+  }
+  return env;
+}
+
+Envelope ComputeEnvelope(const std::vector<double>& values, int rho) {
+  return ComputeEnvelope(values.data(), values.size(), rho);
+}
+
+void UpdateEnvelopeRange(const double* values, std::size_t n, int rho,
+                         std::size_t begin, std::size_t end, Envelope* env) {
+  end = std::min(end, n);
+  const long w = rho;
+  for (std::size_t i = begin; i < end; ++i) {
+    const long lo = std::max<long>(0, static_cast<long>(i) - w);
+    const long hi =
+        std::min<long>(static_cast<long>(n) - 1, static_cast<long>(i) + w);
+    double mx = values[lo];
+    double mn = values[lo];
+    for (long j = lo + 1; j <= hi; ++j) {
+      mx = std::max(mx, values[j]);
+      mn = std::min(mn, values[j]);
+    }
+    env->upper[i] = mx;
+    env->lower[i] = mn;
+  }
+}
+
+}  // namespace dtw
+}  // namespace smiler

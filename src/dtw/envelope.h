@@ -1,0 +1,38 @@
+#ifndef SMILER_DTW_ENVELOPE_H_
+#define SMILER_DTW_ENVELOPE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace smiler {
+namespace dtw {
+
+/// \brief Upper/lower envelope of a time series under a Sakoe-Chiba band
+/// (Definition B.1): U_i = max_{-rho<=r<=rho} c_{i+r},
+///                   L_i = min_{-rho<=r<=rho} c_{i+r},
+/// with indices clamped to the series bounds.
+struct Envelope {
+  std::vector<double> upper;
+  std::vector<double> lower;
+
+  std::size_t size() const { return upper.size(); }
+};
+
+/// \brief Computes the envelope of \p values (length \p n) with warping
+/// width \p rho in O(n) using the Lemire streaming min/max algorithm.
+Envelope ComputeEnvelope(const double* values, std::size_t n, int rho);
+
+/// Convenience overload.
+Envelope ComputeEnvelope(const std::vector<double>& values, int rho);
+
+/// \brief Recomputes envelope entries for positions [begin, end) of
+/// \p values into an existing envelope (same length); used by the index's
+/// continuous-update path where appending a point only perturbs the last
+/// rho envelope entries. O((end-begin+rho)) per call.
+void UpdateEnvelopeRange(const double* values, std::size_t n, int rho,
+                         std::size_t begin, std::size_t end, Envelope* env);
+
+}  // namespace dtw
+}  // namespace smiler
+
+#endif  // SMILER_DTW_ENVELOPE_H_

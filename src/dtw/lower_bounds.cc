@@ -1,0 +1,38 @@
+#include "dtw/lower_bounds.h"
+
+#include <algorithm>
+
+#include "common/math_utils.h"
+
+namespace smiler {
+namespace dtw {
+
+double LbKeoghAligned(const Envelope& env, std::size_t env_begin,
+                      const double* raw, std::size_t raw_begin,
+                      std::size_t len) {
+  double sum = 0.0;
+  const double* upper = env.upper.data() + env_begin;
+  const double* lower = env.lower.data() + env_begin;
+  const double* x = raw + raw_begin;
+  for (std::size_t u = 0; u < len; ++u) {
+    const double v = x[u];
+    if (v > upper[u]) {
+      sum += SquaredDist(v, upper[u]);
+    } else if (v < lower[u]) {
+      sum += SquaredDist(v, lower[u]);
+    }
+  }
+  return sum;
+}
+
+double LbKeogh(const Envelope& env, const double* raw, std::size_t n) {
+  return LbKeoghAligned(env, 0, raw, 0, n);
+}
+
+double Lben(const Envelope& env_q, const Envelope& env_c, const double* q,
+            const double* c, std::size_t n) {
+  return std::max(Lbeq(env_q, c, n), Lbec(env_c, q, n));
+}
+
+}  // namespace dtw
+}  // namespace smiler

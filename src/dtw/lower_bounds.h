@@ -1,0 +1,45 @@
+#ifndef SMILER_DTW_LOWER_BOUNDS_H_
+#define SMILER_DTW_LOWER_BOUNDS_H_
+
+#include <cstddef>
+
+#include "dtw/envelope.h"
+
+namespace smiler {
+namespace dtw {
+
+/// \brief LB_Keogh between an envelope and a raw sequence (Eqn 26):
+/// sum over positions i of the squared exceedance of raw[i] beyond
+/// [L_i, U_i]. A lower bound of the banded DTW between the two series
+/// the envelope / raw values came from.
+double LbKeogh(const Envelope& env, const double* raw, std::size_t n);
+
+/// \brief Partial (windowed) LB_Keogh over an aligned range: compares
+/// raw[raw_begin + u] against envelope entries env_begin + u for
+/// u in [0, len). This is the posting-list entry of the window-level
+/// index: LBEQ(SW, DW) and LBEC(SW, DW) are both instances.
+double LbKeoghAligned(const Envelope& env, std::size_t env_begin,
+                      const double* raw, std::size_t raw_begin,
+                      std::size_t len);
+
+/// \brief LBEQ(Q, C) = LB_Keogh(E(Q), C): query-envelope bound.
+/// \p env_q must be the envelope of the query; \p c has the same length.
+inline double Lbeq(const Envelope& env_q, const double* c, std::size_t n) {
+  return LbKeogh(env_q, c, n);
+}
+
+/// \brief LBEC(Q, C) = LB_Keogh(E(C), Q): candidate-envelope bound.
+/// \p env_c must be the envelope of the candidate; \p q has the same length.
+inline double Lbec(const Envelope& env_c, const double* q, std::size_t n) {
+  return LbKeogh(env_c, q, n);
+}
+
+/// \brief The paper's enhanced lower bound (Section 4.2):
+/// LBen(Q, C) = max(LBEQ(Q, C), LBEC(Q, C)).
+double Lben(const Envelope& env_q, const Envelope& env_c, const double* q,
+            const double* c, std::size_t n);
+
+}  // namespace dtw
+}  // namespace smiler
+
+#endif  // SMILER_DTW_LOWER_BOUNDS_H_

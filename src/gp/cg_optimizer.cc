@@ -1,0 +1,84 @@
+#include "gp/cg_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/matrix.h"
+
+namespace smiler {
+namespace gp {
+
+CgResult MaximizeCg(const Objective& objective, std::vector<double>* params,
+                    const CgOptions& options) {
+  const std::size_t n = params->size();
+  std::vector<double> grad(n, 0.0);
+  std::vector<double> prev_grad(n, 0.0);
+  std::vector<double> direction(n, 0.0);
+  std::vector<double> trial(n, 0.0);
+  std::vector<double> trial_grad(n, 0.0);
+
+  CgResult result;
+  double value = objective(*params, &grad);
+  if (!std::isfinite(value)) {
+    result.value = value;
+    return result;
+  }
+  direction = grad;  // steepest ascent to start
+
+  double step = options.initial_step;
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    const double gnorm = la::Norm2(grad);
+    if (gnorm < options.grad_tolerance) break;
+
+    double slope = la::Dot(grad, direction);
+    if (slope <= 0.0) {
+      // Direction lost ascent property; restart with the gradient.
+      direction = grad;
+      slope = la::Dot(grad, grad);
+      if (slope <= 0.0) break;
+    }
+
+    // Backtracking Armijo line search.
+    double alpha = step;
+    double new_value = -INFINITY;
+    bool accepted = false;
+    for (int bt = 0; bt < options.max_backtracks; ++bt) {
+      for (std::size_t j = 0; j < n; ++j) {
+        trial[j] = (*params)[j] + alpha * direction[j];
+      }
+      new_value = objective(trial, &trial_grad);
+      if (std::isfinite(new_value) &&
+          new_value >= value + options.armijo_c1 * alpha * slope) {
+        accepted = true;
+        break;
+      }
+      alpha *= 0.5;
+    }
+    if (!accepted) break;
+
+    prev_grad = grad;
+    grad = trial_grad;
+    *params = trial;
+    value = new_value;
+    result.iterations = iter + 1;
+    // Grow the next initial step a little on success (self-scaling).
+    step = std::min(alpha * 2.0, 4.0);
+
+    // Polak-Ribiere+ update.
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      num += grad[j] * (grad[j] - prev_grad[j]);
+      den += prev_grad[j] * prev_grad[j];
+    }
+    const double beta = den > 0.0 ? std::max(0.0, num / den) : 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      direction[j] = grad[j] + beta * direction[j];
+    }
+  }
+  result.value = value;
+  return result;
+}
+
+}  // namespace gp
+}  // namespace smiler

@@ -1,0 +1,51 @@
+#ifndef SMILER_GP_CG_OPTIMIZER_H_
+#define SMILER_GP_CG_OPTIMIZER_H_
+
+#include <functional>
+#include <vector>
+
+namespace smiler {
+namespace gp {
+
+/// \brief Objective for maximization: fills \p grad (same size as params)
+/// and returns the objective value. Must be deterministic.
+using Objective =
+    std::function<double(const std::vector<double>& params,
+                         std::vector<double>* grad)>;
+
+/// \brief Options of the nonlinear conjugate-gradient ascent.
+struct CgOptions {
+  /// Maximum CG iterations (the paper uses a handful of fixed steps for
+  /// online training, Section 5.2.2).
+  int max_iters = 30;
+  /// Converged when the gradient norm falls below this.
+  double grad_tolerance = 1e-6;
+  /// Initial line-search step.
+  double initial_step = 0.5;
+  /// Armijo sufficient-increase coefficient.
+  double armijo_c1 = 1e-4;
+  /// Maximum backtracking halvings per line search.
+  int max_backtracks = 20;
+};
+
+/// \brief Result of a CG run.
+struct CgResult {
+  double value = 0.0;  ///< objective at the final parameters
+  int iterations = 0;  ///< iterations actually performed
+};
+
+/// \brief Maximizes \p objective with Polak-Ribiere+ nonlinear conjugate
+/// gradients and Armijo backtracking; \p params is updated in place.
+///
+/// This is the optimizer behind GP hyperparameter training: the LOO log
+/// likelihood (Eqn 20) is maximized over log hyperparameters. Warm starts
+/// (passing the previous step's params) realize the paper's online
+/// training, where "the energy paid for the training process in previous
+/// steps is partially preserved".
+CgResult MaximizeCg(const Objective& objective, std::vector<double>* params,
+                    const CgOptions& options);
+
+}  // namespace gp
+}  // namespace smiler
+
+#endif  // SMILER_GP_CG_OPTIMIZER_H_

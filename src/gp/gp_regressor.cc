@@ -1,0 +1,86 @@
+#include "gp/gp_regressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace smiler {
+namespace gp {
+
+Result<GpRegressor> GpRegressor::Fit(la::Matrix x, std::vector<double> y,
+                                     const SeKernel& kernel) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument(
+        "GpRegressor::Fit requires matching non-empty x rows and y");
+  }
+  GpRegressor gp;
+  gp.kernel_ = kernel;
+  la::Matrix cov = kernel.Covariance(x, &gp.sq_dist_);
+  SMILER_ASSIGN_OR_RETURN(gp.chol_, la::Cholesky::Factor(cov));
+  gp.alpha_ = gp.chol_.Solve(y);
+  gp.kinv_ = gp.chol_.Inverse();
+  gp.x_ = std::move(x);
+  gp.y_ = std::move(y);
+  return gp;
+}
+
+Prediction GpRegressor::Predict(const double* xstar) const {
+  const std::vector<double> c0 = kernel_.CrossCovariance(x_, xstar);
+  Prediction p;
+  p.mean = la::Dot(c0, alpha_);
+  const std::vector<double> v = chol_.Solve(c0);
+  p.variance =
+      std::max(kernel_.SelfCovariance() - la::Dot(c0, v), 1e-12);
+  return p;
+}
+
+Prediction GpRegressor::LooPrediction(std::size_t i) const {
+  const double kii = kinv_(i, i);
+  Prediction p;
+  p.variance = std::max(1.0 / kii, 1e-12);
+  p.mean = y_[i] - alpha_[i] / kii;
+  return p;
+}
+
+double GpRegressor::LooLogLikelihood() const {
+  double ll = 0.0;
+  for (std::size_t i = 0; i < y_.size(); ++i) {
+    const Prediction p = LooPrediction(i);
+    ll += GaussianLogDensity(y_[i], p.mean, p.variance);
+  }
+  return ll;
+}
+
+std::array<double, SeKernel::kNumParams> GpRegressor::LooGradient() const {
+  // R&W Eqn 5.13 for each hyperparameter theta_m (here log theta_m):
+  //   Z = Kinv * dC/dtheta
+  //   dL/dtheta = sum_i [ alpha_i (Z alpha)_i
+  //                       - 0.5 (1 + alpha_i^2 / Kinv_ii) (Z Kinv)_ii ]
+  //               / Kinv_ii
+  std::array<double, SeKernel::kNumParams> grad{};
+  const std::size_t k = y_.size();
+  for (int m = 0; m < SeKernel::kNumParams; ++m) {
+    const la::Matrix dc = kernel_.CovarianceGrad(sq_dist_, m);
+    const la::Matrix z = chol_.SolveMatrix(dc);
+    const std::vector<double> z_alpha = z.MatVec(alpha_);
+    double g = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      // (Z Kinv)_ii = row_i(Z) . col_i(Kinv) = row_i(Z) . row_i(Kinv)
+      // (Kinv symmetric).
+      double zk_ii = 0.0;
+      const double* zrow = z.Row(i);
+      const double* krow = kinv_.Row(i);
+      for (std::size_t j = 0; j < k; ++j) zk_ii += zrow[j] * krow[j];
+      const double kii = kinv_(i, i);
+      g += (alpha_[i] * z_alpha[i] -
+            0.5 * (1.0 + alpha_[i] * alpha_[i] / kii) * zk_ii) /
+           kii;
+    }
+    grad[m] = g;
+  }
+  return grad;
+}
+
+}  // namespace gp
+}  // namespace smiler

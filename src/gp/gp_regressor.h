@@ -1,0 +1,73 @@
+#ifndef SMILER_GP_GP_REGRESSOR_H_
+#define SMILER_GP_GP_REGRESSOR_H_
+
+#include <array>
+#include <vector>
+
+#include "common/status.h"
+#include "gp/kernel.h"
+#include "la/cholesky.h"
+#include "la/matrix.h"
+
+namespace smiler {
+namespace gp {
+
+/// \brief Mean and variance of a Gaussian predictive distribution.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// \brief Exact Gaussian Process regressor over a (small) training set —
+/// the heart of the semi-lazy predictor, fit fresh on every query's kNN
+/// data (Section 5.2.2 / Appendix B.3).
+///
+/// Fit cost is O(k^3) for k training points, which the semi-lazy design
+/// keeps tiny (k <= max EKV), so exact inference is affordable per query.
+class GpRegressor {
+ public:
+  /// Fits the GP to inputs \p x (k rows of dimension d) and targets \p y
+  /// (length k) under \p kernel. Fails when k == 0, the sizes disagree, or
+  /// the kernel matrix is numerically singular beyond jitter repair.
+  static Result<GpRegressor> Fit(la::Matrix x, std::vector<double> y,
+                                 const SeKernel& kernel);
+
+  /// Posterior predictive distribution at test input \p xstar (Eqn 16/17):
+  ///   mean     = c0^T C^{-1} y
+  ///   variance = c(x*, x*) - c0^T C^{-1} c0   (clamped to >= 1e-12)
+  Prediction Predict(const double* xstar) const;
+
+  /// Leave-one-out predictive log likelihood of the training data
+  /// (Eqn 19/20, Rasmussen & Williams 5.10-5.12):
+  ///   mu_i      = y_i - alpha_i / Kinv_ii
+  ///   sigma^2_i = 1 / Kinv_ii
+  double LooLogLikelihood() const;
+
+  /// Gradient of the LOO log likelihood w.r.t. the kernel's log
+  /// hyperparameters (Rasmussen & Williams Eqn 5.13, using the partitioned
+  /// inverse trick of Sundararajan & Keerthi so every held-out fold reuses
+  /// the single factorization).
+  std::array<double, SeKernel::kNumParams> LooGradient() const;
+
+  /// The leave-one-out predictive distribution for training point \p i.
+  Prediction LooPrediction(std::size_t i) const;
+
+  const SeKernel& kernel() const { return kernel_; }
+  std::size_t num_points() const { return y_.size(); }
+
+ private:
+  GpRegressor() = default;
+
+  la::Matrix x_;
+  std::vector<double> y_;
+  SeKernel kernel_;
+  la::Cholesky chol_;
+  std::vector<double> alpha_;  // C^{-1} y
+  la::Matrix kinv_;            // C^{-1}
+  la::Matrix sq_dist_;         // cached pairwise squared input distances
+};
+
+}  // namespace gp
+}  // namespace smiler
+
+#endif  // SMILER_GP_GP_REGRESSOR_H_

@@ -1,0 +1,125 @@
+#include "gp/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace smiler {
+namespace gp {
+
+double SquaredDistance(const double* a, const double* b, std::size_t dim) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+SeKernel SeKernel::Heuristic(const la::Matrix& x,
+                             const std::vector<double>& y) {
+  const double var_y = std::max(Variance(y), 1e-6);
+  // Median pairwise distance as the length-scale seed.
+  std::vector<double> dists;
+  const std::size_t k = x.rows();
+  dists.reserve(k * (k - 1) / 2);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      dists.push_back(
+          std::sqrt(SquaredDistance(x.Row(i), x.Row(j), x.cols())));
+    }
+  }
+  double length = 1.0;
+  if (!dists.empty()) {
+    std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                     dists.end());
+    length = std::max(dists[dists.size() / 2], 1e-3);
+  }
+  return SeKernel(0.5 * std::log(var_y), std::log(length),
+                  0.5 * std::log(0.1 * var_y));
+}
+
+double SeKernel::theta0() const { return std::exp(log_params_[0]); }
+double SeKernel::theta1() const { return std::exp(log_params_[1]); }
+double SeKernel::theta2() const { return std::exp(log_params_[2]); }
+
+double SeKernel::CovFromSqDist(double sq_dist) const {
+  const double t0 = theta0();
+  const double t1 = theta1();
+  return t0 * t0 * std::exp(-0.5 * sq_dist / (t1 * t1));
+}
+
+double SeKernel::SelfCovariance() const {
+  const double t0 = theta0();
+  const double t2 = theta2();
+  return t0 * t0 + t2 * t2;
+}
+
+la::Matrix SeKernel::Covariance(const la::Matrix& x,
+                                la::Matrix* sq_dist) const {
+  const std::size_t k = x.rows();
+  la::Matrix cov(k, k);
+  la::Matrix dists(k, k);
+  const double noise = theta2() * theta2();
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      const double d = SquaredDistance(x.Row(i), x.Row(j), x.cols());
+      dists(i, j) = d;
+      dists(j, i) = d;
+      const double c = CovFromSqDist(d);
+      cov(i, j) = c;
+      cov(j, i) = c;
+    }
+    cov(i, i) += noise;
+  }
+  if (sq_dist != nullptr) *sq_dist = std::move(dists);
+  return cov;
+}
+
+std::vector<double> SeKernel::CrossCovariance(const la::Matrix& x,
+                                              const double* xstar) const {
+  std::vector<double> c0(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    c0[i] = CovFromSqDist(SquaredDistance(x.Row(i), xstar, x.cols()));
+  }
+  return c0;
+}
+
+la::Matrix SeKernel::CovarianceGrad(const la::Matrix& sq_dist,
+                                    int param) const {
+  const std::size_t k = sq_dist.rows();
+  la::Matrix grad(k, k);
+  const double t1_sq = theta1() * theta1();
+  switch (param) {
+    case 0:
+      // d/dlog(t0) of t0^2 exp(.) = 2 * t0^2 exp(.)
+      for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+          grad(i, j) = 2.0 * CovFromSqDist(sq_dist(i, j));
+        }
+      }
+      break;
+    case 1:
+      // d/dlog(t1): t0^2 exp(-r/(2 t1^2)) * (r / t1^2)
+      for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+          grad(i, j) =
+              CovFromSqDist(sq_dist(i, j)) * (sq_dist(i, j) / t1_sq);
+        }
+      }
+      break;
+    case 2: {
+      // d/dlog(t2) of delta_ij t2^2 = 2 t2^2 on the diagonal.
+      const double g = 2.0 * theta2() * theta2();
+      for (std::size_t i = 0; i < k; ++i) grad(i, i) = g;
+      break;
+    }
+    default:
+      break;
+  }
+  return grad;
+}
+
+}  // namespace gp
+}  // namespace smiler

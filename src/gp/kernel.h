@@ -1,0 +1,78 @@
+#ifndef SMILER_GP_KERNEL_H_
+#define SMILER_GP_KERNEL_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace smiler {
+namespace gp {
+
+/// \brief Squared-exponential covariance with additive noise (Eqn 18):
+///
+///   c(xa, xb) = theta0^2 * exp(-||xa - xb||^2 / (2 theta1^2))
+///               + delta_ab * theta2^2
+///
+/// Hyperparameters are stored and optimized in log space so positivity is
+/// structural. theta1 is the characteristic length-scale; theta2^2 the
+/// observation noise.
+class SeKernel {
+ public:
+  /// Number of hyperparameters.
+  static constexpr int kNumParams = 3;
+
+  SeKernel() : SeKernel(0.0, 0.0, -1.0) {}
+  /// Constructs from log(theta0), log(theta1), log(theta2).
+  SeKernel(double log_theta0, double log_theta1, double log_theta2)
+      : log_params_{log_theta0, log_theta1, log_theta2} {}
+
+  /// Data-driven initialisation: theta0^2 ~ var(y), theta1 ~ median
+  /// pairwise input distance, theta2^2 ~ 10% of var(y). Gives the online
+  /// trainer a seed in the right order of magnitude for any sensor scale.
+  static SeKernel Heuristic(const la::Matrix& x, const std::vector<double>& y);
+
+  const std::array<double, kNumParams>& log_params() const {
+    return log_params_;
+  }
+  void set_log_params(const std::array<double, kNumParams>& p) {
+    log_params_ = p;
+  }
+
+  double theta0() const;
+  double theta1() const;
+  double theta2() const;
+
+  /// Covariance of two distinct inputs given their squared distance.
+  double CovFromSqDist(double sq_dist) const;
+
+  /// Prior variance of a single input: c(x, x) = theta0^2 + theta2^2.
+  double SelfCovariance() const;
+
+  /// k x k covariance matrix over the rows of \p x (noise on diagonal).
+  /// \p sq_dist, when non-null, receives the pairwise squared distances
+  /// for reuse by gradient computations.
+  la::Matrix Covariance(const la::Matrix& x, la::Matrix* sq_dist = nullptr)
+      const;
+
+  /// Cross-covariance vector c0 between every row of \p x and test input
+  /// \p xstar (length = x.cols()).
+  std::vector<double> CrossCovariance(const la::Matrix& x,
+                                      const double* xstar) const;
+
+  /// dC/dlog(theta_param) over the rows of \p x, given the cached pairwise
+  /// squared distances from Covariance(). \p param in [0, kNumParams).
+  la::Matrix CovarianceGrad(const la::Matrix& sq_dist, int param) const;
+
+ private:
+  std::array<double, kNumParams> log_params_;
+};
+
+/// Squared Euclidean distance between two length-\p dim vectors.
+double SquaredDistance(const double* a, const double* b, std::size_t dim);
+
+}  // namespace gp
+}  // namespace smiler
+
+#endif  // SMILER_GP_KERNEL_H_

@@ -1,0 +1,67 @@
+#include "gp/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "gp/cg_optimizer.h"
+
+namespace smiler {
+namespace gp {
+
+Result<TrainResult> TrainLoo(const la::Matrix& x, const std::vector<double>& y,
+                             const SeKernel* warm_start, int cg_steps,
+                             double prior_precision, double trust_radius) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument("TrainLoo requires matching x rows and y");
+  }
+  const SeKernel anchor = SeKernel::Heuristic(x, y);
+  SeKernel seed = (warm_start != nullptr) ? *warm_start : anchor;
+
+  // Verify the seed is feasible before optimizing.
+  {
+    auto fit = GpRegressor::Fit(x, y, seed);
+    if (!fit.ok()) return fit.status();
+  }
+
+  Objective objective = [&x, &y, &anchor, prior_precision](
+                            const std::vector<double>& params,
+                            std::vector<double>* grad) -> double {
+    SeKernel kernel(params[0], params[1], params[2]);
+    auto fit = GpRegressor::Fit(x, y, kernel);
+    if (!fit.ok()) {
+      // Infeasible configuration: reject via -inf (line search backtracks).
+      std::fill(grad->begin(), grad->end(), 0.0);
+      return -std::numeric_limits<double>::infinity();
+    }
+    const auto g = fit->LooGradient();
+    double value = fit->LooLogLikelihood();
+    for (int m = 0; m < SeKernel::kNumParams; ++m) {
+      const double diff = params[m] - anchor.log_params()[m];
+      value -= 0.5 * prior_precision * diff * diff;
+      (*grad)[m] = g[m] - prior_precision * diff;
+    }
+    return value;
+  };
+
+  std::vector<double> params(seed.log_params().begin(),
+                             seed.log_params().end());
+  CgOptions options;
+  options.max_iters = cg_steps;
+  const CgResult cg = MaximizeCg(objective, &params, options);
+
+  if (std::isfinite(trust_radius)) {
+    for (int m = 0; m < SeKernel::kNumParams; ++m) {
+      const double a = anchor.log_params()[m];
+      params[m] = std::clamp(params[m], a - trust_radius, a + trust_radius);
+    }
+  }
+
+  TrainResult out;
+  out.kernel = SeKernel(params[0], params[1], params[2]);
+  out.loo_log_lik = cg.value;
+  return out;
+}
+
+}  // namespace gp
+}  // namespace smiler

@@ -1,0 +1,53 @@
+#ifndef SMILER_GP_TRAINER_H_
+#define SMILER_GP_TRAINER_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "gp/gp_regressor.h"
+#include "gp/kernel.h"
+#include "la/matrix.h"
+
+namespace smiler {
+namespace gp {
+
+/// \brief Result of one training invocation.
+struct TrainResult {
+  SeKernel kernel;          ///< optimized kernel
+  double loo_log_lik = 0.0;  ///< final LOO log likelihood
+};
+
+/// \brief Online training for model optimization (Section 5.2.2): maximize
+/// the leave-one-out predictive log likelihood (Eqn 20) over the kernel's
+/// log hyperparameters with \p cg_steps conjugate-gradient steps.
+///
+/// When \p warm_start is non-null its hyperparameters seed the optimizer
+/// (continuous prediction: "use theta_r(t) as the initial seed value");
+/// otherwise the heuristic initialisation is used (initial query).
+///
+/// Parameter configurations whose kernel matrix cannot be factorized
+/// evaluate to -inf, which the line search rejects, so training never
+/// leaves the feasible region it started in. Fails only when even the
+/// seed configuration is infeasible.
+///
+/// \p prior_precision > 0 adds a Gaussian prior (in log space) centered
+/// on the heuristic initialisation to the objective. This matters on
+/// near-duplicate kNN sets, where the pure LOO likelihood is unbounded
+/// (a duplicate predicts its twin exactly, so shrinking theta2 raises
+/// the likelihood without limit); the prior keeps the noise scale
+/// anchored to the data's spread.
+/// \p trust_radius, when finite, clamps every optimized log parameter to
+/// within that distance of the heuristic anchor after optimization — a
+/// trust region guarding against slow multi-step drift into degenerate
+/// configurations during warm-started continuous prediction.
+Result<TrainResult> TrainLoo(const la::Matrix& x, const std::vector<double>& y,
+                             const SeKernel* warm_start, int cg_steps,
+                             double prior_precision = 0.0,
+                             double trust_radius =
+                                 std::numeric_limits<double>::infinity());
+
+}  // namespace gp
+}  // namespace smiler
+
+#endif  // SMILER_GP_TRAINER_H_

@@ -1,0 +1,61 @@
+#ifndef SMILER_INDEX_CSG_H_
+#define SMILER_INDEX_CSG_H_
+
+namespace smiler {
+namespace index {
+
+/// \brief Window geometry of the SMiLer index (DualMatch framework, §4.3).
+///
+/// The historical series C is cut into disjoint windows DW_r covering
+/// positions [r*omega, (r+1)*omega). The master query MQ of length d_max is
+/// cut into sliding windows in time-reversed order: SW_b covers MQ
+/// positions [d_max - b - omega, d_max - b), so SW_0 is the most recent
+/// window and appending a point shifts every logical label by one while
+/// the windows' values stay put — the key to the continuous-query reuse
+/// (Remark 1).
+///
+/// A Catenated Sliding Window Group CSG_{i,b} = {SW_b, SW_{b+omega}, ...}
+/// is the maximal non-overlapping chain of item query IQ_i starting at
+/// SW_b (Definition 4.2); aligning it with contiguous disjoint windows
+/// pins IQ_i against exactly one candidate segment (Theorem 4.2).
+
+/// Number of sliding windows of a master query of length \p d_max.
+constexpr int NumSlidingWindows(int d_max, int omega) {
+  return d_max - omega + 1;
+}
+
+/// First (most recent) MQ position covered by SW_b.
+constexpr int SlidingWindowBegin(int d_max, int omega, int b) {
+  return d_max - b - omega;
+}
+
+/// |CSG_{i,b}|: number of non-overlapping sliding windows of an item query
+/// of length \p d chained from SW_b (Definition 4.2). May be 0 when
+/// b > d - omega (no full window fits); such (d, b) pairs yield no bound.
+constexpr int CsgSize(int d, int b, int omega) { return (d - b) / omega; }
+
+/// Lemma 4.1 / Eqn (4): start position t of the candidate segment C_{t,d}
+/// pinned by aligning CSG_{i,b} (of size \p m) with disjoint windows whose
+/// rightmost member is DW_r.
+constexpr long SegmentStart(int omega, int d, int b, long r, int m) {
+  return (r - m + 1) * static_cast<long>(omega) - ((d - b) % omega);
+}
+
+/// \brief The unique CSG alignment for a given segment (Theorem 4.2).
+struct CsgAlignment {
+  int b = 0;   ///< CSG identifier (index of its rightmost sliding window).
+  long r = 0;  ///< Rightmost aligned disjoint window.
+  int m = 0;   ///< Number of aligned windows, |CSG_{i,b}|.
+};
+
+/// Inverts Lemma 4.1: the one alignment pinning segment C_{t,d}.
+constexpr CsgAlignment AlignmentFor(long t, int d, int omega) {
+  const int b = static_cast<int>((t + d) % omega);
+  const long r = (t + d) / omega - 1;
+  return CsgAlignment{b, r, CsgSize(d, b, omega)};
+}
+
+}  // namespace index
+}  // namespace smiler
+
+#endif  // SMILER_INDEX_CSG_H_

@@ -1,0 +1,61 @@
+#ifndef SMILER_INDEX_KNN_RESULT_H_
+#define SMILER_INDEX_KNN_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace smiler {
+namespace index {
+
+/// \brief One retrieved nearest neighbor: the segment C_{t,d} (start
+/// position \p t in the historical series) with its exact banded DTW
+/// distance to the item query.
+struct Neighbor {
+  long t = 0;
+  double dist = 0.0;
+
+  bool operator==(const Neighbor&) const = default;
+};
+
+/// \brief kNN result of a single item query (one entry of the ELV).
+struct ItemQueryResult {
+  /// Item query length d (the ELV entry this answers).
+  int d = 0;
+  /// Neighbors in ascending DTW order; size() == requested k when at least
+  /// k candidate segments exist, fewer otherwise.
+  std::vector<Neighbor> neighbors;
+};
+
+/// \brief Result of one Suffix kNN Search: one ItemQueryResult per ELV
+/// entry, in ELV (ascending d) order.
+struct SuffixKnnResult {
+  std::vector<ItemQueryResult> items;
+};
+
+/// \brief Instrumentation of one search, powering Table 3 / Fig 7 / Fig 8.
+struct SearchStats {
+  /// Candidate segments considered across all item queries.
+  std::uint64_t candidates_total = 0;
+  /// Candidates whose lower bound did not exceed the threshold and were
+  /// verified with a full DTW computation.
+  std::uint64_t candidates_verified = 0;
+  /// Wall seconds spent computing lower bounds (index path: group level).
+  double lower_bound_seconds = 0.0;
+  /// Wall seconds spent verifying unfiltered candidates with exact DTW.
+  double verify_seconds = 0.0;
+  /// Wall seconds spent in k-selection.
+  double select_seconds = 0.0;
+
+  void Add(const SearchStats& other) {
+    candidates_total += other.candidates_total;
+    candidates_verified += other.candidates_verified;
+    lower_bound_seconds += other.lower_bound_seconds;
+    verify_seconds += other.verify_seconds;
+    select_seconds += other.select_seconds;
+  }
+};
+
+}  // namespace index
+}  // namespace smiler
+
+#endif  // SMILER_INDEX_KNN_RESULT_H_

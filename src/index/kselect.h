@@ -1,0 +1,28 @@
+#ifndef SMILER_INDEX_KSELECT_H_
+#define SMILER_INDEX_KSELECT_H_
+
+#include <vector>
+
+#include "index/knn_result.h"
+
+namespace smiler {
+namespace index {
+
+/// \brief Selects the k smallest-distance neighbors from \p candidates,
+/// returned in ascending distance order (ties broken by segment start).
+///
+/// Implements distributive-partitioning k-selection (Alabi et al. [3], the
+/// paper's GPU k-selection) with the paper's two tweaks: it serves one
+/// query per invocation (one block handles one k-selection) and returns
+/// all k smallest elements rather than only the k-th. Runs in O(n)
+/// expected time by histogramming distances into buckets and recursing
+/// into the bucket containing the k-th element.
+///
+/// When candidates.size() <= k, returns all candidates sorted.
+std::vector<Neighbor> KSelectSmallest(std::vector<Neighbor> candidates,
+                                      int k);
+
+}  // namespace index
+}  // namespace smiler
+
+#endif  // SMILER_INDEX_KSELECT_H_

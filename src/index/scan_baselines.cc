@@ -1,0 +1,176 @@
+#include "index/scan_baselines.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/math_utils.h"
+#include "common/timer.h"
+#include "dtw/dtw.h"
+#include "dtw/envelope.h"
+#include "dtw/lower_bounds.h"
+#include "index/kselect.h"
+
+namespace smiler {
+namespace index {
+
+const char* ScanMethodName(ScanMethod method) {
+  switch (method) {
+    case ScanMethod::kFastGpuScan:
+      return "FastGPUScan";
+    case ScanMethod::kGpuScan:
+      return "GPUScan";
+    case ScanMethod::kFastCpuScan:
+      return "FastCPUScan";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+// GPU scan (banded or unconstrained): every candidate's DTW is computed in
+// a grid-strided kernel, then the k smallest are selected per item query.
+ItemQueryResult GpuScanOneItem(simgpu::Device* device,
+                               const std::vector<double>& series,
+                               const SmilerConfig& cfg, int d, long t_count,
+                               int k, bool banded, SearchStats* stats) {
+  ItemQueryResult out;
+  out.d = d;
+  if (t_count <= 0) return out;
+  const double* q = series.data() + series.size() - d;
+  std::vector<double> dist(t_count, 0.0);
+
+  WallTimer timer;
+  const int n_blocks = static_cast<int>(std::min<long>(t_count, 64));
+  device->Launch(n_blocks, cfg.omega, [&](simgpu::BlockContext& ctx) {
+    double* shq = ctx.shared->Alloc<double>(d);
+    std::memcpy(shq, q, sizeof(double) * d);
+    const int rho = banded ? cfg.rho : d;
+    double* scratch =
+        ctx.shared->Alloc<double>(dtw::CompressedDtwScratchSize(rho));
+    // The unconstrained scratch (2*(2d+2) doubles, d <= a few hundred)
+    // still fits the 64 KiB arena; fall back to heap if it ever does not.
+    std::vector<double> heap_scratch;
+    if (scratch == nullptr) {
+      heap_scratch.resize(dtw::CompressedDtwScratchSize(rho));
+      scratch = heap_scratch.data();
+    }
+    for (long t = ctx.block_id; t < t_count; t += ctx.grid_dim) {
+      dist[t] = dtw::CompressedDtw(shq, series.data() + t, d, rho, scratch);
+    }
+  });
+  if (stats != nullptr) {
+    stats->candidates_total += static_cast<std::uint64_t>(t_count);
+    stats->candidates_verified += static_cast<std::uint64_t>(t_count);
+    stats->verify_seconds += timer.ElapsedSeconds();
+  }
+
+  timer.Reset();
+  std::vector<Neighbor> cands;
+  cands.reserve(t_count);
+  for (long t = 0; t < t_count; ++t) cands.push_back(Neighbor{t, dist[t]});
+  out.neighbors = KSelectSmallest(std::move(cands), k);
+  if (stats != nullptr) stats->select_seconds += timer.ElapsedSeconds();
+  return out;
+}
+
+// UCR-suite style sequential scan: LB_Keogh cascade against the running
+// k-th best, then early-abandoning banded DTW.
+ItemQueryResult CpuScanOneItem(const std::vector<double>& series,
+                               const SmilerConfig& cfg, int d, long t_count,
+                               int k, SearchStats* stats) {
+  ItemQueryResult out;
+  out.d = d;
+  if (t_count <= 0) return out;
+  const double* q = series.data() + series.size() - d;
+  const dtw::Envelope env_q = dtw::ComputeEnvelope(q, d, cfg.rho);
+  const dtw::Envelope env_c =
+      dtw::ComputeEnvelope(series.data(), series.size(), cfg.rho);
+
+  WallTimer timer;
+  // Max-heap of the current k best (front = worst of the best).
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return a.dist < b.dist;
+  };
+  double tau = kInf;
+  std::uint64_t verified = 0;
+
+  for (long t = 0; t < t_count; ++t) {
+    const double* c = series.data() + t;
+    if (static_cast<int>(heap.size()) >= k) {
+      // Cascade: cheap bound first, tighter one only if needed.
+      if (dtw::Lbeq(env_q, c, d) > tau) continue;
+      if (dtw::LbKeoghAligned(env_c, t, q, 0, d) > tau) continue;
+    }
+    const double dist = dtw::EarlyAbandonDtw(q, c, d, cfg.rho, tau);
+    ++verified;
+    if (dist > tau) continue;
+    heap.push_back(Neighbor{t, dist});
+    std::push_heap(heap.begin(), heap.end(), worse);
+    if (static_cast<int>(heap.size()) > k) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.pop_back();
+    }
+    if (static_cast<int>(heap.size()) >= k) tau = heap.front().dist;
+  }
+  std::sort(heap.begin(), heap.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.t < b.t;
+  });
+  out.neighbors = std::move(heap);
+  if (stats != nullptr) {
+    stats->candidates_total += static_cast<std::uint64_t>(t_count);
+    stats->candidates_verified += verified;
+    stats->verify_seconds += timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SuffixKnnResult> ScanSearch(simgpu::Device* device,
+                                   const ts::TimeSeries& history,
+                                   const SmilerConfig& config, int k,
+                                   int reserve_horizon, ScanMethod method,
+                                   SearchStats* stats) {
+  SMILER_RETURN_NOT_OK(config.Validate());
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (reserve_horizon < 0) {
+    return Status::InvalidArgument("reserve_horizon must be >= 0");
+  }
+  if (method != ScanMethod::kFastCpuScan && device == nullptr) {
+    return Status::InvalidArgument("GPU scan methods require a device");
+  }
+  const long n = static_cast<long>(history.size());
+  if (n < config.MasterQueryLength()) {
+    return Status::InvalidArgument("history shorter than the master query");
+  }
+
+  SuffixKnnResult result;
+  result.items.reserve(config.elv.size());
+  for (int d : config.elv) {
+    const long t_count = std::max<long>(0, n - d - reserve_horizon + 1);
+    switch (method) {
+      case ScanMethod::kFastGpuScan:
+        result.items.push_back(GpuScanOneItem(device, history.values(),
+                                              config, d, t_count, k,
+                                              /*banded=*/true, stats));
+        break;
+      case ScanMethod::kGpuScan:
+        result.items.push_back(GpuScanOneItem(device, history.values(),
+                                              config, d, t_count, k,
+                                              /*banded=*/false, stats));
+        break;
+      case ScanMethod::kFastCpuScan:
+        result.items.push_back(
+            CpuScanOneItem(history.values(), config, d, t_count, k, stats));
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace index
+}  // namespace smiler

@@ -1,0 +1,44 @@
+#ifndef SMILER_INDEX_SCAN_BASELINES_H_
+#define SMILER_INDEX_SCAN_BASELINES_H_
+
+#include "common/config.h"
+#include "common/status.h"
+#include "index/knn_result.h"
+#include "simgpu/device.h"
+#include "ts/series.h"
+
+namespace smiler {
+namespace index {
+
+/// Competitor search methods of Section 6.2.1.
+enum class ScanMethod {
+  /// Banded (Sakoe-Chiba) DTW against every candidate on the device, then
+  /// GPU k-selection.
+  kFastGpuScan,
+  /// Unconstrained DTW against every candidate on the device (Sart et al.
+  /// [60]); the extra O(d/rho) work makes it strictly slower.
+  kGpuScan,
+  /// Sequential CPU scan with the LB_Keogh pruning cascade and
+  /// early-abandoning banded DTW (UCR-suite style, [41, 54]).
+  kFastCpuScan,
+};
+
+/// Returns "FastGPUScan" / "GPUScan" / "FastCPUScan".
+const char* ScanMethodName(ScanMethod method);
+
+/// \brief Runs the Suffix kNN Search over \p history by scanning, without
+/// the SMiLer index. Answers the same queries as SmilerIndex::Search: one
+/// ItemQueryResult (k nearest segments by DTW) per ELV entry, candidates
+/// restricted to t <= |history| - d - reserve_horizon.
+///
+/// \p device is used by the GPU methods and ignored by kFastCpuScan.
+Result<SuffixKnnResult> ScanSearch(simgpu::Device* device,
+                                   const ts::TimeSeries& history,
+                                   const SmilerConfig& config, int k,
+                                   int reserve_horizon, ScanMethod method,
+                                   SearchStats* stats = nullptr);
+
+}  // namespace index
+}  // namespace smiler
+
+#endif  // SMILER_INDEX_SCAN_BASELINES_H_

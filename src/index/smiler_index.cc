@@ -1,0 +1,447 @@
+#include "index/smiler_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/math_utils.h"
+#include "common/timer.h"
+#include "dtw/dtw.h"
+#include "dtw/lower_bounds.h"
+#include "index/csg.h"
+#include "index/kselect.h"
+
+namespace smiler {
+namespace index {
+
+const char* LowerBoundModeName(LowerBoundMode mode) {
+  switch (mode) {
+    case LowerBoundMode::kLbeq:
+      return "LBEQ";
+    case LowerBoundMode::kLbec:
+      return "LBEC";
+    case LowerBoundMode::kLben:
+      return "LBen";
+  }
+  return "UNKNOWN";
+}
+
+Result<SmilerIndex> SmilerIndex::Build(simgpu::Device* device,
+                                       const ts::TimeSeries& history,
+                                       const SmilerConfig& config) {
+  if (device == nullptr) {
+    return Status::InvalidArgument("device must not be null");
+  }
+  SMILER_RETURN_NOT_OK(config.Validate());
+  const int d_max = config.MasterQueryLength();
+  const long n = static_cast<long>(history.size());
+  if (n < d_max + config.omega) {
+    return Status::InvalidArgument(
+        "history too short: need at least MasterQueryLength + omega points");
+  }
+
+  SmilerIndex idx;
+  idx.cfg_ = config;
+  idx.device_ = device;
+  idx.series_ = history.values();
+  idx.d_max_ = d_max;
+  idx.S_ = NumSlidingWindows(d_max, config.omega);
+  idx.R_ = n / config.omega;
+  idx.head_ = 0;
+  idx.env_c_ = dtw::ComputeEnvelope(idx.series_.data(), idx.series_.size(),
+                                    config.rho);
+  idx.RefreshMqEnvelope();
+  idx.lbeq_.assign(idx.S_, std::vector<double>(idx.R_, 0.0));
+  idx.lbec_.assign(idx.S_, std::vector<double>(idx.R_, 0.0));
+  idx.prev_knn_.assign(config.elv.size(), {});
+
+  // Window-level build: one block per sliding window computes that
+  // window's whole posting list (Section 4.3.1).
+  SmilerIndex* self = &idx;
+  SMILER_RETURN_NOT_OK(device->Launch(
+      idx.S_, config.omega, [self](simgpu::BlockContext& ctx) {
+        self->ComputeRow(ctx.block_id, /*eq_only=*/false);
+      }));
+  SMILER_RETURN_NOT_OK(idx.UpdateMemoryAccounting());
+  return idx;
+}
+
+SmilerIndex::~SmilerIndex() {
+  if (device_ != nullptr && accounted_bytes_ > 0) {
+    device_->FreeBytes(accounted_bytes_);
+  }
+}
+
+SmilerIndex::SmilerIndex(SmilerIndex&& other) noexcept {
+  *this = std::move(other);
+}
+
+SmilerIndex& SmilerIndex::operator=(SmilerIndex&& other) noexcept {
+  if (this != &other) {
+    if (device_ != nullptr && accounted_bytes_ > 0) {
+      device_->FreeBytes(accounted_bytes_);
+    }
+    cfg_ = other.cfg_;
+    device_ = other.device_;
+    series_ = std::move(other.series_);
+    env_c_ = std::move(other.env_c_);
+    env_mq_ = std::move(other.env_mq_);
+    d_max_ = other.d_max_;
+    S_ = other.S_;
+    R_ = other.R_;
+    head_ = other.head_;
+    lbeq_ = std::move(other.lbeq_);
+    lbec_ = std::move(other.lbec_);
+    prev_knn_ = std::move(other.prev_knn_);
+    accounted_bytes_ = other.accounted_bytes_;
+    other.device_ = nullptr;
+    other.accounted_bytes_ = 0;
+  }
+  return *this;
+}
+
+void SmilerIndex::RefreshMqEnvelope() {
+  env_mq_ = dtw::ComputeEnvelope(MqData(), d_max_, cfg_.rho);
+}
+
+void SmilerIndex::ComputeRow(int logical_b, bool eq_only) {
+  const int omega = cfg_.omega;
+  const int phys = PhysicalRow(logical_b);
+  const std::size_t mq_begin =
+      static_cast<std::size_t>(SlidingWindowBegin(d_max_, omega, logical_b));
+  std::vector<double>& eq_row = lbeq_[phys];
+  std::vector<double>& ec_row = lbec_[phys];
+  eq_row.resize(R_);
+  if (!eq_only) ec_row.resize(R_);
+  for (long r = 0; r < R_; ++r) {
+    const std::size_t c_begin = static_cast<std::size_t>(r) * omega;
+    eq_row[r] = dtw::LbKeoghAligned(env_mq_, mq_begin, series_.data(),
+                                    c_begin, omega);
+    if (!eq_only) {
+      ec_row[r] =
+          dtw::LbKeoghAligned(env_c_, c_begin, MqData(), mq_begin, omega);
+    }
+  }
+}
+
+void SmilerIndex::RecomputeLbecColumn(long r) {
+  const int omega = cfg_.omega;
+  const std::size_t c_begin = static_cast<std::size_t>(r) * omega;
+  for (int b = 0; b < S_; ++b) {
+    const std::size_t mq_begin =
+        static_cast<std::size_t>(SlidingWindowBegin(d_max_, omega, b));
+    lbec_[PhysicalRow(b)][r] =
+        dtw::LbKeoghAligned(env_c_, c_begin, MqData(), mq_begin, omega);
+  }
+}
+
+void SmilerIndex::ComputeNewColumn(long r) {
+  const int omega = cfg_.omega;
+  const std::size_t c_begin = static_cast<std::size_t>(r) * omega;
+  for (int b = 0; b < S_; ++b) {
+    const std::size_t mq_begin =
+        static_cast<std::size_t>(SlidingWindowBegin(d_max_, omega, b));
+    const int phys = PhysicalRow(b);
+    lbeq_[phys].resize(R_);
+    lbec_[phys].resize(R_);
+    lbeq_[phys][r] = dtw::LbKeoghAligned(env_mq_, mq_begin, series_.data(),
+                                         c_begin, omega);
+    lbec_[phys][r] =
+        dtw::LbKeoghAligned(env_c_, c_begin, MqData(), mq_begin, omega);
+  }
+}
+
+Status SmilerIndex::Append(double value) {
+  const int omega = cfg_.omega;
+  const int rho = cfg_.rho;
+  series_.push_back(value);
+  const long n = static_cast<long>(series_.size());
+
+  // Maintain the global envelope of C: the new point perturbs at most the
+  // trailing rho entries plus its own.
+  env_c_.upper.push_back(value);
+  env_c_.lower.push_back(value);
+  const std::size_t env_begin =
+      static_cast<std::size_t>(std::max<long>(0, n - 1 - rho));
+  dtw::UpdateEnvelopeRange(series_.data(), series_.size(), rho, env_begin,
+                           series_.size(), &env_c_);
+
+  RefreshMqEnvelope();
+
+  // Remark 1: the new sliding window takes over the physical row of the
+  // retired oldest window; every logical label shifts by one.
+  head_ = (head_ - 1 + S_) % S_;
+
+  // A freshly completed disjoint window contributes one new column.
+  const long new_r = (n % omega == 0) ? (n / omega - 1) : -1;
+  if (new_r >= 0) {
+    R_ = n / omega;
+    ComputeNewColumn(new_r);
+  }
+
+  // Candidate-envelope entries of trailing disjoint windows changed with
+  // env_c_; refresh those columns (validity, not just tightness: stale
+  // entries could overestimate once segments extend past the old tail).
+  const long first_changed_dw = env_begin / omega;
+  for (long r = first_changed_dw; r < R_; ++r) {
+    if (r == new_r) continue;  // already computed above
+    RecomputeLbecColumn(r);
+  }
+
+  // New row 0 (both halves) plus the rho rows whose master-query envelope
+  // entries widened (LBEQ half only) — the Remark-1 refresh.
+  ComputeRow(0, /*eq_only=*/false);
+  const int refresh = std::min(rho, S_ - 1);
+  for (int b = 1; b <= refresh; ++b) ComputeRow(b, /*eq_only=*/true);
+
+  return UpdateMemoryAccounting();
+}
+
+long SmilerIndex::NumCandidates(std::size_t elv_index,
+                                int reserve_horizon) const {
+  const long n = static_cast<long>(series_.size());
+  const long d = cfg_.elv[elv_index];
+  return std::max<long>(0, n - d - reserve_horizon + 1);
+}
+
+LowerBoundTable SmilerIndex::GroupLowerBounds(int reserve_horizon) const {
+  const int omega = cfg_.omega;
+  const std::size_t n_items = cfg_.elv.size();
+  LowerBoundTable table;
+  table.lb_eq.resize(n_items);
+  table.lb_ec.resize(n_items);
+  std::vector<long> t_limit(n_items);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    const long ti = NumCandidates(i, reserve_horizon);
+    t_limit[i] = ti - 1;
+    table.lb_eq[i].assign(static_cast<std::size_t>(std::max<long>(0, ti)),
+                          0.0);
+    table.lb_ec[i].assign(static_cast<std::size_t>(std::max<long>(0, ti)),
+                          0.0);
+  }
+
+  // Per CSG identifier b: the item queries' group sizes and offsets,
+  // ascending by size so a single walk over j emits each in turn.
+  struct Emit {
+    int m;       // |CSG_{i,b}|
+    int item;    // ELV index
+    int offset;  // (d_i - b) % omega term of Eqn (4)
+  };
+  std::vector<std::vector<Emit>> emits(omega);
+  for (int b = 0; b < omega; ++b) {
+    for (std::size_t i = 0; i < n_items; ++i) {
+      const int m = CsgSize(cfg_.elv[i], b, omega);
+      if (m >= 1) {
+        emits[b].push_back(Emit{m, static_cast<int>(i),
+                                (cfg_.elv[i] - b) % omega});
+      }
+    }
+    std::sort(emits[b].begin(), emits[b].end(),
+              [](const Emit& a, const Emit& bb) { return a.m < bb.m; });
+  }
+
+  // Group-level kernel (Algorithm 1): one block per CSG; the shift-sum
+  // over each CSG's posting lists yields every item query's bound in one
+  // pass (Remark 2). Blocks write disjoint t ranges ((t + d_i) % omega ==
+  // b), so the table needs no synchronization.
+  const SmilerIndex* self = this;
+  LowerBoundTable* out = &table;
+  const std::vector<long>* limits = &t_limit;
+  const std::vector<std::vector<Emit>>* emit_ptr = &emits;
+  device_->Launch(omega, omega, [self, out, limits, emit_ptr,
+                                 omega](simgpu::BlockContext& ctx) {
+    const int b = ctx.block_id;
+    const std::vector<Emit>& todo = (*emit_ptr)[b];
+    if (todo.empty()) return;
+    const int max_m = todo.back().m;
+    for (long r = 0; r < self->R_; ++r) {
+      double sum_eq = 0.0;
+      double sum_ec = 0.0;
+      std::size_t ptr = 0;
+      for (int j = 0; j < max_m && r - j >= 0; ++j) {
+        const int row = self->PhysicalRow(b + j * omega);
+        sum_eq += self->lbeq_[row][r - j];
+        sum_ec += self->lbec_[row][r - j];
+        while (ptr < todo.size() && todo[ptr].m == j + 1) {
+          const Emit& e = todo[ptr];
+          const long t = (r - j) * static_cast<long>(omega) - e.offset;
+          if (t >= 0 && t <= (*limits)[e.item]) {
+            out->lb_eq[e.item][t] = sum_eq;
+            out->lb_ec[e.item][t] = sum_ec;
+          }
+          ++ptr;
+        }
+      }
+    }
+  });
+  return table;
+}
+
+LowerBoundTable SmilerIndex::DirectLowerBounds(int reserve_horizon) const {
+  const std::size_t n_items = cfg_.elv.size();
+  LowerBoundTable table;
+  table.lb_eq.resize(n_items);
+  table.lb_ec.resize(n_items);
+  const SmilerIndex* self = this;
+  LowerBoundTable* out = &table;
+  const int h = reserve_horizon;
+  device_->Launch(static_cast<int>(n_items), cfg_.omega,
+                  [self, out, h](simgpu::BlockContext& ctx) {
+                    const std::size_t i = ctx.block_id;
+                    const int d = self->cfg_.elv[i];
+                    const long t_count = self->NumCandidates(i, h);
+                    auto& eq = out->lb_eq[i];
+                    auto& ec = out->lb_ec[i];
+                    eq.assign(std::max<long>(0, t_count), 0.0);
+                    ec.assign(std::max<long>(0, t_count), 0.0);
+                    const double* q =
+                        self->series_.data() + self->series_.size() - d;
+                    const dtw::Envelope env_q =
+                        dtw::ComputeEnvelope(q, d, self->cfg_.rho);
+                    for (long t = 0; t < t_count; ++t) {
+                      eq[t] = dtw::LbKeogh(env_q, self->series_.data() + t, d);
+                      ec[t] = dtw::LbKeoghAligned(self->env_c_, t, q, 0, d);
+                    }
+                  });
+  return table;
+}
+
+Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
+                                            SearchStats* stats) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (options.reserve_horizon < 0) {
+    return Status::InvalidArgument("reserve_horizon must be >= 0");
+  }
+  SearchStats local_stats;
+  WallTimer timer;
+
+  LowerBoundTable table = GroupLowerBounds(options.reserve_horizon);
+  local_stats.lower_bound_seconds = timer.ElapsedSeconds();
+
+  const std::size_t n_items = cfg_.elv.size();
+  SuffixKnnResult result;
+  result.items.resize(n_items);
+
+  for (std::size_t i = 0; i < n_items; ++i) {
+    const int d = cfg_.elv[i];
+    const long t_count = NumCandidates(i, options.reserve_horizon);
+    result.items[i].d = d;
+    if (t_count <= 0) continue;
+    local_stats.candidates_total += static_cast<std::uint64_t>(t_count);
+
+    const double* q = series_.data() + series_.size() - d;
+
+    // --- Threshold seeding (Section 4.3.3, Filtering) ---
+    // Initial query: verify the k candidates with the smallest lower
+    // bounds. Continuous query: re-verify the previous step's kNN. Either
+    // way tau is the k-th smallest verified distance, a true upper bound
+    // on the k-th NN distance, so filtering stays exact.
+    std::vector<Neighbor> seeds;
+    timer.Reset();
+    if (options.reuse_previous_threshold && !prev_knn_[i].empty()) {
+      seeds.reserve(prev_knn_[i].size());
+      for (const Neighbor& nb : prev_knn_[i]) {
+        if (nb.t < t_count) seeds.push_back(Neighbor{nb.t, 0.0});
+      }
+    } else {
+      std::vector<Neighbor> by_bound;
+      by_bound.reserve(t_count);
+      for (long t = 0; t < t_count; ++t) {
+        by_bound.push_back(Neighbor{
+            t, table.Bound(options.bound, i, static_cast<std::size_t>(t))});
+      }
+      seeds = KSelectSmallest(std::move(by_bound), options.k);
+    }
+    // Verify seed distances exactly.
+    {
+      std::vector<double> scratch(dtw::CompressedDtwScratchSize(cfg_.rho));
+      for (Neighbor& s : seeds) {
+        s.dist = dtw::CompressedDtw(q, series_.data() + s.t, d, cfg_.rho,
+                                    scratch.data());
+      }
+    }
+    double tau = kInf;
+    if (static_cast<int>(seeds.size()) >= options.k) {
+      std::vector<double> dists;
+      dists.reserve(seeds.size());
+      for (const Neighbor& s : seeds) dists.push_back(s.dist);
+      std::nth_element(dists.begin(), dists.begin() + options.k - 1,
+                       dists.end());
+      tau = dists[options.k - 1];
+    }
+
+    // --- Filtering ---
+    std::vector<char> is_seed(t_count, 0);
+    for (const Neighbor& s : seeds) is_seed[s.t] = 1;
+    std::vector<long> cand;
+    for (long t = 0; t < t_count; ++t) {
+      if (is_seed[t]) continue;
+      if (table.Bound(options.bound, i, static_cast<std::size_t>(t)) <= tau) {
+        cand.push_back(t);
+      }
+    }
+    local_stats.candidates_verified +=
+        static_cast<std::uint64_t>(cand.size() + seeds.size());
+
+    // --- Verification: compressed-warping-matrix banded DTW on device ---
+    std::vector<double> cand_dist(cand.size(), 0.0);
+    const int n_blocks =
+        static_cast<int>(std::min<std::size_t>(cand.size(), 64));
+    const SmilerIndex* self = this;
+    const std::vector<long>* cand_ptr = &cand;
+    std::vector<double>* dist_ptr = &cand_dist;
+    if (!cand.empty()) {
+      device_->Launch(
+          n_blocks, cfg_.omega,
+          [self, cand_ptr, dist_ptr, q, d](simgpu::BlockContext& ctx) {
+            // The query and the compressed warping matrix live in shared
+            // memory (Appendix E / Algorithm 2).
+            double* shq = ctx.shared->Alloc<double>(d);
+            std::memcpy(shq, q, sizeof(double) * d);
+            double* scratch = ctx.shared->Alloc<double>(
+                dtw::CompressedDtwScratchSize(self->cfg_.rho));
+            for (std::size_t idx = ctx.block_id; idx < cand_ptr->size();
+                 idx += ctx.grid_dim) {
+              (*dist_ptr)[idx] = dtw::CompressedDtw(
+                  shq, self->series_.data() + (*cand_ptr)[idx], d,
+                  self->cfg_.rho, scratch);
+            }
+          });
+    }
+    local_stats.verify_seconds += timer.ElapsedSeconds();
+
+    // --- Selection: distributive-partitioning k-selection ---
+    timer.Reset();
+    std::vector<Neighbor> all = std::move(seeds);
+    all.reserve(all.size() + cand.size());
+    for (std::size_t idx = 0; idx < cand.size(); ++idx) {
+      all.push_back(Neighbor{cand[idx], cand_dist[idx]});
+    }
+    result.items[i].neighbors = KSelectSmallest(std::move(all), options.k);
+    prev_knn_[i] = result.items[i].neighbors;
+    local_stats.select_seconds += timer.ElapsedSeconds();
+  }
+
+  if (stats != nullptr) stats->Add(local_stats);
+  return result;
+}
+
+Status SmilerIndex::UpdateMemoryAccounting() {
+  std::size_t bytes = series_.size() * sizeof(double);
+  bytes += (env_c_.upper.size() + env_c_.lower.size()) * sizeof(double);
+  bytes += (env_mq_.upper.size() + env_mq_.lower.size()) * sizeof(double);
+  bytes += static_cast<std::size_t>(S_) * static_cast<std::size_t>(R_) * 2 *
+           sizeof(double);
+  if (bytes > accounted_bytes_) {
+    SMILER_RETURN_NOT_OK(device_->AllocateBytes(bytes - accounted_bytes_));
+  } else {
+    device_->FreeBytes(accounted_bytes_ - bytes);
+  }
+  accounted_bytes_ = bytes;
+  return Status::OK();
+}
+
+}  // namespace index
+}  // namespace smiler

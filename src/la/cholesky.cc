@@ -1,0 +1,104 @@
+#include "la/cholesky.h"
+
+#include <cmath>
+
+namespace smiler {
+namespace la {
+
+namespace {
+
+// In-place lower Cholesky of `m`; returns false on breakdown.
+bool TryFactor(Matrix* m) {
+  const std::size_t n = m->rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = (*m)(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= (*m)(j, k) * (*m)(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    (*m)(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = (*m)(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= (*m)(i, k) * (*m)(j, k);
+      (*m)(i, j) = s * inv;
+    }
+    // Zero the strict upper triangle of this column for cleanliness.
+    for (std::size_t i = 0; i < j; ++i) (*m)(i, j) = 0.0;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Cholesky> Cholesky::Factor(const Matrix& a, double max_jitter) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  if (a.rows() == 0) {
+    return Status::InvalidArgument("Cholesky requires a non-empty matrix");
+  }
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Matrix work = a;
+    if (jitter > 0.0) work.AddToDiagonal(jitter);
+    if (TryFactor(&work)) {
+      Cholesky chol;
+      chol.l_ = std::move(work);
+      chol.jitter_ = jitter;
+      return chol;
+    }
+    jitter = (jitter == 0.0) ? 1e-10 : jitter * 10.0;
+    if (jitter > max_jitter) break;
+  }
+  return Status::NumericalError(
+      "matrix is not positive definite even after jitter");
+}
+
+std::vector<double> Cholesky::SolveLower(const std::vector<double>& b) const {
+  const std::size_t n = dim();
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    const double* row = l_.Row(i);
+    for (std::size_t k = 0; k < i; ++k) s -= row[k] * y[k];
+    y[i] = s / row[i];
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::SolveUpper(const std::vector<double>& y) const {
+  const std::size_t n = dim();
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> Cholesky::Solve(const std::vector<double>& b) const {
+  return SolveUpper(SolveLower(b));
+}
+
+Matrix Cholesky::SolveMatrix(const Matrix& b) const {
+  Matrix out(b.rows(), b.cols());
+  std::vector<double> col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    std::vector<double> x = Solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) out(r, c) = x[r];
+  }
+  return out;
+}
+
+Matrix Cholesky::Inverse() const { return SolveMatrix(Matrix::Identity(dim())); }
+
+double Cholesky::LogDet() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace la
+}  // namespace smiler

@@ -1,0 +1,64 @@
+#ifndef SMILER_LA_CHOLESKY_H_
+#define SMILER_LA_CHOLESKY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace smiler {
+namespace la {
+
+/// \brief Lower-triangular Cholesky factorization A = L L^T of a symmetric
+/// positive definite matrix, with solves, inverse and log-determinant.
+///
+/// This is the numerical core of every GP in the project: posterior means,
+/// variances, LOO quantities and likelihood gradients all reduce to solves
+/// against the kernel matrix.
+class Cholesky {
+ public:
+  /// Constructs an empty (dim() == 0) factorization; assign from Factor()
+  /// before use.
+  Cholesky() = default;
+
+  /// Factorizes \p a (symmetric positive definite). If the factorization
+  /// breaks down, retries after adding a small diagonal jitter, escalating
+  /// up to \p max_jitter; fails with NumericalError beyond that.
+  static Result<Cholesky> Factor(const Matrix& a, double max_jitter = 1e-4);
+
+  /// Solves A x = b. Requires b.size() == dim().
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves L y = b (forward substitution).
+  std::vector<double> SolveLower(const std::vector<double>& b) const;
+
+  /// Solves L^T x = y (backward substitution).
+  std::vector<double> SolveUpper(const std::vector<double>& y) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  /// Full inverse A^{-1} (used for LOO formulas which need diag(A^{-1})).
+  Matrix Inverse() const;
+
+  /// log |A| = 2 * sum_i log L_ii.
+  double LogDet() const;
+
+  /// Dimension of the factored matrix.
+  std::size_t dim() const { return l_.rows(); }
+
+  /// The lower-triangular factor L.
+  const Matrix& L() const { return l_; }
+
+  /// Jitter that had to be added to the diagonal to factorize (0 if none).
+  double jitter() const { return jitter_; }
+
+ private:
+  Matrix l_;
+  double jitter_ = 0.0;
+};
+
+}  // namespace la
+}  // namespace smiler
+
+#endif  // SMILER_LA_CHOLESKY_H_

@@ -1,0 +1,90 @@
+#ifndef SMILER_LA_MATRIX_H_
+#define SMILER_LA_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace smiler {
+namespace la {
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// Sized for the semi-lazy workload: kernel matrices are k x k with
+/// k <= ~128, so a simple cache-friendly dense layout outperforms anything
+/// fancier. No expression templates; operations are explicit functions.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a rows x cols matrix initialised with \p fill.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw pointer to row \p r (contiguous `cols()` doubles).
+  double* Row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* Row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Matrix-vector product. Requires x.size() == cols().
+  std::vector<double> MatVec(const std::vector<double>& x) const;
+
+  /// Transposed matrix-vector product (A^T x). Requires x.size() == rows().
+  std::vector<double> TransMatVec(const std::vector<double>& x) const;
+
+  /// Matrix product this * other. Requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Adds \p value to every diagonal entry (requires square).
+  void AddToDiagonal(double value);
+
+  /// Frobenius-norm-based approximate equality (entrywise tolerance).
+  bool ApproxEquals(const Matrix& other, double tol = 1e-9) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Dot product of equally sized vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// y += alpha * x (equally sized vectors).
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+/// Elementwise v *= alpha.
+void Scale(double alpha, std::vector<double>* v);
+
+}  // namespace la
+}  // namespace smiler
+
+#endif  // SMILER_LA_MATRIX_H_

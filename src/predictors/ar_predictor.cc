@@ -1,0 +1,18 @@
+#include "predictors/ar_predictor.h"
+
+#include <algorithm>
+
+#include "common/math_utils.h"
+
+namespace smiler {
+namespace predictors {
+
+Prediction AggregationPredict(const KnnTrainingSet& set) {
+  Prediction p;
+  p.mean = Mean(set.y);
+  p.variance = std::max(Variance(set.y), 1e-6);
+  return p;
+}
+
+}  // namespace predictors
+}  // namespace smiler

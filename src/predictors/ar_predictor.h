@@ -1,0 +1,18 @@
+#ifndef SMILER_PREDICTORS_AR_PREDICTOR_H_
+#define SMILER_PREDICTORS_AR_PREDICTOR_H_
+
+#include "predictors/predictor.h"
+
+namespace smiler {
+namespace predictors {
+
+/// \brief The simple Aggregation Regression predictor (Section 5.2.1,
+/// Eqn 10-13): pseudo-mean = mean of the neighbors' h-step-ahead values,
+/// pseudo-variance = their population variance (clamped away from zero so
+/// downstream Gaussian densities stay defined).
+Prediction AggregationPredict(const KnnTrainingSet& set);
+
+}  // namespace predictors
+}  // namespace smiler
+
+#endif  // SMILER_PREDICTORS_AR_PREDICTOR_H_

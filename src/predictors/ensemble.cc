@@ -1,0 +1,207 @@
+#include "predictors/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace smiler {
+namespace predictors {
+
+Ensemble::Ensemble(const Options& options) : options_(options) {
+  const int n = options_.rows * options_.cols;
+  eta_ = 1.0 / (2.0 * n);
+  cells_.assign(n, CellState{});
+  for (CellState& c : cells_) c.weight = 1.0 / n;
+}
+
+int Ensemble::NumAwake() const {
+  int n = 0;
+  for (const CellState& c : cells_) n += c.awake ? 1 : 0;
+  return n;
+}
+
+void Ensemble::NormalizeAwake() {
+  double sum = 0.0;
+  for (const CellState& c : cells_) {
+    if (c.awake) sum += c.weight;
+  }
+  if (sum <= 0.0) {
+    // Degenerate: reset awake cells to uniform.
+    const int awake = NumAwake();
+    for (CellState& c : cells_) {
+      if (c.awake) c.weight = awake > 0 ? 1.0 / awake : 0.0;
+    }
+    return;
+  }
+  for (CellState& c : cells_) {
+    if (c.awake) c.weight /= sum;
+  }
+}
+
+Prediction Ensemble::Combine(const PredictionGrid& grid) const {
+  Prediction p = CombineRaw(grid);
+  p.variance *= vif_;
+  return p;
+}
+
+void Ensemble::ObserveCalibration(double truth, const Prediction& raw) {
+  if (!options_.self_adaptive) return;
+  const double var = std::max(raw.variance, 1e-12);
+  const double z = (truth - raw.mean) * (truth - raw.mean) / var;
+  constexpr double kAlpha = 0.05;
+  z_ewma_ = (1.0 - kAlpha) * z_ewma_ + kAlpha * std::min(z, 400.0);
+  vif_ = std::clamp(z_ewma_, 1.0, 50.0);
+}
+
+Prediction Ensemble::CombineRaw(const PredictionGrid& grid) const {
+  double wsum = 0.0;
+  double mean = 0.0;
+  double second = 0.0;
+  for (int i = 0; i < options_.rows; ++i) {
+    for (int j = 0; j < options_.cols; ++j) {
+      if (!grid.Has(i, j)) continue;
+      const double w = Cell(i, j).weight;
+      if (w <= 0.0) continue;
+      const Prediction& p = grid.At(i, j);
+      wsum += w;
+      mean += w * p.mean;
+      second += w * (p.variance + p.mean * p.mean);
+    }
+  }
+  Prediction out;
+  if (wsum <= 0.0) {
+    out.mean = 0.0;
+    out.variance = 1.0;
+    return out;
+  }
+  mean /= wsum;
+  second /= wsum;
+  out.mean = mean;
+  out.variance = std::max(second - mean * mean, 1e-12);
+  return out;
+}
+
+double Ensemble::MixtureLogDensity(double value,
+                                   const PredictionGrid& grid) const {
+  // log sum_ij w_ij N(value; u_ij, var_ij) via log-sum-exp.
+  double max_term = -kInf;
+  std::vector<double> terms;
+  double wsum = 0.0;
+  for (int i = 0; i < options_.rows; ++i) {
+    for (int j = 0; j < options_.cols; ++j) {
+      if (!grid.Has(i, j)) continue;
+      const double w = Cell(i, j).weight;
+      if (w <= 0.0) continue;
+      const Prediction& p = grid.At(i, j);
+      const double term =
+          std::log(w) + GaussianLogDensity(value, p.mean, p.variance);
+      terms.push_back(term);
+      wsum += w;
+      max_term = std::max(max_term, term);
+    }
+  }
+  if (terms.empty() || !(wsum > 0.0)) {
+    return GaussianLogDensity(value, 0.0, 1.0);
+  }
+  double sum = 0.0;
+  for (double t : terms) sum += std::exp(t - max_term);
+  return max_term + std::log(sum) - std::log(wsum);
+}
+
+void Ensemble::Observe(double truth, const PredictionGrid& grid) {
+  if (!options_.self_adaptive) return;
+
+  // --- Eqn (6-9): likelihood-proportional weight reinforcement ---
+  // Log-domain for robustness: li normalized to sum 1 over evaluated
+  // cells, lambda_bar = lambda + li, then renormalized.
+  std::vector<double> loglik(cells_.size(), -kInf);
+  double max_ll = -kInf;
+  for (int i = 0; i < options_.rows; ++i) {
+    for (int j = 0; j < options_.cols; ++j) {
+      CellState& c = Cell(i, j);
+      if (!c.awake || !grid.Has(i, j)) continue;
+      const Prediction& p = grid.At(i, j);
+      const double ll = GaussianLogDensity(truth, p.mean, p.variance);
+      loglik[i * options_.cols + j] = ll;
+      max_ll = std::max(max_ll, ll);
+    }
+  }
+  if (std::isfinite(max_ll)) {
+    double lsum = 0.0;
+    for (double ll : loglik) {
+      if (std::isfinite(ll)) lsum += std::exp(ll - max_ll);
+    }
+    for (std::size_t c = 0; c < cells_.size(); ++c) {
+      if (std::isfinite(loglik[c]) && lsum > 0.0) {
+        cells_[c].weight += std::exp(loglik[c] - max_ll) / lsum;
+      }
+    }
+    NormalizeAwake();
+  }
+
+  if (!options_.sleep_and_recovery) return;
+
+  // --- Recovery (Section 5.1.2) ---
+  // Cells recovering now are exempt from this step's sleep evaluation:
+  // they have not predicted yet. Their just_recovered flag survives into
+  // the next Observe so an immediate re-sleep doubles the counter.
+  std::vector<char> recovered_now(cells_.size(), 0);
+  int recovered = 0;
+  for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+    CellState& c = cells_[idx];
+    if (!c.awake) {
+      c.remaining -= 1;
+      if (c.remaining <= 0) {
+        c.awake = true;
+        c.just_recovered = true;
+        recovered_now[idx] = 1;
+        ++recovered;
+      }
+    }
+  }
+  if (recovered > 0) {
+    // Inject eta / (1 - kappa*eta) each, so after renormalization every
+    // recovered predictor holds exactly eta.
+    const double inject = eta_ / std::max(1e-9, 1.0 - recovered * eta_);
+    for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+      if (recovered_now[idx]) cells_[idx].weight = inject;
+    }
+    NormalizeAwake();
+  }
+
+  // --- Sleep transitions ---
+  bool slept_any = false;
+  for (std::size_t idx = 0; idx < cells_.size(); ++idx) {
+    CellState& c = cells_[idx];
+    if (!c.awake || recovered_now[idx]) continue;
+    if (c.weight < eta_) {
+      // "Weaker" predictors sleep; immediately re-sleeping after recovery
+      // doubles the counter.
+      if (c.just_recovered) {
+        c.counter = std::min(c.counter * 2, 1 << 20);
+      }
+      c.awake = false;
+      c.remaining = c.counter;
+      c.weight = 0.0;
+      slept_any = true;
+    } else {
+      // Survived a step: halve the counter down to 1.
+      c.counter = std::max(1, c.counter / 2);
+    }
+    c.just_recovered = false;
+  }
+  // Never let the whole ensemble sleep.
+  if (NumAwake() == 0) {
+    CellState* best = &cells_[0];
+    for (CellState& c : cells_) {
+      if (c.remaining < best->remaining) best = &c;
+    }
+    best->awake = true;
+    best->weight = 1.0;
+  }
+  if (slept_any) NormalizeAwake();
+}
+
+}  // namespace predictors
+}  // namespace smiler

@@ -1,0 +1,129 @@
+#ifndef SMILER_PREDICTORS_ENSEMBLE_H_
+#define SMILER_PREDICTORS_ENSEMBLE_H_
+
+#include <vector>
+
+#include "predictors/predictor.h"
+
+namespace smiler {
+namespace predictors {
+
+/// \brief The per-step predictions of an ensemble's cells. Cell (i, j)
+/// corresponds to (EKV[i], ELV[j]); `has` marks cells that actually
+/// predicted (awake cells), others are ignored by Combine/Observe.
+struct PredictionGrid {
+  int rows = 0;
+  int cols = 0;
+  std::vector<Prediction> preds;
+  std::vector<char> has;
+
+  PredictionGrid() = default;
+  PredictionGrid(int r, int c)
+      : rows(r), cols(c), preds(r * c), has(r * c, 0) {}
+
+  void Set(int i, int j, const Prediction& p) {
+    preds[i * cols + j] = p;
+    has[i * cols + j] = 1;
+  }
+  bool Has(int i, int j) const { return has[i * cols + j] != 0; }
+  const Prediction& At(int i, int j) const { return preds[i * cols + j]; }
+};
+
+/// \brief The ensemble matrix lambda with the adaptive auto-tuning
+/// mechanism (Sections 3.2.2 and 5.1): a grid of abstract predictors
+/// f_{i,j} over (EKV[i], ELV[j]) whose mixture weights are self-adaptively
+/// re-estimated from each predictor's likelihood of the observed truth,
+/// with the sleep & recovery strategy shutting down persistently weak
+/// predictors.
+class Ensemble {
+ public:
+  struct Options {
+    int rows = 3;  ///< |EKV|
+    int cols = 3;  ///< |ELV|
+    /// Update weights from likelihoods (Eqn 6-9). Disabled = the paper's
+    /// "SMiLerNS" ablation (ensemble with fixed uniform weights).
+    bool self_adaptive = true;
+    /// Sleep & recovery strategy (Section 5.1.2).
+    bool sleep_and_recovery = true;
+  };
+
+  explicit Ensemble(const Options& options);
+
+  int rows() const { return options_.rows; }
+  int cols() const { return options_.cols; }
+
+  /// Whether predictor (i, j) should compute a prediction this step.
+  bool IsAwake(int i, int j) const { return Cell(i, j).awake; }
+  /// Current (normalized over awake cells) mixture weight of (i, j).
+  double Weight(int i, int j) const { return Cell(i, j).weight; }
+  /// Current sleep counter varsigma_{i,j} (exposed for tests).
+  int SleepCounter(int i, int j) const { return Cell(i, j).counter; }
+  /// Number of awake predictors.
+  int NumAwake() const;
+
+  /// The sleep threshold eta = 1 / (2 * rows * cols).
+  double sleep_threshold() const { return eta_; }
+
+  /// Eqn (3): the mixture prediction, moment-matched to one Gaussian
+  ///   u = sum w u_ij,  var = sum w (sigma^2_ij + u_ij^2) - u^2
+  /// over cells present in \p grid, with weights renormalized over them,
+  /// then scaled by the online variance calibration factor (see
+  /// variance_scale()). Returns a zero-mean unit-variance fallback when
+  /// the grid is empty.
+  Prediction Combine(const PredictionGrid& grid) const;
+
+  /// Combine without the calibration scale (the raw moment-matched
+  /// mixture); engines keep this for the calibration update.
+  Prediction CombineRaw(const PredictionGrid& grid) const;
+
+  /// Online variance calibration (an extension of the self-adaptive
+  /// mechanism): an EWMA of the squared standardized residual
+  /// (truth - u)^2 / sigma^2_raw of issued predictions. Neighbor-based
+  /// variances understate the error around regime onsets; this factor
+  /// re-inflates them from observed surprise. Disabled (fixed at 1) when
+  /// self-adaptation is off.
+  double variance_scale() const { return vif_; }
+
+  /// Feeds one resolved forecast into the variance calibration. \p raw
+  /// must be the CombineRaw output the forecast was issued from.
+  void ObserveCalibration(double truth, const Prediction& raw);
+
+  /// Log density of \p value under the full mixture (an alternative
+  /// uncertainty readout; the moment-matched Gaussian is what the paper's
+  /// MNLPD uses).
+  double MixtureLogDensity(double value, const PredictionGrid& grid) const;
+
+  /// Self-adaptive update after the truth arrives (Section 5.1.1): raises
+  /// the weight of cells that assigned the truth high likelihood
+  /// (Eqn 6-9), then runs the sleep & recovery bookkeeping (Section
+  /// 5.1.2). \p grid must be the grid the evaluated prediction was made
+  /// from. No-op when self_adaptive is disabled.
+  void Observe(double truth, const PredictionGrid& grid);
+
+ private:
+  struct CellState {
+    double weight = 0.0;
+    bool awake = true;
+    int counter = 1;           ///< varsigma: steps to sleep next time
+    int remaining = 0;         ///< remaining sleep steps (when asleep)
+    bool just_recovered = false;
+  };
+
+  CellState& Cell(int i, int j) { return cells_[i * options_.cols + j]; }
+  const CellState& Cell(int i, int j) const {
+    return cells_[i * options_.cols + j];
+  }
+  /// Renormalizes awake weights to sum to one.
+  void NormalizeAwake();
+
+  Options options_;
+  double eta_;
+  std::vector<CellState> cells_;
+  double z_ewma_ = 1.0;  // running mean of squared standardized residuals
+  double vif_ = 1.0;     // clamped variance inflation factor
+};
+
+}  // namespace predictors
+}  // namespace smiler
+
+#endif  // SMILER_PREDICTORS_ENSEMBLE_H_

@@ -1,0 +1,44 @@
+#ifndef SMILER_PREDICTORS_GP_PREDICTOR_H_
+#define SMILER_PREDICTORS_GP_PREDICTOR_H_
+
+#include <optional>
+
+#include "gp/kernel.h"
+#include "predictors/predictor.h"
+
+namespace smiler {
+namespace predictors {
+
+/// \brief The Gaussian Process instantiation of the abstract predictor
+/// (Section 5.2.2), one instance per ensemble cell.
+///
+/// Stateful across continuous prediction: the first call optimizes the
+/// kernel hyperparameters from the heuristic seed with \p initial_cg_steps
+/// CG steps; subsequent calls warm-start from the previous step's kernel
+/// and take only \p online_cg_steps steps ("the energy paid for the
+/// training process in previous steps is partially preserved").
+///
+/// Numerical failures (degenerate kNN data) fall back to the aggregation
+/// predictor so continuous prediction never stalls.
+class GpCellPredictor {
+ public:
+  /// Predicts the h-step-ahead distribution for query segment \p x0
+  /// (length = set.x.cols()) from the cell's kNN data.
+  Prediction Predict(const KnnTrainingSet& set, const double* x0,
+                     int initial_cg_steps, int online_cg_steps);
+
+  /// Drops the warm-start state (used by tests and by engines that reset
+  /// after long gaps).
+  void Reset() { kernel_.reset(); }
+
+  /// The current warm-start kernel, if any.
+  const std::optional<gp::SeKernel>& kernel() const { return kernel_; }
+
+ private:
+  std::optional<gp::SeKernel> kernel_;
+};
+
+}  // namespace predictors
+}  // namespace smiler
+
+#endif  // SMILER_PREDICTORS_GP_PREDICTOR_H_

@@ -1,0 +1,39 @@
+#include "predictors/predictor.h"
+
+#include <algorithm>
+
+namespace smiler {
+namespace predictors {
+
+Result<KnnTrainingSet> MakeTrainingSet(const std::vector<double>& series,
+                                       const index::ItemQueryResult& item,
+                                       int k, int h) {
+  if (item.neighbors.empty()) {
+    return Status::InvalidArgument("item query has no neighbors");
+  }
+  if (k <= 0 || h < 1) {
+    return Status::InvalidArgument("k must be > 0 and h >= 1");
+  }
+  const int use_k =
+      std::min<int>(k, static_cast<int>(item.neighbors.size()));
+  const int d = item.d;
+
+  KnnTrainingSet set;
+  set.x = la::Matrix(use_k, d);
+  set.y.resize(use_k);
+  for (int j = 0; j < use_k; ++j) {
+    const long t = item.neighbors[j].t;
+    const long y_index = t + d - 1 + h;
+    if (t < 0 || y_index >= static_cast<long>(series.size())) {
+      return Status::OutOfRange(
+          "neighbor's h-step-ahead value not observed yet");
+    }
+    double* row = set.x.Row(j);
+    for (int p = 0; p < d; ++p) row[p] = series[t + p];
+    set.y[j] = series[y_index];
+  }
+  return set;
+}
+
+}  // namespace predictors
+}  // namespace smiler

@@ -1,0 +1,38 @@
+#ifndef SMILER_PREDICTORS_PREDICTOR_H_
+#define SMILER_PREDICTORS_PREDICTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "gp/gp_regressor.h"
+#include "index/knn_result.h"
+#include "la/matrix.h"
+
+namespace smiler {
+namespace predictors {
+
+/// Gaussian predictive distribution (re-exported for predictor call sites).
+using Prediction = gp::Prediction;
+
+/// \brief The kNN data (X_{k,d}, Y_h) of Definition 3.1: neighbor segments
+/// as matrix rows plus their h-step-ahead values.
+struct KnnTrainingSet {
+  la::Matrix x;            ///< k rows, each a d-length neighbor segment
+  std::vector<double> y;   ///< y_{j,h} = value h steps after each segment
+};
+
+/// \brief Assembles the training set for one ensemble cell from a suffix
+/// kNN result: the first \p k neighbors of \p item (ascending DTW order)
+/// become rows of X; y_j = series[t_j + d - 1 + h].
+///
+/// Fails with InvalidArgument when the item holds no neighbors, and with
+/// OutOfRange when a neighbor's h-step-ahead value is not yet observed
+/// (callers prevent this via the search's reserve_horizon).
+Result<KnnTrainingSet> MakeTrainingSet(const std::vector<double>& series,
+                                       const index::ItemQueryResult& item,
+                                       int k, int h);
+
+}  // namespace predictors
+}  // namespace smiler
+
+#endif  // SMILER_PREDICTORS_PREDICTOR_H_

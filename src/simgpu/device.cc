@@ -1,0 +1,53 @@
+#include "simgpu/device.h"
+
+#include <string>
+
+namespace smiler {
+namespace simgpu {
+
+Status Device::Launch(int grid_dim, int block_dim, const Kernel& kernel) {
+  if (grid_dim < 0 || block_dim <= 0) {
+    return Status::InvalidArgument("grid_dim must be >= 0, block_dim > 0");
+  }
+  if (grid_dim == 0) return Status::OK();
+
+  stats_.kernels_launched += 1;
+  stats_.blocks_executed += static_cast<std::uint64_t>(grid_dim);
+
+  const std::size_t shared_bytes = shared_bytes_;
+  pool_->ParallelFor(static_cast<std::size_t>(grid_dim),
+                     [&](std::size_t block) {
+                       // Each block owns a fresh shared-memory arena, like a
+                       // CUDA SM assigning shared memory per resident block.
+                       SharedMemory shared(shared_bytes);
+                       BlockContext ctx;
+                       ctx.block_id = static_cast<int>(block);
+                       ctx.grid_dim = grid_dim;
+                       ctx.block_dim = block_dim;
+                       ctx.shared = &shared;
+                       kernel(ctx);
+                     });
+  return Status::OK();
+}
+
+Status Device::AllocateBytes(std::size_t bytes) {
+  std::size_t current = used_.load();
+  for (;;) {
+    if (current + bytes > budget_) {
+      return Status::ResourceExhausted(
+          "device memory budget exceeded: used=" + std::to_string(current) +
+          " request=" + std::to_string(bytes) +
+          " budget=" + std::to_string(budget_));
+    }
+    if (used_.compare_exchange_weak(current, current + bytes)) {
+      return Status::OK();
+    }
+  }
+}
+
+void Device::FreeBytes(std::size_t bytes) {
+  used_.fetch_sub(bytes);
+}
+
+}  // namespace simgpu
+}  // namespace smiler

@@ -1,0 +1,205 @@
+#ifndef SMILER_SIMGPU_DEVICE_H_
+#define SMILER_SIMGPU_DEVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace smiler {
+namespace simgpu {
+
+/// \brief Per-block scratch arena standing in for CUDA shared memory.
+///
+/// The paper stores the compressed DTW warping matrix and the query in
+/// shared memory (Appendix E); kernels written against this arena exercise
+/// the same capacity constraint (default 64 KiB, matching the paper's note
+/// "up to 64KB").
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::size_t capacity_bytes)
+      : data_(capacity_bytes), used_(0) {}
+
+  /// Bump-allocates \p count elements of T. Returns nullptr when the
+  /// request exceeds the remaining capacity (kernel authors must treat
+  /// this like exceeding CUDA shared memory: restructure the kernel).
+  template <typename T>
+  T* Alloc(std::size_t count) {
+    const std::size_t align = alignof(T);
+    std::size_t offset = (used_ + align - 1) / align * align;
+    const std::size_t bytes = count * sizeof(T);
+    if (offset + bytes > data_.size()) return nullptr;
+    used_ = offset + bytes;
+    return reinterpret_cast<T*>(data_.data() + offset);
+  }
+
+  /// Releases all allocations (block exit).
+  void Reset() { used_ = 0; }
+
+  std::size_t capacity() const { return data_.size(); }
+  std::size_t used() const { return used_; }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t used_;
+};
+
+/// \brief Execution context handed to a kernel, one per thread block.
+///
+/// Lanes model CUDA threads. `ForEachLane(fn)` runs `fn(lane)` for every
+/// lane of the block; consecutive ForEachLane calls are separated by an
+/// implicit block-wide barrier (the SIMD phases our kernels need map onto
+/// this structure exactly — see DESIGN.md S3).
+struct BlockContext {
+  int block_id = 0;
+  int grid_dim = 1;
+  int block_dim = 1;
+  SharedMemory* shared = nullptr;
+
+  template <typename Fn>
+  void ForEachLane(Fn&& fn) const {
+    for (int lane = 0; lane < block_dim; ++lane) fn(lane);
+  }
+
+  /// Grid-stride style helper: runs `fn(i)` for every i in [0, n) with the
+  /// block's lanes striding over the range (i = lane, lane+block_dim, ...).
+  template <typename Fn>
+  void StridedFor(std::size_t n, Fn&& fn) const {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+/// A kernel is invoked once per block.
+using Kernel = std::function<void(BlockContext&)>;
+
+/// \brief Counters describing the work a Device has executed.
+struct DeviceStats {
+  std::uint64_t kernels_launched = 0;
+  std::uint64_t blocks_executed = 0;
+};
+
+/// \brief Simulated GPU device: launches grids of blocks over a CPU thread
+/// pool and accounts "device memory" against a configurable budget.
+///
+/// Substitution note (DESIGN.md section 1): this preserves the paper's work
+/// decomposition — one block per sliding window / CSG / k-selection — while
+/// executing on the host. Memory accounting powers the Fig 12(c) capacity
+/// study.
+class Device {
+ public:
+  /// \param memory_budget_bytes simulated device memory (default 6 GiB,
+  ///        the paper's GTX TITAN).
+  /// \param shared_memory_bytes per-block shared memory (default 64 KiB).
+  /// \param pool thread pool to run blocks on (default process pool).
+  explicit Device(std::size_t memory_budget_bytes = 6ULL << 30,
+                  std::size_t shared_memory_bytes = 64ULL << 10,
+                  ThreadPool* pool = nullptr)
+      : budget_(memory_budget_bytes),
+        shared_bytes_(shared_memory_bytes),
+        pool_(pool != nullptr ? pool : &ThreadPool::Default()) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  /// Launches \p grid_dim blocks of \p block_dim lanes running \p kernel.
+  /// Blocks execute concurrently over the pool; the call returns after all
+  /// blocks completed (stream-synchronous semantics).
+  Status Launch(int grid_dim, int block_dim, const Kernel& kernel);
+
+  /// Reserves \p bytes of device memory. Fails with ResourceExhausted when
+  /// the budget would be exceeded.
+  Status AllocateBytes(std::size_t bytes);
+  /// Releases \p bytes previously reserved.
+  void FreeBytes(std::size_t bytes);
+
+  std::size_t memory_used() const { return used_.load(); }
+  std::size_t memory_budget() const { return budget_; }
+  std::size_t shared_memory_bytes() const { return shared_bytes_; }
+
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats{}; }
+
+ private:
+  std::size_t budget_;
+  std::size_t shared_bytes_;
+  ThreadPool* pool_;
+  std::atomic<std::size_t> used_{0};
+  DeviceStats stats_;
+};
+
+/// \brief Typed array living in (simulated) device memory.
+///
+/// Allocation is charged against the owning Device's budget; destruction
+/// releases it. Host access is direct (zero-copy simulation).
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  /// Allocates \p n elements on \p device.
+  static Result<DeviceBuffer<T>> Create(Device* device, std::size_t n) {
+    SMILER_RETURN_NOT_OK(device->AllocateBytes(n * sizeof(T)));
+    DeviceBuffer<T> buf;
+    buf.device_ = device;
+    buf.data_.resize(n);
+    return buf;
+  }
+
+  ~DeviceBuffer() { Release(); }
+
+  DeviceBuffer(DeviceBuffer&& other) noexcept { *this = std::move(other); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      device_ = other.device_;
+      data_ = std::move(other.data_);
+      other.device_ = nullptr;
+      other.data_.clear();
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  /// Grows or shrinks the buffer, adjusting the device budget. Fails when
+  /// growth exceeds the budget (existing contents preserved on failure).
+  Status Resize(std::size_t n) {
+    if (device_ == nullptr) return Status::FailedPrecondition("unallocated");
+    if (n > data_.size()) {
+      SMILER_RETURN_NOT_OK(
+          device_->AllocateBytes((n - data_.size()) * sizeof(T)));
+    } else {
+      device_->FreeBytes((data_.size() - n) * sizeof(T));
+    }
+    data_.resize(n);
+    return Status::OK();
+  }
+
+ private:
+  void Release() {
+    if (device_ != nullptr) {
+      device_->FreeBytes(data_.size() * sizeof(T));
+      device_ = nullptr;
+    }
+    data_.clear();
+  }
+
+  Device* device_ = nullptr;
+  std::vector<T> data_;
+};
+
+}  // namespace simgpu
+}  // namespace smiler
+
+#endif  // SMILER_SIMGPU_DEVICE_H_

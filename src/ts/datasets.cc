@@ -1,0 +1,188 @@
+#include "ts/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace smiler {
+namespace ts {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * M_PI;
+
+// ROAD: freeway occupancy rate. Weak daily shape (rush hours) whose
+// amplitude/phase drifts between regimes, AR(1) colored noise, and random
+// congestion events (occupancy spikes with fast attack / slow decay).
+std::vector<double> GenerateRoad(Rng* rng, int n, int day) {
+  std::vector<double> out(n);
+  const double base = 0.08 + 0.04 * rng->Uniform();
+  const double phase_am = (0.30 + 0.05 * rng->Uniform()) * day;  // ~7:30am
+  const double phase_pm = (0.72 + 0.05 * rng->Uniform()) * day;  // ~5:30pm
+  const double width = day * (0.035 + 0.015 * rng->Uniform());
+
+  // Regime state: multiplies the rush-hour amplitude; switches rarely.
+  double regime = 1.0;
+  // AR(1) noise state.
+  double ar = 0.0;
+  const double ar_coef = 0.92;
+  const double ar_sigma = 0.012 + 0.006 * rng->Uniform();
+
+  // Congestion event state.
+  double event = 0.0;
+  int event_left = 0;
+  double event_decay = 0.0;
+
+  for (int t = 0; t < n; ++t) {
+    const double tod = static_cast<double>(t % day);
+    const int weekday = (t / day) % 7;
+    const double weekend = (weekday >= 5) ? 0.45 : 1.0;
+
+    auto bump = [&](double center) {
+      const double d = tod - center;
+      return std::exp(-0.5 * d * d / (width * width));
+    };
+    const double rush =
+        regime * weekend * (0.35 * bump(phase_am) + 0.42 * bump(phase_pm));
+
+    // Regime switches (roughly every ~8 days): traffic demand shifts.
+    if (rng->Uniform() < 1.0 / (8.0 * day)) {
+      regime = 0.6 + 0.8 * rng->Uniform();
+    }
+    // Congestion events: ~one per day. The onset/decay shape is
+    // consistent (what a pattern-matching predictor can exploit) while
+    // the timing is irregular (what defeats global seasonal models).
+    if (event_left == 0 && rng->Uniform() < 1.0 / day) {
+      event = 0.3 + 0.15 * rng->Uniform();
+      event_left = static_cast<int>(day * (0.08 + 0.08 * rng->Uniform()));
+      event_decay = std::pow(0.05, 1.0 / std::max(1, event_left));
+    }
+    double event_term = 0.0;
+    if (event_left > 0) {
+      event_term = event;
+      event *= event_decay;
+      --event_left;
+    }
+
+    ar = ar_coef * ar + rng->Normal(0.0, ar_sigma);
+    out[t] = std::clamp(base + rush + event_term + ar, 0.0, 1.0);
+  }
+  return out;
+}
+
+// MALL: available car park lots. Strong inverted daily fill curve (lots
+// drain towards midday/evening), weekly modulation, small noise. Highly
+// repetitive, so simple neighbor averaging already predicts well.
+std::vector<double> GenerateMall(Rng* rng, int n, int day) {
+  std::vector<double> out(n);
+  const double capacity = 400.0 + 600.0 * rng->Uniform();
+  const double noon = (0.5 + 0.03 * rng->Uniform()) * day;
+  const double evening = (0.8 + 0.03 * rng->Uniform()) * day;
+  const double w1 = day * (0.09 + 0.02 * rng->Uniform());
+  const double w2 = day * (0.06 + 0.02 * rng->Uniform());
+  const double noise_sigma = 0.006 * capacity;
+  double ar = 0.0;
+
+  for (int t = 0; t < n; ++t) {
+    const double tod = static_cast<double>(t % day);
+    const int weekday = (t / day) % 7;
+    const double busy = (weekday >= 5) ? 1.25 : 1.0;  // busier weekends
+
+    const double d1 = tod - noon;
+    const double d2 = tod - evening;
+    const double occupancy =
+        busy * (0.55 * std::exp(-0.5 * d1 * d1 / (w1 * w1)) +
+                0.30 * std::exp(-0.5 * d2 * d2 / (w2 * w2)));
+    ar = 0.85 * ar + rng->Normal(0.0, noise_sigma);
+    // Available lots are integer counts saturating at the capacity: the
+    // overnight stretches are pinned at (nearly) constant values, like
+    // the real car-park feeds. These near-duplicate segments are what
+    // drive variance-free kNN sets (and the paper's extreme AR MNLPD).
+    const double lots = capacity * (1.0 - std::min(0.97, occupancy)) + ar;
+    out[t] = std::round(std::clamp(lots, 0.0, capacity));
+  }
+  return out;
+}
+
+// NET: backbone internet traffic. Multiplicative diurnal cycle, weekly
+// weekday/weekend split, slow upward trend, lognormal-flavoured noise.
+std::vector<double> GenerateNet(Rng* rng, int n, int day) {
+  std::vector<double> out(n);
+  const double base = 3.0 + 2.0 * rng->Uniform();
+  const double trend = 0.15 / static_cast<double>(n);  // slow growth
+  const double phase = rng->Uniform() * kTwoPi;
+  double ar = 0.0;
+
+  for (int t = 0; t < n; ++t) {
+    const double tod = kTwoPi * static_cast<double>(t % day) / day;
+    const int weekday = (t / day) % 7;
+    const double weekend = (weekday >= 5) ? 0.75 : 1.0;
+    const double diurnal =
+        1.0 + 0.55 * std::sin(tod - kTwoPi * 0.25 + phase) +
+        0.18 * std::sin(2.0 * tod + phase);
+    ar = 0.9 * ar + rng->Normal(0.0, 0.05);
+    const double level =
+        base * (1.0 + trend * t) * weekend * std::max(0.15, diurnal);
+    out[t] = level * std::exp(ar * 0.35);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kRoad:
+      return "ROAD";
+    case DatasetKind::kMall:
+      return "MALL";
+    case DatasetKind::kNet:
+      return "NET";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<double> GenerateSensor(DatasetKind kind, int sensor_index,
+                                   int num_points, int samples_per_day,
+                                   uint64_t seed) {
+  // Derive a per-sensor seed; mix to decorrelate adjacent sensors.
+  Rng rng(seed * 0x100000001B3ULL + static_cast<uint64_t>(sensor_index) +
+          static_cast<uint64_t>(kind) * 0x9E3779B9ULL);
+  switch (kind) {
+    case DatasetKind::kRoad:
+      return GenerateRoad(&rng, num_points, samples_per_day);
+    case DatasetKind::kMall:
+      return GenerateMall(&rng, num_points, samples_per_day);
+    case DatasetKind::kNet:
+      return GenerateNet(&rng, num_points, samples_per_day);
+  }
+  return {};
+}
+
+Result<std::vector<TimeSeries>> MakeDataset(const DatasetSpec& spec) {
+  if (spec.num_sensors <= 0) {
+    return Status::InvalidArgument("num_sensors must be positive");
+  }
+  if (spec.points_per_sensor < 2) {
+    return Status::InvalidArgument("points_per_sensor must be >= 2");
+  }
+  if (spec.samples_per_day < 4) {
+    return Status::InvalidArgument("samples_per_day must be >= 4");
+  }
+  std::vector<TimeSeries> out;
+  out.reserve(spec.num_sensors);
+  for (int i = 0; i < spec.num_sensors; ++i) {
+    std::vector<double> values =
+        GenerateSensor(spec.kind, i, spec.points_per_sensor,
+                       spec.samples_per_day, spec.seed);
+    if (spec.znormalize) ZNormalize(&values);
+    out.emplace_back(std::string(DatasetKindName(spec.kind)) + "-" +
+                         std::to_string(i),
+                     std::move(values));
+  }
+  return out;
+}
+
+}  // namespace ts
+}  // namespace smiler

@@ -1,0 +1,63 @@
+#ifndef SMILER_TS_DATASETS_H_
+#define SMILER_TS_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/series.h"
+
+namespace smiler {
+namespace ts {
+
+/// \brief Which of the paper's three real-life datasets a generator mimics.
+///
+/// The originals (PEMS road occupancy, Singapore mall car parks, backbone
+/// internet traffic) are not shipped; `MakeDataset` synthesizes series with
+/// the statistical character the paper reports for each (see DESIGN.md
+/// section 1 for the substitution rationale).
+enum class DatasetKind {
+  /// ROAD: weakly seasonal, regime switching, bursty congestion events —
+  /// "more dynamic traffic information" (GP clearly beats AR here).
+  kRoad,
+  /// MALL: strongly seasonal car-park fill curves ("some seasonal
+  /// patterns"; AR is competitive with GP on MAE).
+  kMall,
+  /// NET: diurnal+weekly multiplicative internet traffic with trend.
+  kNet,
+};
+
+/// Returns "ROAD" / "MALL" / "NET".
+const char* DatasetKindName(DatasetKind kind);
+
+/// \brief Parameters of a synthetic dataset.
+struct DatasetSpec {
+  DatasetKind kind = DatasetKind::kRoad;
+  /// Number of sensors (paper: 963 / 1040 / 1024; scale down for CI).
+  int num_sensors = 8;
+  /// Points per sensor (paper: tens of thousands; scale down for CI).
+  int points_per_sensor = 4096;
+  /// Samples per synthetic "day" (the paper's sensors sample every 5-10
+  /// minutes, i.e. 144-288 samples/day; default keeps benches fast).
+  int samples_per_day = 128;
+  /// Base RNG seed; sensor i derives seed from (seed, i) so any subset of
+  /// sensors is reproducible.
+  uint64_t seed = 2015;
+  /// Z-normalize each sensor's series (paper does, §6.1.2).
+  bool znormalize = true;
+};
+
+/// \brief Generates the synthetic dataset described by \p spec.
+/// Fails with InvalidArgument on nonsensical sizes.
+Result<std::vector<TimeSeries>> MakeDataset(const DatasetSpec& spec);
+
+/// \brief Generates a single sensor's raw (un-normalized) series.
+/// Exposed for tests that check the generators' statistical character.
+std::vector<double> GenerateSensor(DatasetKind kind, int sensor_index,
+                                   int num_points, int samples_per_day,
+                                   uint64_t seed);
+
+}  // namespace ts
+}  // namespace smiler
+
+#endif  // SMILER_TS_DATASETS_H_

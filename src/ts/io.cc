@@ -1,0 +1,141 @@
+#include "ts/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace smiler {
+namespace ts {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, delimiter)) fields.push_back(field);
+  // A trailing delimiter produces one final empty field.
+  if (!line.empty() && line.back() == delimiter) fields.push_back("");
+  return fields;
+}
+
+Result<double> ParseNumber(const std::string& field, std::size_t line_no) {
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  // Require the whole (trimmed) field to be consumed.
+  while (end != nullptr && (*end == ' ' || *end == '\t' || *end == '\r')) {
+    ++end;
+  }
+  if (end == begin || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("non-numeric value '" + field +
+                                   "' on line " + std::to_string(line_no));
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::vector<TimeSeries>> ParseCsv(const std::string& text,
+                                         const CsvOptions& options) {
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> rows;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitLine(line, options.delimiter);
+    if (line_no == 1 && options.has_header) {
+      names = fields;
+      continue;
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const std::string& f : fields) {
+      SMILER_ASSIGN_OR_RETURN(double v, ParseNumber(f, line_no));
+      row.push_back(v);
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::InvalidArgument(
+          "ragged CSV: line " + std::to_string(line_no) + " has " +
+          std::to_string(row.size()) + " fields, expected " +
+          std::to_string(rows.front().size()));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("CSV holds no data rows");
+  }
+
+  const std::size_t num_sensors =
+      options.sensors_in_columns ? rows.front().size() : rows.size();
+  const std::size_t num_points =
+      options.sensors_in_columns ? rows.size() : rows.front().size();
+  std::vector<TimeSeries> out;
+  out.reserve(num_sensors);
+  for (std::size_t s = 0; s < num_sensors; ++s) {
+    std::vector<double> values(num_points);
+    for (std::size_t t = 0; t < num_points; ++t) {
+      values[t] = options.sensors_in_columns ? rows[t][s] : rows[s][t];
+    }
+    std::string id;
+    if (options.sensors_in_columns && options.has_header &&
+        s < names.size() && !names[s].empty()) {
+      id = names[s];
+    } else {
+      id = "sensor-" + std::to_string(s);
+    }
+    out.emplace_back(std::move(id), std::move(values));
+  }
+  return out;
+}
+
+Result<std::vector<TimeSeries>> ReadCsv(const std::string& path,
+                                        const CsvOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+Status WriteCsv(const std::string& path,
+                const std::vector<TimeSeries>& series) {
+  if (series.empty()) {
+    return Status::InvalidArgument("no series to write");
+  }
+  const std::size_t n = series.front().size();
+  for (const TimeSeries& s : series) {
+    if (s.size() != n) {
+      return Status::InvalidArgument("series lengths differ");
+    }
+  }
+  std::ofstream file(path);
+  if (!file) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    file << (s ? "," : "") << series[s].sensor_id();
+  }
+  file << "\n";
+  file.precision(17);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      file << (s ? "," : "") << series[s][t];
+    }
+    file << "\n";
+  }
+  if (!file.good()) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace ts
+}  // namespace smiler

@@ -1,0 +1,44 @@
+#ifndef SMILER_TS_IO_H_
+#define SMILER_TS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ts/series.h"
+
+namespace smiler {
+namespace ts {
+
+/// \brief Options for reading sensor series from CSV.
+struct CsvOptions {
+  /// Column separator.
+  char delimiter = ',';
+  /// Skip the first line (header).
+  bool has_header = true;
+  /// When true, each *column* is one sensor (wide layout, like the PEMS
+  /// export); when false each *row* is one sensor.
+  bool sensors_in_columns = true;
+};
+
+/// \brief Reads sensor time series from a CSV file. Sensor ids come from
+/// the header when present, else "sensor-<i>". Empty cells and
+/// non-numeric values fail with InvalidArgument (no silent NaNs: gaps
+/// should be re-interpolated upstream, cf. the paper's fixed-rate
+/// assumption, Section 3.1).
+Result<std::vector<TimeSeries>> ReadCsv(const std::string& path,
+                                        const CsvOptions& options = {});
+
+/// \brief Parses CSV text (exposed for tests; ReadCsv is a thin wrapper).
+Result<std::vector<TimeSeries>> ParseCsv(const std::string& text,
+                                         const CsvOptions& options = {});
+
+/// \brief Writes series to CSV (column layout, header of sensor ids).
+/// Requires all series to have equal length.
+Status WriteCsv(const std::string& path,
+                const std::vector<TimeSeries>& series);
+
+}  // namespace ts
+}  // namespace smiler
+
+#endif  // SMILER_TS_IO_H_

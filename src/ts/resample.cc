@@ -1,0 +1,76 @@
+#include "ts/resample.h"
+
+#include <cmath>
+
+namespace smiler {
+namespace ts {
+
+Result<std::vector<double>> Resample(const std::vector<double>& values,
+                                     double source_interval,
+                                     double target_interval) {
+  if (source_interval <= 0.0 || target_interval <= 0.0) {
+    return Status::InvalidArgument("intervals must be positive");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot resample an empty series");
+  }
+  const double span = source_interval * (values.size() - 1);
+  const std::size_t n_out =
+      static_cast<std::size_t>(std::floor(span / target_interval)) + 1;
+  std::vector<double> out(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) {
+    const double t = i * target_interval;
+    const double pos = t / source_interval;
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    if (lo + 1 >= values.size()) {
+      out[i] = values.back();
+      continue;
+    }
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+  }
+  return out;
+}
+
+Status FillGaps(std::vector<double>* values) {
+  const std::size_t n = values->size();
+  std::size_t first_finite = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isfinite((*values)[i])) {
+      first_finite = i;
+      break;
+    }
+  }
+  if (first_finite == n) {
+    return Status::InvalidArgument("series holds no finite value");
+  }
+  // Leading gap: backfill with the first finite value.
+  for (std::size_t i = 0; i < first_finite; ++i) {
+    (*values)[i] = (*values)[first_finite];
+  }
+  // Interior and trailing gaps.
+  std::size_t last_finite = first_finite;
+  for (std::size_t i = first_finite + 1; i < n; ++i) {
+    if (std::isfinite((*values)[i])) {
+      // Interpolate over [last_finite, i].
+      const std::size_t gap = i - last_finite;
+      if (gap > 1) {
+        const double a = (*values)[last_finite];
+        const double b = (*values)[i];
+        for (std::size_t j = 1; j < gap; ++j) {
+          (*values)[last_finite + j] =
+              a + (b - a) * static_cast<double>(j) / static_cast<double>(gap);
+        }
+      }
+      last_finite = i;
+    }
+  }
+  // Trailing gap: forward-fill.
+  for (std::size_t i = last_finite + 1; i < n; ++i) {
+    (*values)[i] = (*values)[last_finite];
+  }
+  return Status::OK();
+}
+
+}  // namespace ts
+}  // namespace smiler

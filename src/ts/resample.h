@@ -1,0 +1,32 @@
+#ifndef SMILER_TS_RESAMPLE_H_
+#define SMILER_TS_RESAMPLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ts/series.h"
+
+namespace smiler {
+namespace ts {
+
+/// \brief Linearly re-interpolates a series sampled every
+/// \p source_interval time units onto a grid sampled every
+/// \p target_interval units, covering the same time span.
+///
+/// SMiLer assumes a fixed sample rate (Section 3.1: "the user can easily
+/// re-interpolate data if the sample rate is changed"); this is that
+/// utility. Both intervals must be positive; the result always keeps the
+/// first point and never extrapolates beyond the last.
+Result<std::vector<double>> Resample(const std::vector<double>& values,
+                                     double source_interval,
+                                     double target_interval);
+
+/// \brief Fills NaN gaps in place by linear interpolation between the
+/// nearest finite neighbors (leading/trailing gaps take the nearest
+/// finite value). Fails when no finite value exists at all.
+Status FillGaps(std::vector<double>* values);
+
+}  // namespace ts
+}  // namespace smiler
+
+#endif  // SMILER_TS_RESAMPLE_H_

@@ -1,0 +1,33 @@
+#include "ts/series.h"
+
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace smiler {
+namespace ts {
+
+std::pair<double, double> ZNormalize(std::vector<double>* values) {
+  if (values->empty()) return {0.0, 1.0};
+  const double mean = Mean(*values);
+  double var = 0.0;
+  for (double v : *values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values->size());
+  const double stddev = std::sqrt(var);
+  if (stddev < 1e-12) {
+    for (double& v : *values) v = 0.0;
+    return {mean, 1.0};
+  }
+  const double inv = 1.0 / stddev;
+  for (double& v : *values) v = (v - mean) * inv;
+  return {mean, stddev};
+}
+
+TimeSeries ZNormalized(const TimeSeries& series) {
+  std::vector<double> values = series.values();
+  ZNormalize(&values);
+  return TimeSeries(series.sensor_id(), std::move(values));
+}
+
+}  // namespace ts
+}  // namespace smiler

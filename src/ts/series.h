@@ -1,0 +1,84 @@
+#ifndef SMILER_TS_SERIES_H_
+#define SMILER_TS_SERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smiler {
+namespace ts {
+
+/// \brief A non-owning view over a contiguous segment C_{t,d} of a series:
+/// the d points starting at timestamp t (C_{t,d} = {c_t, ..., c_{t+d-1}}).
+struct SegmentView {
+  const double* data = nullptr;
+  int length = 0;
+  /// Timestamp of the first point within the owning series.
+  long start = 0;
+
+  double operator[](int i) const { return data[i]; }
+  /// Timestamp of the last point (the segment "ends at" this time, matching
+  /// the paper's x_{j,d} ending at time t_j).
+  long end_time() const { return start + length - 1; }
+};
+
+/// \brief A sensor's time series: a fixed-rate sequence of observations.
+///
+/// Values are stored in arrival order; timestamp j is simply index j
+/// (Section 3.1 — fixed sample rate makes a series a sequence of points).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  /// Creates a series owned by sensor \p sensor_id with initial \p values.
+  TimeSeries(std::string sensor_id, std::vector<double> values)
+      : sensor_id_(std::move(sensor_id)), values_(std::move(values)) {}
+
+  const std::string& sensor_id() const { return sensor_id_; }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](std::size_t i) const { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+  const double* data() const { return values_.data(); }
+
+  /// Appends a newly observed point (continuous prediction ingest path).
+  void Append(double value) { values_.push_back(value); }
+
+  /// Returns the segment C_{t,d} = {c_t, ..., c_{t+d-1}}.
+  /// Fails with OutOfRange when [t, t+d) is not inside the series.
+  Result<SegmentView> Segment(long t, int d) const {
+    if (t < 0 || d <= 0 ||
+        static_cast<std::size_t>(t + d) > values_.size()) {
+      return Status::OutOfRange("segment [" + std::to_string(t) + ", " +
+                                std::to_string(t + d) + ") outside series of " +
+                                std::to_string(values_.size()) + " points");
+    }
+    return SegmentView{values_.data() + t, d, t};
+  }
+
+  /// Returns the d-length segment ending at timestamp \p end (inclusive),
+  /// i.e. C_{end-d+1, d} — the paper's x_{0,d} when end is "now".
+  Result<SegmentView> SuffixSegment(long end, int d) const {
+    return Segment(end - d + 1, d);
+  }
+
+ private:
+  std::string sensor_id_;
+  std::vector<double> values_;
+};
+
+/// \brief Z-normalizes \p values in place: subtracts the mean, divides by
+/// the standard deviation. A constant series becomes all zeros.
+/// Returns the (mean, stddev) used, enabling later de-normalization.
+std::pair<double, double> ZNormalize(std::vector<double>* values);
+
+/// \brief Z-normalizes a whole series, returning a new TimeSeries with the
+/// same sensor id (the paper z-normalizes each sensor's series, §6.1.2).
+TimeSeries ZNormalized(const TimeSeries& series);
+
+}  // namespace ts
+}  // namespace smiler
+
+#endif  // SMILER_TS_SERIES_H_

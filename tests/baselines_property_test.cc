@@ -1,0 +1,185 @@
+// Parameterized robustness sweeps over the baseline models: every
+// competitor must stay finite and sane across datasets (including the
+// heavily quantized MALL-like feeds that once destabilized the recursive
+// sparse-GP updates) and across its own capacity knob.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "baselines/lazy_knn.h"
+#include "baselines/nys_svr.h"
+#include "baselines/psgp.h"
+#include "baselines/registry.h"
+#include "baselines/vlgp.h"
+#include "core/metrics.h"
+#include "ts/datasets.h"
+
+namespace smiler {
+namespace baselines {
+namespace {
+
+// Runs Train / Predict / Observe for `steps` and checks every prediction
+// is finite with positive variance; returns the MAE.
+double RunAndCheckFinite(BaselineModel* model, const std::vector<double>& all,
+                         int warmup, int steps, int d, int h) {
+  EXPECT_TRUE(
+      model
+          ->Train(std::vector<double>(all.begin(), all.begin() + warmup), d,
+                  h)
+          .ok())
+      << model->name();
+  core::MetricAccumulator acc;
+  for (int step = 0; step < steps; ++step) {
+    auto pred = model->Predict();
+    EXPECT_TRUE(pred.ok()) << model->name();
+    if (!pred.ok()) return acc.Mae();
+    EXPECT_TRUE(std::isfinite(pred->mean)) << model->name() << " @" << step;
+    EXPECT_TRUE(std::isfinite(pred->variance)) << model->name();
+    EXPECT_GT(pred->variance, 0.0) << model->name();
+    acc.Add(all[warmup + step + h - 1], *pred);
+    EXPECT_TRUE(model->Observe(all[warmup + step]).ok());
+  }
+  return acc.Mae();
+}
+
+class AllBaselinesOnAllDatasets
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, ts::DatasetKind>> {};
+
+TEST_P(AllBaselinesOnAllDatasets, FiniteAndBeatsMarginal) {
+  const auto& [name, kind] = GetParam();
+  auto data = ts::MakeDataset({kind, 1, 4000, 64, 51, true});
+  ASSERT_TRUE(data.ok());
+  const std::vector<double>& all = (*data)[0].values();
+  simgpu::Device device;
+  auto model = MakeBaseline(name, &device, 64);
+  ASSERT_NE(model, nullptr);
+  const double mae =
+      RunAndCheckFinite(model.get(), all, 4000 - 40, 40, 32, 1);
+  // Every competitor must at least beat the 0-predictor's MAE (~0.8) on
+  // z-normalized data.
+  EXPECT_LT(mae, 0.85) << name;
+}
+
+std::vector<std::tuple<std::string, ts::DatasetKind>> AllCombos() {
+  std::vector<std::tuple<std::string, ts::DatasetKind>> combos;
+  for (auto group : {BaselineGroup::kOffline, BaselineGroup::kOnline}) {
+    for (const auto& name : BaselineNames(group)) {
+      for (auto kind : {ts::DatasetKind::kRoad, ts::DatasetKind::kMall,
+                        ts::DatasetKind::kNet}) {
+        combos.emplace_back(name, kind);
+      }
+    }
+  }
+  return combos;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllBaselinesOnAllDatasets, ::testing::ValuesIn(AllCombos()),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::string, ts::DatasetKind>>& info) {
+      return std::get<0>(info.param) + "_" +
+             ts::DatasetKindName(std::get<1>(info.param));
+    });
+
+// Regression: exact-duplicate (quantized, saturated) windows previously
+// drove the PSGP recursion to NaN via the degenerate LOO hyperparameters.
+TEST(PsgpRobustnessTest, QuantizedSaturatedSeriesStaysFinite) {
+  std::vector<double> all(6000);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const int tod = static_cast<int>(i % 96);
+    all[i] = (tod < 48) ? 100.0 : std::round(100.0 - tod * 0.8);
+  }
+  ts::ZNormalize(&all);
+  PsgpModel psgp;
+  const double mae = RunAndCheckFinite(&psgp, all, 5900, 60, 64, 1);
+  EXPECT_LT(mae, 0.5);
+}
+
+class PsgpBudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PsgpBudgetSweep, RespectsBudgetOnEveryDataset) {
+  const int budget = GetParam();
+  for (auto kind : {ts::DatasetKind::kRoad, ts::DatasetKind::kMall}) {
+    auto data = ts::MakeDataset({kind, 1, 3000, 64, 53, true});
+    ASSERT_TRUE(data.ok());
+    PsgpModel::Options options;
+    options.active_points = budget;
+    options.max_pairs = 600;
+    PsgpModel psgp(options);
+    ASSERT_TRUE(psgp.Train((*data)[0].values(), 32, 1).ok());
+    EXPECT_LE(psgp.num_basis(), budget);
+    auto pred = psgp.Predict();
+    ASSERT_TRUE(pred.ok());
+    EXPECT_TRUE(std::isfinite(pred->mean));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PsgpBudgetSweep,
+                         ::testing::Values(2, 4, 16, 64, 256));
+
+class VlgpInducingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VlgpInducingSweep, TrainsAcrossInducingCounts) {
+  auto data =
+      ts::MakeDataset({ts::DatasetKind::kNet, 1, 3000, 64, 55, true});
+  ASSERT_TRUE(data.ok());
+  VlgpModel::Options options;
+  options.inducing_points = GetParam();
+  options.max_pairs = 500;
+  VlgpModel model(options);
+  ASSERT_TRUE(model.Train((*data)[0].values(), 32, 1).ok());
+  EXPECT_TRUE(std::isfinite(model.elbo()));
+  auto pred = model.Predict();
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(std::isfinite(pred->mean));
+  EXPECT_GT(pred->variance, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, VlgpInducingSweep,
+                         ::testing::Values(2, 8, 32, 128));
+
+class NysRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NysRankSweep, TrainsAcrossRanks) {
+  auto data =
+      ts::MakeDataset({ts::DatasetKind::kMall, 1, 3000, 64, 57, true});
+  ASSERT_TRUE(data.ok());
+  NysSvrModel::Options options;
+  options.rank = GetParam();
+  options.max_pairs = 500;
+  NysSvrModel model(options);
+  ASSERT_TRUE(model.Train((*data)[0].values(), 32, 1).ok());
+  auto pred = model.Predict();
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(std::isfinite(pred->mean));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, NysRankSweep,
+                         ::testing::Values(4, 16, 64, 256));
+
+class LazyKnnSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LazyKnnSweep, WorksAcrossKAndD) {
+  const auto [k, d] = GetParam();
+  auto data =
+      ts::MakeDataset({ts::DatasetKind::kMall, 1, 3000, 64, 59, true});
+  ASSERT_TRUE(data.ok());
+  simgpu::Device device;
+  LazyKnnModel model(&device, k, d, /*rho=*/4, /*omega=*/8);
+  const double mae =
+      RunAndCheckFinite(&model, (*data)[0].values(), 2950, 30, d, 1);
+  EXPECT_LT(mae, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LazyKnnSweep,
+                         ::testing::Combine(::testing::Values(2, 8, 32),
+                                            ::testing::Values(16, 64)));
+
+}  // namespace
+}  // namespace baselines
+}  // namespace smiler

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace smiler {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, EveryFactoryProducesItsCode) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> HelperReturningError() { return Status::Internal("boom"); }
+
+Status UseAssignOrReturn(int* out) {
+  SMILER_ASSIGN_OR_RETURN(*out, HelperReturningError());
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  Status s = UseAssignOrReturn(&out);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximate) {
+  Rng rng(99);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, UniformIntWithinRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](std::size_t i) { hits[i] += 1; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleIteration) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls += 1;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedCallDegradesToSequential) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](std::size_t) {
+    // Re-entrant use must not deadlock.
+    ThreadPool::Default().ParallelFor(10, [&](std::size_t) { total += 1; });
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, ManyIterationsBalance) {
+  ThreadPool pool(8);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(100000, [&](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 100000L * 99999L / 2);
+}
+
+// ---------------------------------------------------------------- Config
+
+TEST(ConfigTest, DefaultsMatchPaperTable2) {
+  SmilerConfig cfg;
+  EXPECT_EQ(cfg.rho, 8);
+  EXPECT_EQ(cfg.omega, 16);
+  EXPECT_EQ(cfg.elv, (std::vector<int>{32, 64, 96}));
+  EXPECT_EQ(cfg.ekv, (std::vector<int>{8, 16, 32}));
+  EXPECT_TRUE(cfg.Validate().ok());
+  EXPECT_EQ(cfg.MasterQueryLength(), 96);
+  EXPECT_EQ(cfg.MaxK(), 32);
+}
+
+TEST(ConfigTest, RejectsBadOmega) {
+  SmilerConfig cfg;
+  cfg.omega = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsNegativeRho) {
+  SmilerConfig cfg;
+  cfg.rho = -1;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsNonAscendingElv) {
+  SmilerConfig cfg;
+  cfg.elv = {64, 32};
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsSegmentShorterThanOmega) {
+  SmilerConfig cfg;
+  cfg.elv = {8, 64};
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsEmptyVectors) {
+  SmilerConfig cfg;
+  cfg.elv.clear();
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SmilerConfig{};
+  cfg.ekv.clear();
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsNonPositiveK) {
+  SmilerConfig cfg;
+  cfg.ekv = {0, 8};
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadHorizon) {
+  SmilerConfig cfg;
+  cfg.horizon = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+// ------------------------------------------------------------ math utils
+
+TEST(MathUtilsTest, GaussianDensityMatchesClosedForm) {
+  // N(0,1) at 0: 1/sqrt(2 pi)
+  EXPECT_NEAR(GaussianDensity(0.0, 0.0, 1.0), 0.3989422804014327, 1e-12);
+  // log density consistency
+  EXPECT_NEAR(std::exp(GaussianLogDensity(1.3, 0.4, 2.7)),
+              GaussianDensity(1.3, 0.4, 2.7), 1e-12);
+}
+
+TEST(MathUtilsTest, MeanAndVariance) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(MathUtilsTest, IsClose) {
+  EXPECT_TRUE(IsClose(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(IsClose(1.0, 1.001));
+}
+
+}  // namespace
+}  // namespace smiler

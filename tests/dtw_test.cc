@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "dtw/dtw.h"
+#include "dtw/envelope.h"
+#include "dtw/lower_bounds.h"
+
+namespace smiler {
+namespace dtw {
+namespace {
+
+std::vector<double> RandomWalk(Rng* rng, int n) {
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (int i = 0; i < n; ++i) {
+    x += rng->Normal();
+    v[i] = x;
+  }
+  return v;
+}
+
+// Brute-force envelope for verification.
+Envelope BruteEnvelope(const std::vector<double>& v, int rho) {
+  Envelope e;
+  const int n = static_cast<int>(v.size());
+  e.upper.resize(n);
+  e.lower.resize(n);
+  for (int i = 0; i < n; ++i) {
+    double mx = -kInf;
+    double mn = kInf;
+    for (int r = -rho; r <= rho; ++r) {
+      const int j = i + r;
+      if (j < 0 || j >= n) continue;
+      mx = std::max(mx, v[j]);
+      mn = std::min(mn, v[j]);
+    }
+    e.upper[i] = mx;
+    e.lower[i] = mn;
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------- Envelope
+
+TEST(EnvelopeTest, MatchesBruteForceSmall) {
+  std::vector<double> v{3, 1, 4, 1, 5, 9, 2, 6};
+  for (int rho : {0, 1, 2, 3, 7, 10}) {
+    Envelope fast = ComputeEnvelope(v, rho);
+    Envelope brute = BruteEnvelope(v, rho);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      EXPECT_DOUBLE_EQ(fast.upper[i], brute.upper[i]) << "rho=" << rho;
+      EXPECT_DOUBLE_EQ(fast.lower[i], brute.lower[i]) << "rho=" << rho;
+    }
+  }
+}
+
+class EnvelopeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnvelopeRandomTest, MatchesBruteForceRandom) {
+  const int rho = GetParam();
+  Rng rng(100 + rho);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 1 + static_cast<int>(rng.UniformInt(200));
+    std::vector<double> v = RandomWalk(&rng, n);
+    Envelope fast = ComputeEnvelope(v, rho);
+    Envelope brute = BruteEnvelope(v, rho);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(fast.upper[i], brute.upper[i]);
+      ASSERT_DOUBLE_EQ(fast.lower[i], brute.lower[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, EnvelopeRandomTest,
+                         ::testing::Values(0, 1, 2, 4, 8, 16, 33));
+
+TEST(EnvelopeTest, EnvelopeBracketsSeries) {
+  Rng rng(7);
+  std::vector<double> v = RandomWalk(&rng, 128);
+  Envelope e = ComputeEnvelope(v, 8);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(e.lower[i], v[i]);
+    EXPECT_GE(e.upper[i], v[i]);
+  }
+}
+
+TEST(EnvelopeTest, UpdateRangeMatchesFullRecompute) {
+  Rng rng(8);
+  std::vector<double> v = RandomWalk(&rng, 100);
+  Envelope e = ComputeEnvelope(v, 5);
+  // Perturb a middle value, then repair via UpdateEnvelopeRange.
+  v[50] += 100.0;
+  UpdateEnvelopeRange(v.data(), v.size(), 5, 45, 56, &e);
+  Envelope fresh = ComputeEnvelope(v, 5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(e.upper[i], fresh.upper[i]) << i;
+    EXPECT_DOUBLE_EQ(e.lower[i], fresh.lower[i]) << i;
+  }
+}
+
+TEST(EnvelopeTest, AppendPathMatchesFullRecompute) {
+  // The SmilerIndex::Append idiom: push one value, repair the tail.
+  Rng rng(9);
+  std::vector<double> v = RandomWalk(&rng, 64);
+  const int rho = 8;
+  Envelope e = ComputeEnvelope(v, rho);
+  for (int step = 0; step < 30; ++step) {
+    v.push_back(rng.Normal());
+    e.upper.push_back(v.back());
+    e.lower.push_back(v.back());
+    const std::size_t begin =
+        v.size() >= static_cast<std::size_t>(rho + 1) ? v.size() - rho - 1 : 0;
+    UpdateEnvelopeRange(v.data(), v.size(), rho, begin, v.size(), &e);
+    Envelope fresh = ComputeEnvelope(v, rho);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      ASSERT_DOUBLE_EQ(e.upper[i], fresh.upper[i]);
+      ASSERT_DOUBLE_EQ(e.lower[i], fresh.lower[i]);
+    }
+  }
+}
+
+TEST(EnvelopeTest, EmptyInput) {
+  Envelope e = ComputeEnvelope(std::vector<double>{}, 4);
+  EXPECT_EQ(e.size(), 0u);
+}
+
+// --------------------------------------------------------------------- DTW
+
+TEST(DtwTest, IdenticalSeriesHaveZeroDistance) {
+  Rng rng(20);
+  std::vector<double> v = RandomWalk(&rng, 50);
+  EXPECT_DOUBLE_EQ(BandedDtw(v.data(), v.data(), v.size(), 5), 0.0);
+  EXPECT_DOUBLE_EQ(CompressedDtw(v.data(), v.data(), v.size(), 5), 0.0);
+}
+
+TEST(DtwTest, KnownSmallExample) {
+  // rho = 0 degenerates to squared Euclidean distance.
+  std::vector<double> q{1, 2, 3};
+  std::vector<double> c{2, 2, 5};
+  const double expected = 1 + 0 + 4;
+  EXPECT_DOUBLE_EQ(BandedDtw(q.data(), c.data(), 3, 0), expected);
+  EXPECT_DOUBLE_EQ(CompressedDtw(q.data(), c.data(), 3, 0), expected);
+}
+
+TEST(DtwTest, WarpingHelps) {
+  // A shifted pattern: DTW with a band should beat Euclidean.
+  std::vector<double> q{0, 0, 1, 5, 1, 0, 0, 0};
+  std::vector<double> c{0, 0, 0, 1, 5, 1, 0, 0};
+  const double euclid = BandedDtw(q.data(), c.data(), 8, 0);
+  const double banded = BandedDtw(q.data(), c.data(), 8, 2);
+  EXPECT_LT(banded, euclid);
+  EXPECT_DOUBLE_EQ(banded, 0.0);  // perfect alignment within the band
+}
+
+TEST(DtwTest, WiderBandNeverIncreasesDistance) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 10 + static_cast<int>(rng.UniformInt(90));
+    std::vector<double> q = RandomWalk(&rng, n);
+    std::vector<double> c = RandomWalk(&rng, n);
+    double prev = kInf;
+    for (int rho : {0, 1, 2, 4, 8, 16}) {
+      const double d = BandedDtw(q.data(), c.data(), n, rho);
+      EXPECT_LE(d, prev + 1e-9);
+      prev = d;
+    }
+  }
+}
+
+TEST(DtwTest, UnconstrainedEqualsFullBand) {
+  Rng rng(22);
+  const int n = 40;
+  std::vector<double> q = RandomWalk(&rng, n);
+  std::vector<double> c = RandomWalk(&rng, n);
+  EXPECT_DOUBLE_EQ(UnconstrainedDtw(q.data(), c.data(), n),
+                   BandedDtw(q.data(), c.data(), n, n));
+}
+
+TEST(DtwTest, SymmetricUnderSwap) {
+  Rng rng(23);
+  const int n = 64;
+  std::vector<double> q = RandomWalk(&rng, n);
+  std::vector<double> c = RandomWalk(&rng, n);
+  for (int rho : {0, 3, 8}) {
+    EXPECT_NEAR(BandedDtw(q.data(), c.data(), n, rho),
+                BandedDtw(c.data(), q.data(), n, rho), 1e-9);
+  }
+}
+
+// The paper's Algorithm 2 compressed warping matrix must agree exactly
+// with the reference implementation for every (d, rho) combination.
+class CompressedDtwTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CompressedDtwTest, MatchesReference) {
+  const int d = std::get<0>(GetParam());
+  const int rho = std::get<1>(GetParam());
+  Rng rng(1000 + d * 31 + rho);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q = RandomWalk(&rng, d);
+    std::vector<double> c = RandomWalk(&rng, d);
+    const double ref = BandedDtw(q.data(), c.data(), d, rho);
+    const double compressed = CompressedDtw(q.data(), c.data(), d, rho);
+    ASSERT_NEAR(compressed, ref, 1e-9 * (1.0 + std::fabs(ref)))
+        << "d=" << d << " rho=" << rho << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressedDtwTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 16, 32, 96),
+                       ::testing::Values(0, 1, 2, 4, 8, 15)));
+
+TEST(DtwTest, EarlyAbandonAgreesWhenUnderCutoff) {
+  Rng rng(24);
+  const int n = 50;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q = RandomWalk(&rng, n);
+    std::vector<double> c = RandomWalk(&rng, n);
+    const double exact = BandedDtw(q.data(), c.data(), n, 8);
+    EXPECT_DOUBLE_EQ(EarlyAbandonDtw(q.data(), c.data(), n, 8, exact + 1.0),
+                     exact);
+    // A cutoff below the true distance must abandon (infinity).
+    const double abandoned =
+        EarlyAbandonDtw(q.data(), c.data(), n, 8, exact * 0.1 - 1.0);
+    if (exact > 0.0) EXPECT_EQ(abandoned, kInf);
+  }
+}
+
+TEST(DtwTest, ScratchSizeMatchesPaper) {
+  EXPECT_EQ(CompressedDtwScratchSize(8), 2u * (2u * 8u + 2u));
+  EXPECT_EQ(CompressedDtwScratchSize(0), 4u);
+}
+
+// ------------------------------------------------------------ lower bounds
+
+class LowerBoundTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(LowerBoundTest, AllBoundsBelowDtw) {
+  const int d = std::get<0>(GetParam());
+  const int rho = std::get<1>(GetParam());
+  Rng rng(5000 + d * 7 + rho);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> q = RandomWalk(&rng, d);
+    std::vector<double> c = RandomWalk(&rng, d);
+    const Envelope env_q = ComputeEnvelope(q, rho);
+    const Envelope env_c = ComputeEnvelope(c, rho);
+    const double dtw = BandedDtw(q.data(), c.data(), d, rho);
+    const double lbeq = Lbeq(env_q, c.data(), d);
+    const double lbec = Lbec(env_c, q.data(), d);
+    const double lben = Lben(env_q, env_c, q.data(), c.data(), d);
+    ASSERT_LE(lbeq, dtw + 1e-9);
+    ASSERT_LE(lbec, dtw + 1e-9);
+    ASSERT_LE(lben, dtw + 1e-9);
+    ASSERT_DOUBLE_EQ(lben, std::max(lbeq, lbec));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LowerBoundTest,
+    ::testing::Combine(::testing::Values(8, 32, 96),
+                       ::testing::Values(0, 2, 8)));
+
+TEST(LowerBoundTest, EnhancedBoundIsTighter) {
+  // On average LBen must dominate both constituents (it equals the max).
+  Rng rng(30);
+  const int d = 64;
+  const int rho = 8;
+  double sum_eq = 0, sum_ec = 0, sum_en = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> q = RandomWalk(&rng, d);
+    std::vector<double> c = RandomWalk(&rng, d);
+    const Envelope env_q = ComputeEnvelope(q, rho);
+    const Envelope env_c = ComputeEnvelope(c, rho);
+    sum_eq += Lbeq(env_q, c.data(), d);
+    sum_ec += Lbec(env_c, q.data(), d);
+    sum_en += Lben(env_q, env_c, q.data(), c.data(), d);
+  }
+  EXPECT_GE(sum_en, sum_eq);
+  EXPECT_GE(sum_en, sum_ec);
+  EXPECT_GT(sum_en, std::max(sum_eq, sum_ec) * 1.001);  // strictly better
+}
+
+TEST(LowerBoundTest, ZeroForIdenticalSeries) {
+  Rng rng(31);
+  std::vector<double> q = RandomWalk(&rng, 40);
+  const Envelope env = ComputeEnvelope(q, 4);
+  EXPECT_DOUBLE_EQ(LbKeogh(env, q.data(), q.size()), 0.0);
+}
+
+TEST(LowerBoundTest, AlignedRangeDecomposes) {
+  // Summing aligned sub-ranges equals the full bound.
+  Rng rng(32);
+  std::vector<double> q = RandomWalk(&rng, 48);
+  std::vector<double> c = RandomWalk(&rng, 48);
+  const Envelope env_q = ComputeEnvelope(q, 8);
+  const double full = LbKeogh(env_q, c.data(), 48);
+  double parts = 0.0;
+  for (int w = 0; w < 3; ++w) {
+    parts += LbKeoghAligned(env_q, w * 16, c.data(), w * 16, 16);
+  }
+  EXPECT_NEAR(full, parts, 1e-12);
+}
+
+TEST(LowerBoundTest, WiderEnvelopeWeakensBound) {
+  // A wider (larger-rho) envelope can only lower LB_Keogh: the property
+  // the index's "stale is safe" reasoning relies on.
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q = RandomWalk(&rng, 64);
+    std::vector<double> c = RandomWalk(&rng, 64);
+    double prev = kInf;
+    for (int rho : {0, 2, 4, 8, 16}) {
+      const Envelope env = ComputeEnvelope(q, rho);
+      const double lb = LbKeogh(env, c.data(), 64);
+      EXPECT_LE(lb, prev + 1e-12);
+      prev = lb;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtw
+}  // namespace smiler

@@ -1,0 +1,210 @@
+// Cross-module edge cases that none of the per-module suites pin down:
+// minimum-size geometries, extreme configurations, and numeric corners.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "dtw/dtw.h"
+#include "index/smiler_index.h"
+#include "predictors/ar_predictor.h"
+#include "predictors/predictor.h"
+#include "simgpu/device.h"
+#include "ts/datasets.h"
+#include "ts/series.h"
+
+namespace smiler {
+namespace {
+
+TEST(EdgeCaseTest, SinglePointDtw) {
+  const double a = 2.0;
+  const double b = 5.0;
+  EXPECT_DOUBLE_EQ(dtw::BandedDtw(&a, &b, 1, 0), 9.0);
+  EXPECT_DOUBLE_EQ(dtw::BandedDtw(&a, &b, 1, 8), 9.0);
+  EXPECT_DOUBLE_EQ(dtw::CompressedDtw(&a, &b, 1, 8), 9.0);
+}
+
+TEST(EdgeCaseTest, MinimalIndexGeometry) {
+  // The smallest legal configuration: one ELV entry equal to omega,
+  // history just long enough.
+  SmilerConfig cfg;
+  cfg.omega = 4;
+  cfg.rho = 1;
+  cfg.elv = {4};
+  cfg.ekv = {1};
+  ASSERT_TRUE(cfg.Validate().ok());
+  simgpu::Device device;
+  Rng rng(500);
+  std::vector<double> data(12);
+  for (double& v : data) v = rng.Normal();
+  auto idx = index::SmilerIndex::Build(&device, ts::TimeSeries("m", data),
+                                       cfg);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->num_sliding_windows(), 1);
+  index::SuffixSearchOptions opts;
+  opts.k = 1;
+  auto result = idx->Search(opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items[0].neighbors.size(), 1u);
+  // Verify the single neighbor is the true 1-NN.
+  const std::vector<double>& s = idx->series();
+  const double* q = s.data() + s.size() - 4;
+  double best = 1e300;
+  long best_t = -1;
+  for (long t = 0; t + 4 + 1 <= static_cast<long>(s.size()); ++t) {
+    const double d = dtw::BandedDtw(q, s.data() + t, 4, 1);
+    if (d < best) {
+      best = d;
+      best_t = t;
+    }
+  }
+  EXPECT_EQ(result->items[0].neighbors[0].t, best_t);
+  EXPECT_NEAR(result->items[0].neighbors[0].dist, best, 1e-12);
+}
+
+TEST(EdgeCaseTest, RhoZeroIndexIsEuclidean) {
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 0;
+  cfg.elv = {16};
+  cfg.ekv = {3};
+  simgpu::Device device;
+  Rng rng(501);
+  std::vector<double> data(200);
+  for (double& v : data) v = rng.Normal();
+  auto idx = index::SmilerIndex::Build(&device, ts::TimeSeries("e", data),
+                                       cfg);
+  ASSERT_TRUE(idx.ok());
+  index::SuffixSearchOptions opts;
+  opts.k = 3;
+  auto result = idx->Search(opts);
+  ASSERT_TRUE(result.ok());
+  // With rho = 0 every reported distance is the squared Euclidean one.
+  const std::vector<double>& s = idx->series();
+  const double* q = s.data() + s.size() - 16;
+  for (const auto& nb : result->items[0].neighbors) {
+    double euclid = 0.0;
+    for (int p = 0; p < 16; ++p) {
+      const double diff = q[p] - s[nb.t + p];
+      euclid += diff * diff;
+    }
+    EXPECT_NEAR(nb.dist, euclid, 1e-9);
+  }
+}
+
+TEST(EdgeCaseTest, TrainingSetWithSingleNeighbor) {
+  std::vector<double> series(50);
+  for (int i = 0; i < 50; ++i) series[i] = i * 0.1;
+  index::ItemQueryResult item;
+  item.d = 5;
+  item.neighbors = {{10, 0.3}};
+  auto set = predictors::MakeTrainingSet(series, item, 8, 2);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->x.rows(), 1u);
+  // AR on a single neighbor: mean = its target, clamped variance.
+  const auto p = predictors::AggregationPredict(*set);
+  EXPECT_DOUBLE_EQ(p.mean, set->y[0]);
+  EXPECT_GT(p.variance, 0.0);
+}
+
+TEST(EdgeCaseTest, EngineWithHugeHorizonFailsGracefully) {
+  // Horizon so large no candidate has an observed target: Predict must
+  // return a (fallback) prediction, not crash, because the grid is empty.
+  simgpu::Device device;
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 2;
+  cfg.elv = {16};
+  cfg.ekv = {2};
+  cfg.use_ensemble = false;
+  cfg.horizon = 100;
+  auto data = ts::MakeDataset({ts::DatasetKind::kNet, 1, 130, 16, 61, true});
+  ASSERT_TRUE(data.ok());
+  auto engine = core::SensorEngine::Create(&device, (*data)[0], cfg,
+                                           core::PredictorKind::kAr);
+  ASSERT_TRUE(engine.ok());
+  auto pred = engine->Predict();
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(std::isfinite(pred->mean));
+  EXPECT_GT(pred->variance, 0.0);
+}
+
+TEST(EdgeCaseTest, ZNormalizedConstantSeriesThroughFullPipeline) {
+  // A dead sensor (constant readings) z-normalizes to all zeros; the
+  // whole pipeline must answer with finite numbers.
+  simgpu::Device device;
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 2;
+  cfg.elv = {16};
+  cfg.ekv = {2};
+  cfg.use_ensemble = false;
+  ts::TimeSeries dead =
+      ts::ZNormalized(ts::TimeSeries("dead", std::vector<double>(300, 7.0)));
+  auto engine = core::SensorEngine::Create(&device, dead, cfg,
+                                           core::PredictorKind::kGp);
+  ASSERT_TRUE(engine.ok());
+  for (int step = 0; step < 5; ++step) {
+    auto pred = engine->Predict();
+    ASSERT_TRUE(pred.ok());
+    EXPECT_TRUE(std::isfinite(pred->mean));
+    EXPECT_NEAR(pred->mean, 0.0, 1e-6);
+    ASSERT_TRUE(engine->Observe(0.0).ok());
+  }
+}
+
+TEST(EdgeCaseTest, RhoLargerThanSegmentStillExact) {
+  // rho >= d: the band never binds; the index must agree with
+  // unconstrained DTW.
+  SmilerConfig cfg;
+  cfg.omega = 4;
+  cfg.rho = 32;
+  cfg.elv = {8};
+  cfg.ekv = {2};
+  simgpu::Device device;
+  Rng rng(502);
+  std::vector<double> data(120);
+  for (double& v : data) v = rng.Normal();
+  auto idx = index::SmilerIndex::Build(&device, ts::TimeSeries("w", data),
+                                       cfg);
+  ASSERT_TRUE(idx.ok());
+  index::SuffixSearchOptions opts;
+  opts.k = 2;
+  auto result = idx->Search(opts);
+  ASSERT_TRUE(result.ok());
+  const std::vector<double>& s = idx->series();
+  const double* q = s.data() + s.size() - 8;
+  for (const auto& nb : result->items[0].neighbors) {
+    EXPECT_NEAR(nb.dist, dtw::UnconstrainedDtw(q, s.data() + nb.t, 8),
+                1e-9);
+  }
+}
+
+TEST(EdgeCaseTest, AppendGrowsCandidatePoolMonotonically) {
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 2;
+  cfg.elv = {16};
+  cfg.ekv = {2};
+  simgpu::Device device;
+  Rng rng(503);
+  std::vector<double> data(150);
+  for (double& v : data) v = rng.Normal();
+  auto idx = index::SmilerIndex::Build(&device, ts::TimeSeries("g", data),
+                                       cfg);
+  ASSERT_TRUE(idx.ok());
+  long prev = idx->NumCandidates(0, 1);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(idx->Append(rng.Normal()).ok());
+    const long now_count = idx->NumCandidates(0, 1);
+    EXPECT_EQ(now_count, prev + 1);
+    prev = now_count;
+  }
+}
+
+}  // namespace
+}  // namespace smiler

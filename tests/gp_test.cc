@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "gp/cg_optimizer.h"
+#include "gp/gp_regressor.h"
+#include "gp/kernel.h"
+#include "gp/trainer.h"
+
+namespace smiler {
+namespace gp {
+namespace {
+
+la::Matrix RandomInputs(Rng* rng, std::size_t k, std::size_t d) {
+  la::Matrix x(k, d);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x(i, j) = rng->Normal();
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------- kernel
+
+TEST(SeKernelTest, ThetaRoundTrip) {
+  SeKernel kernel(std::log(2.0), std::log(0.5), std::log(0.1));
+  EXPECT_NEAR(kernel.theta0(), 2.0, 1e-12);
+  EXPECT_NEAR(kernel.theta1(), 0.5, 1e-12);
+  EXPECT_NEAR(kernel.theta2(), 0.1, 1e-12);
+}
+
+TEST(SeKernelTest, CovarianceAtZeroDistance) {
+  SeKernel kernel(std::log(2.0), std::log(1.0), std::log(0.3));
+  // Off-diagonal at distance 0: theta0^2 (no noise term).
+  EXPECT_NEAR(kernel.CovFromSqDist(0.0), 4.0, 1e-12);
+  // Self covariance includes the noise: theta0^2 + theta2^2.
+  EXPECT_NEAR(kernel.SelfCovariance(), 4.09, 1e-12);
+}
+
+TEST(SeKernelTest, CovarianceDecaysWithDistance) {
+  SeKernel kernel(0.0, 0.0, -2.0);
+  double prev = kernel.CovFromSqDist(0.0);
+  for (double r : {0.5, 1.0, 2.0, 5.0}) {
+    const double c = kernel.CovFromSqDist(r);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(SeKernelTest, CovarianceMatrixSymmetricWithNoiseDiagonal) {
+  Rng rng(70);
+  la::Matrix x = RandomInputs(&rng, 6, 4);
+  SeKernel kernel(std::log(1.5), std::log(2.0), std::log(0.2));
+  la::Matrix sq;
+  la::Matrix cov = kernel.Covariance(x, &sq);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(cov(i, i), kernel.SelfCovariance(), 1e-12);
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(cov(i, j), cov(j, i));
+      EXPECT_DOUBLE_EQ(sq(i, j),
+                       SquaredDistance(x.Row(i), x.Row(j), 4));
+    }
+  }
+}
+
+TEST(SeKernelTest, GradientsMatchFiniteDifferences) {
+  Rng rng(71);
+  la::Matrix x = RandomInputs(&rng, 5, 3);
+  const double eps = 1e-6;
+  SeKernel kernel(std::log(1.3), std::log(0.8), std::log(0.4));
+  la::Matrix sq;
+  kernel.Covariance(x, &sq);
+  for (int p = 0; p < SeKernel::kNumParams; ++p) {
+    la::Matrix analytic = kernel.CovarianceGrad(sq, p);
+    auto params = kernel.log_params();
+    params[p] += eps;
+    SeKernel plus(params[0], params[1], params[2]);
+    params[p] -= 2 * eps;
+    SeKernel minus(params[0], params[1], params[2]);
+    la::Matrix cp = plus.Covariance(x);
+    la::Matrix cm = minus.Covariance(x);
+    for (std::size_t i = 0; i < 5; ++i) {
+      for (std::size_t j = 0; j < 5; ++j) {
+        const double fd = (cp(i, j) - cm(i, j)) / (2 * eps);
+        EXPECT_NEAR(analytic(i, j), fd, 1e-5) << "p=" << p;
+      }
+    }
+  }
+}
+
+TEST(SeKernelTest, HeuristicScalesWithData) {
+  Rng rng(72);
+  la::Matrix x = RandomInputs(&rng, 10, 4);
+  std::vector<double> y(10);
+  for (double& v : y) v = 5.0 * rng.Normal();
+  SeKernel kernel = SeKernel::Heuristic(x, y);
+  // theta0^2 should be near var(y) ~ 25, theta1 near typical distances.
+  EXPECT_GT(kernel.theta0(), 1.0);
+  EXPECT_LT(kernel.theta0(), 25.0);
+  EXPECT_GT(kernel.theta1(), 0.1);
+  EXPECT_GT(kernel.theta2(), 0.0);
+}
+
+// ------------------------------------------------------------- regressor
+
+TEST(GpRegressorTest, RejectsBadInputs) {
+  SeKernel kernel;
+  EXPECT_FALSE(GpRegressor::Fit(la::Matrix(), {}, kernel).ok());
+  EXPECT_FALSE(
+      GpRegressor::Fit(la::Matrix(2, 2), {1.0, 2.0, 3.0}, kernel).ok());
+}
+
+TEST(GpRegressorTest, InterpolatesWithLowNoise) {
+  // With tiny noise the posterior mean passes (nearly) through the data.
+  Rng rng(73);
+  la::Matrix x = RandomInputs(&rng, 8, 2);
+  std::vector<double> y(8);
+  for (std::size_t i = 0; i < 8; ++i) y[i] = std::sin(x(i, 0)) + x(i, 1);
+  SeKernel kernel(std::log(1.0), std::log(1.5), std::log(1e-3));
+  auto gp = GpRegressor::Fit(x, y, kernel);
+  ASSERT_TRUE(gp.ok());
+  for (std::size_t i = 0; i < 8; ++i) {
+    const Prediction p = gp->Predict(x.Row(i));
+    EXPECT_NEAR(p.mean, y[i], 1e-2);
+    EXPECT_LT(p.variance, 0.1);
+  }
+}
+
+TEST(GpRegressorTest, VarianceGrowsAwayFromData) {
+  la::Matrix x(3, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 1.0;
+  x(2, 0) = 2.0;
+  std::vector<double> y{0.0, 1.0, 0.0};
+  SeKernel kernel(std::log(1.0), std::log(0.7), std::log(0.05));
+  auto gp = GpRegressor::Fit(x, y, kernel);
+  ASSERT_TRUE(gp.ok());
+  const double near = 1.0;
+  const double far = 10.0;
+  const Prediction p_near = gp->Predict(&near);
+  const Prediction p_far = gp->Predict(&far);
+  EXPECT_LT(p_near.variance, p_far.variance);
+  // Far from data the posterior reverts to the prior.
+  EXPECT_NEAR(p_far.mean, 0.0, 1e-6);
+  EXPECT_NEAR(p_far.variance, kernel.SelfCovariance(), 1e-6);
+}
+
+TEST(GpRegressorTest, PredictionIsGaussianConditional) {
+  // One training point: closed-form posterior.
+  la::Matrix x(1, 1);
+  x(0, 0) = 0.0;
+  std::vector<double> y{2.0};
+  const double t0 = 1.0, t1 = 1.0, t2 = 0.5;
+  SeKernel kernel(std::log(t0), std::log(t1), std::log(t2));
+  auto gp = GpRegressor::Fit(x, y, kernel);
+  ASSERT_TRUE(gp.ok());
+  const double xs = 0.8;
+  const double c0 = t0 * t0 * std::exp(-0.5 * xs * xs / (t1 * t1));
+  const double c11 = t0 * t0 + t2 * t2;
+  const Prediction p = gp->Predict(&xs);
+  EXPECT_NEAR(p.mean, c0 * y[0] / c11, 1e-10);
+  EXPECT_NEAR(p.variance, c11 - c0 * c0 / c11, 1e-10);
+}
+
+TEST(GpRegressorTest, LooLikelihoodMatchesExplicitRefit) {
+  // LOO via partitioned inverse must equal actually leaving points out.
+  Rng rng(74);
+  const std::size_t k = 7;
+  la::Matrix x = RandomInputs(&rng, k, 2);
+  std::vector<double> y(k);
+  for (std::size_t i = 0; i < k; ++i) y[i] = std::cos(x(i, 0)) * x(i, 1);
+  SeKernel kernel(std::log(1.2), std::log(1.0), std::log(0.3));
+  auto gp = GpRegressor::Fit(x, y, kernel);
+  ASSERT_TRUE(gp.ok());
+  for (std::size_t held = 0; held < k; ++held) {
+    la::Matrix x_rest(k - 1, 2);
+    std::vector<double> y_rest;
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i == held) continue;
+      x_rest(row, 0) = x(i, 0);
+      x_rest(row, 1) = x(i, 1);
+      y_rest.push_back(y[i]);
+      ++row;
+    }
+    auto gp_rest = GpRegressor::Fit(x_rest, y_rest, kernel);
+    ASSERT_TRUE(gp_rest.ok());
+    const Prediction direct = gp_rest->Predict(x.Row(held));
+    const Prediction via_loo = gp->LooPrediction(held);
+    EXPECT_NEAR(via_loo.mean, direct.mean, 1e-8);
+    EXPECT_NEAR(via_loo.variance, direct.variance, 1e-8);
+  }
+}
+
+TEST(GpRegressorTest, LooGradientMatchesFiniteDifferences) {
+  Rng rng(75);
+  const std::size_t k = 6;
+  la::Matrix x = RandomInputs(&rng, k, 3);
+  std::vector<double> y(k);
+  for (std::size_t i = 0; i < k; ++i) y[i] = x(i, 0) + 0.5 * rng.Normal();
+  SeKernel kernel(std::log(1.1), std::log(1.4), std::log(0.5));
+  auto gp = GpRegressor::Fit(x, y, kernel);
+  ASSERT_TRUE(gp.ok());
+  const auto analytic = gp->LooGradient();
+  const double eps = 1e-6;
+  for (int p = 0; p < SeKernel::kNumParams; ++p) {
+    auto params = kernel.log_params();
+    params[p] += eps;
+    auto gp_plus =
+        GpRegressor::Fit(x, y, SeKernel(params[0], params[1], params[2]));
+    params[p] -= 2 * eps;
+    auto gp_minus =
+        GpRegressor::Fit(x, y, SeKernel(params[0], params[1], params[2]));
+    ASSERT_TRUE(gp_plus.ok() && gp_minus.ok());
+    const double fd =
+        (gp_plus->LooLogLikelihood() - gp_minus->LooLogLikelihood()) /
+        (2 * eps);
+    EXPECT_NEAR(analytic[p], fd, 1e-4 * (1.0 + std::fabs(fd))) << "p=" << p;
+  }
+}
+
+// -------------------------------------------------------------- optimizer
+
+TEST(CgOptimizerTest, MaximizesConcaveQuadratic) {
+  // f(x) = -(x0-3)^2 - 2*(x1+1)^2, max at (3, -1).
+  Objective obj = [](const std::vector<double>& p,
+                     std::vector<double>* g) -> double {
+    (*g)[0] = -2.0 * (p[0] - 3.0);
+    (*g)[1] = -4.0 * (p[1] + 1.0);
+    return -(p[0] - 3.0) * (p[0] - 3.0) - 2.0 * (p[1] + 1.0) * (p[1] + 1.0);
+  };
+  std::vector<double> params{0.0, 0.0};
+  CgOptions options;
+  options.max_iters = 100;
+  CgResult result = MaximizeCg(obj, &params, options);
+  EXPECT_NEAR(params[0], 3.0, 1e-4);
+  EXPECT_NEAR(params[1], -1.0, 1e-4);
+  EXPECT_NEAR(result.value, 0.0, 1e-7);
+}
+
+TEST(CgOptimizerTest, RespectsIterationBudget) {
+  int evals = 0;
+  Objective obj = [&evals](const std::vector<double>& p,
+                           std::vector<double>* g) -> double {
+    ++evals;
+    (*g)[0] = -2.0 * p[0];
+    return -p[0] * p[0];
+  };
+  std::vector<double> params{10.0};
+  CgOptions options;
+  options.max_iters = 3;
+  CgResult result = MaximizeCg(obj, &params, options);
+  EXPECT_LE(result.iterations, 3);
+  EXPECT_LT(std::fabs(params[0]), 10.0);  // moved toward the optimum
+}
+
+TEST(CgOptimizerTest, MonotoneNonDecreasing) {
+  // Rosenbrock-flavoured concave-ish test: value never decreases.
+  Objective obj = [](const std::vector<double>& p,
+                     std::vector<double>* g) -> double {
+    const double a = p[0], b = p[1];
+    (*g)[0] = -4.0 * a * (a * a - b) - 2.0 * (a - 1.0);
+    (*g)[1] = 2.0 * (a * a - b);
+    return -((a * a - b) * (a * a - b) + (a - 1.0) * (a - 1.0));
+  };
+  std::vector<double> params{-1.0, 2.0};
+  std::vector<double> g(2);
+  double prev = obj(params, &g);
+  for (int i = 0; i < 10; ++i) {
+    CgOptions options;
+    options.max_iters = 1;
+    CgResult r = MaximizeCg(obj, &params, options);
+    EXPECT_GE(r.value, prev - 1e-12);
+    prev = r.value;
+  }
+}
+
+TEST(CgOptimizerTest, InfiniteStartReturnsImmediately) {
+  Objective obj = [](const std::vector<double>&,
+                     std::vector<double>*) -> double {
+    return -std::numeric_limits<double>::infinity();
+  };
+  std::vector<double> params{1.0};
+  CgResult result = MaximizeCg(obj, &params, CgOptions{});
+  EXPECT_EQ(result.iterations, 0);
+}
+
+// ---------------------------------------------------------------- trainer
+
+TEST(TrainerTest, ImprovesLooLikelihood) {
+  Rng rng(76);
+  const std::size_t k = 16;
+  la::Matrix x = RandomInputs(&rng, k, 4);
+  std::vector<double> y(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    y[i] = 2.0 * std::sin(x(i, 0)) + 0.1 * rng.Normal();
+  }
+  SeKernel seed = SeKernel::Heuristic(x, y);
+  auto fit0 = GpRegressor::Fit(x, y, seed);
+  ASSERT_TRUE(fit0.ok());
+  const double before = fit0->LooLogLikelihood();
+  auto trained = TrainLoo(x, y, nullptr, /*cg_steps=*/30);
+  ASSERT_TRUE(trained.ok());
+  EXPECT_GE(trained->loo_log_lik, before - 1e-9);
+  auto fit1 = GpRegressor::Fit(x, y, trained->kernel);
+  ASSERT_TRUE(fit1.ok());
+  EXPECT_NEAR(fit1->LooLogLikelihood(), trained->loo_log_lik, 1e-9);
+}
+
+TEST(TrainerTest, WarmStartIsUsed) {
+  Rng rng(77);
+  la::Matrix x = RandomInputs(&rng, 10, 3);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) y[i] = x(i, 1);
+  SeKernel warm(std::log(3.0), std::log(2.0), std::log(0.7));
+  auto trained = TrainLoo(x, y, &warm, /*cg_steps=*/0);
+  ASSERT_TRUE(trained.ok());
+  // Zero steps: returns the warm start untouched.
+  for (int p = 0; p < SeKernel::kNumParams; ++p) {
+    EXPECT_DOUBLE_EQ(trained->kernel.log_params()[p], warm.log_params()[p]);
+  }
+}
+
+TEST(TrainerTest, RejectsEmptyData) {
+  EXPECT_FALSE(TrainLoo(la::Matrix(), {}, nullptr, 5).ok());
+}
+
+
+TEST(TrainerTest, StrongPriorPinsParamsToAnchor) {
+  Rng rng(78);
+  la::Matrix x = RandomInputs(&rng, 12, 3);
+  std::vector<double> y(12);
+  for (std::size_t i = 0; i < 12; ++i) y[i] = std::sin(x(i, 0));
+  const SeKernel anchor = SeKernel::Heuristic(x, y);
+  auto trained = TrainLoo(x, y, nullptr, /*cg_steps=*/30,
+                          /*prior_precision=*/1e6);
+  ASSERT_TRUE(trained.ok());
+  for (int p = 0; p < SeKernel::kNumParams; ++p) {
+    EXPECT_NEAR(trained->kernel.log_params()[p], anchor.log_params()[p],
+                1e-2);
+  }
+}
+
+TEST(TrainerTest, TrustRadiusClampsDrift) {
+  // Warm start far from the anchor: with a small trust radius the result
+  // must land within the radius of the anchor, regardless of the seed.
+  Rng rng(79);
+  la::Matrix x = RandomInputs(&rng, 10, 2);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) y[i] = x(i, 0) * 2.0;
+  const SeKernel anchor = SeKernel::Heuristic(x, y);
+  SeKernel far_seed(anchor.log_params()[0] + 5.0,
+                    anchor.log_params()[1] + 5.0,
+                    anchor.log_params()[2] + 5.0);
+  auto trained = TrainLoo(x, y, &far_seed, /*cg_steps=*/3,
+                          /*prior_precision=*/0.0, /*trust_radius=*/0.5);
+  ASSERT_TRUE(trained.ok());
+  for (int p = 0; p < SeKernel::kNumParams; ++p) {
+    EXPECT_LE(std::fabs(trained->kernel.log_params()[p] -
+                        anchor.log_params()[p]),
+              0.5 + 1e-12);
+  }
+}
+
+TEST(TrainerTest, DuplicateHeavyDataDoesNotCollapseNoise) {
+  // Exact duplicates make the unregularized LOO unbounded; with the prior
+  // the trained noise must stay above a sane floor.
+  la::Matrix x(8, 2);
+  std::vector<double> y(8);
+  for (int i = 0; i < 8; ++i) {
+    x(i, 0) = (i < 4) ? 0.0 : 1.0;  // two clusters of exact duplicates
+    x(i, 1) = 0.0;
+    y[i] = (i < 4) ? 1.0 : -1.0;
+  }
+  const SeKernel anchor = SeKernel::Heuristic(x, y);
+  auto trained = TrainLoo(x, y, nullptr, /*cg_steps=*/40,
+                          /*prior_precision=*/8.0);
+  ASSERT_TRUE(trained.ok());
+  // Bounded drift: within a few log-units of the anchor noise.
+  EXPECT_GT(trained->kernel.log_params()[2],
+            anchor.log_params()[2] - 3.0);
+}
+
+}  // namespace
+}  // namespace gp
+}  // namespace smiler

@@ -1,0 +1,271 @@
+// Stress / failure-injection tests of the SMiLer index: randomized
+// geometry sweeps against brute force, degenerate series, budget
+// exhaustion mid-stream, and tie-heavy quantized data.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "dtw/dtw.h"
+#include "index/smiler_index.h"
+#include "simgpu/device.h"
+#include "ts/series.h"
+
+namespace smiler {
+namespace index {
+namespace {
+
+std::vector<Neighbor> BruteKnn(const std::vector<double>& series, int d,
+                               int rho, int k, int reserve_horizon) {
+  const long n = static_cast<long>(series.size());
+  const long t_count = n - d - reserve_horizon + 1;
+  const double* q = series.data() + n - d;
+  std::vector<Neighbor> all;
+  for (long t = 0; t < t_count; ++t) {
+    all.push_back(Neighbor{t, dtw::BandedDtw(q, series.data() + t, d, rho)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.t < b.t;
+  });
+  if (static_cast<int>(all.size()) > k) all.resize(k);
+  return all;
+}
+
+// Geometry sweep: (omega, rho) combinations including rho >= omega and
+// ELV entries not divisible by omega.
+class IndexGeometryTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IndexGeometryTest, ExactUnderAppendsForAllGeometries) {
+  const int omega = std::get<0>(GetParam());
+  const int rho = std::get<1>(GetParam());
+  SmilerConfig cfg;
+  cfg.omega = omega;
+  cfg.rho = rho;
+  cfg.elv = {omega + 3, 3 * omega, 4 * omega + 1};
+  cfg.ekv = {2, 5};
+  ASSERT_TRUE(cfg.Validate().ok());
+
+  Rng rng(400 + omega * 31 + rho);
+  std::vector<double> data(260);
+  double x = 0.0;
+  for (double& v : data) {
+    x = 0.95 * x + rng.Normal();
+    v = x;
+  }
+  simgpu::Device device;
+  auto idx = SmilerIndex::Build(&device, ts::TimeSeries("s", data), cfg);
+  ASSERT_TRUE(idx.ok());
+  SuffixSearchOptions opts;
+  opts.k = 5;
+  for (int step = 0; step < 25; ++step) {
+    auto result = idx->Search(opts);
+    ASSERT_TRUE(result.ok());
+    for (std::size_t i = 0; i < cfg.elv.size(); ++i) {
+      auto want = BruteKnn(idx->series(), cfg.elv[i], rho, 5, 1);
+      const auto& got = result->items[i].neighbors;
+      ASSERT_EQ(got.size(), want.size()) << "step " << step << " i " << i;
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        ASSERT_NEAR(got[j].dist, want[j].dist, 1e-7)
+            << "step " << step << " i " << i << " rank " << j;
+      }
+    }
+    ASSERT_TRUE(idx->Append(rng.Normal()).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, IndexGeometryTest,
+    ::testing::Combine(::testing::Values(4, 8, 13),
+                       ::testing::Values(0, 2, 8, 16)));
+
+TEST(IndexStressTest, ConstantSeriesAllTies) {
+  // A constant (z-normed to zero) series: every candidate is an exact
+  // duplicate at distance 0; the index must return exactly k of them.
+  simgpu::Device device;
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 4;
+  cfg.elv = {16, 32};
+  cfg.ekv = {4};
+  auto idx = SmilerIndex::Build(
+      &device, ts::TimeSeries("flat", std::vector<double>(300, 0.0)), cfg);
+  ASSERT_TRUE(idx.ok());
+  SuffixSearchOptions opts;
+  opts.k = 4;
+  auto result = idx->Search(opts);
+  ASSERT_TRUE(result.ok());
+  for (const auto& item : result->items) {
+    ASSERT_EQ(item.neighbors.size(), 4u);
+    for (const auto& nb : item.neighbors) EXPECT_DOUBLE_EQ(nb.dist, 0.0);
+  }
+}
+
+TEST(IndexStressTest, QuantizedSeriesStaysExact) {
+  simgpu::Device device;
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 4;
+  cfg.elv = {16, 24};
+  cfg.ekv = {6};
+  Rng rng(401);
+  std::vector<double> data(400);
+  for (double& v : data) v = static_cast<double>(rng.UniformInt(3));
+  auto idx = SmilerIndex::Build(&device, ts::TimeSeries("q", data), cfg);
+  ASSERT_TRUE(idx.ok());
+  SuffixSearchOptions opts;
+  opts.k = 6;
+  for (int step = 0; step < 10; ++step) {
+    auto result = idx->Search(opts);
+    ASSERT_TRUE(result.ok());
+    for (std::size_t i = 0; i < cfg.elv.size(); ++i) {
+      auto want = BruteKnn(idx->series(), cfg.elv[i], cfg.rho, 6, 1);
+      const auto& got = result->items[i].neighbors;
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        ASSERT_NEAR(got[j].dist, want[j].dist, 1e-9);
+      }
+    }
+    ASSERT_TRUE(
+        idx->Append(static_cast<double>(rng.UniformInt(3))).ok());
+  }
+}
+
+TEST(IndexStressTest, KLargerThanCandidatePool) {
+  simgpu::Device device;
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 2;
+  cfg.elv = {16, 96};
+  cfg.ekv = {4};
+  Rng rng(402);
+  std::vector<double> data(120);  // only ~20 candidates for d = 96
+  for (double& v : data) v = rng.Normal();
+  auto idx = SmilerIndex::Build(&device, ts::TimeSeries("s", data), cfg);
+  ASSERT_TRUE(idx.ok());
+  SuffixSearchOptions opts;
+  opts.k = 500;
+  auto result = idx->Search(opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(static_cast<long>(result->items[0].neighbors.size()),
+            idx->NumCandidates(0, 1));
+  EXPECT_EQ(static_cast<long>(result->items[1].neighbors.size()),
+            idx->NumCandidates(1, 1));
+}
+
+TEST(IndexStressTest, LargeReserveHorizonEmptiesCandidates) {
+  simgpu::Device device;
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 2;
+  cfg.elv = {16};
+  cfg.ekv = {4};
+  std::vector<double> data(120, 0.0);
+  auto idx = SmilerIndex::Build(&device, ts::TimeSeries("s", data), cfg);
+  ASSERT_TRUE(idx.ok());
+  SuffixSearchOptions opts;
+  opts.k = 4;
+  opts.reserve_horizon = 200;  // nothing qualifies
+  auto result = idx->Search(opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->items[0].neighbors.empty());
+}
+
+TEST(IndexStressTest, BudgetExhaustionMidStreamFailsCleanly) {
+  // Give the device just enough for the build, then append until the
+  // budget runs out: Append must fail with ResourceExhausted, not crash,
+  // and accounting must stay consistent.
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 4;
+  cfg.elv = {16, 32};
+  cfg.ekv = {4};
+  Rng rng(403);
+  std::vector<double> data(600);
+  for (double& v : data) v = rng.Normal();
+
+  simgpu::Device probe;
+  std::size_t build_bytes = 0;
+  {
+    auto idx = SmilerIndex::Build(&probe, ts::TimeSeries("s", data), cfg);
+    ASSERT_TRUE(idx.ok());
+    build_bytes = idx->MemoryFootprintBytes();
+  }
+
+  simgpu::Device tight(build_bytes + 4096);
+  auto idx = SmilerIndex::Build(&tight, ts::TimeSeries("s", data), cfg);
+  ASSERT_TRUE(idx.ok());
+  bool exhausted = false;
+  for (int step = 0; step < 2000 && !exhausted; ++step) {
+    Status st = idx->Append(rng.Normal());
+    if (!st.ok()) {
+      EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+      exhausted = true;
+    }
+  }
+  EXPECT_TRUE(exhausted);
+  EXPECT_LE(tight.memory_used(), tight.memory_budget());
+}
+
+TEST(IndexStressTest, SearchAfterManyAppendsWithoutSearches) {
+  // Remark-1 maintenance must stay correct even when no search happens in
+  // between (no threshold reuse available for the eventual query).
+  simgpu::Device device;
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 4;
+  cfg.elv = {16, 32};
+  cfg.ekv = {4};
+  Rng rng(404);
+  std::vector<double> data(300);
+  for (double& v : data) v = rng.Normal();
+  auto idx = SmilerIndex::Build(&device, ts::TimeSeries("s", data), cfg);
+  ASSERT_TRUE(idx.ok());
+  for (int step = 0; step < 100; ++step) {
+    ASSERT_TRUE(idx->Append(rng.Normal()).ok());
+  }
+  SuffixSearchOptions opts;
+  opts.k = 4;
+  auto result = idx->Search(opts);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < cfg.elv.size(); ++i) {
+    auto want = BruteKnn(idx->series(), cfg.elv[i], cfg.rho, 4, 1);
+    const auto& got = result->items[i].neighbors;
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      ASSERT_NEAR(got[j].dist, want[j].dist, 1e-7);
+    }
+  }
+}
+
+TEST(IndexStressTest, MoveSemanticsPreserveAccounting) {
+  simgpu::Device device;
+  SmilerConfig cfg;
+  cfg.omega = 8;
+  cfg.rho = 4;
+  cfg.elv = {16};
+  cfg.ekv = {4};
+  std::vector<double> data(200, 1.0);
+  auto idx = SmilerIndex::Build(&device, ts::TimeSeries("s", data), cfg);
+  ASSERT_TRUE(idx.ok());
+  const std::size_t bytes = idx->MemoryFootprintBytes();
+  SmilerIndex moved = std::move(*idx);
+  EXPECT_EQ(device.memory_used(), bytes);
+  SmilerIndex assigned = std::move(moved);
+  EXPECT_EQ(device.memory_used(), bytes);
+  {
+    SmilerIndex third = std::move(assigned);
+    EXPECT_EQ(device.memory_used(), bytes);
+  }
+  EXPECT_EQ(device.memory_used(), 0u);
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace smiler

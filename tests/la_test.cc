@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/cholesky.h"
+#include "la/matrix.h"
+
+namespace smiler {
+namespace la {
+namespace {
+
+Matrix RandomSpd(Rng* rng, std::size_t n, double diag_boost = 0.5) {
+  // A = B B^T + boost*I is SPD for any B.
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng->Normal();
+  }
+  Matrix a = b.MatMul(b.Transposed());
+  a.AddToDiagonal(diag_boost);
+  return a;
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(1, 2) = -4.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -4.0);
+}
+
+TEST(MatrixTest, IdentityActsAsNeutralElement) {
+  Rng rng(3);
+  Matrix a = RandomSpd(&rng, 5);
+  Matrix i = Matrix::Identity(5);
+  EXPECT_TRUE(a.MatMul(i).ApproxEquals(a, 1e-12));
+  EXPECT_TRUE(i.MatMul(a).ApproxEquals(a, 1e-12));
+}
+
+TEST(MatrixTest, TransposeIsInvolution) {
+  Rng rng(4);
+  Matrix a(3, 5);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j) a(i, j) = rng.Normal();
+  EXPECT_TRUE(a.Transposed().Transposed().ApproxEquals(a, 0.0));
+}
+
+TEST(MatrixTest, MatVecMatchesManual) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  std::vector<double> x{1.0, 0.5, -1.0};
+  std::vector<double> y = a.MatVec(x);
+  EXPECT_DOUBLE_EQ(y[0], 1 + 1 - 3);
+  EXPECT_DOUBLE_EQ(y[1], 4 + 2.5 - 6);
+}
+
+TEST(MatrixTest, TransMatVecMatchesTransposedMatVec) {
+  Rng rng(5);
+  Matrix a(4, 6);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 6; ++j) a(i, j) = rng.Normal();
+  std::vector<double> x(4);
+  for (double& v : x) v = rng.Normal();
+  std::vector<double> y1 = a.TransMatVec(x);
+  std::vector<double> y2 = a.Transposed().MatVec(x);
+  for (std::size_t j = 0; j < 6; ++j) EXPECT_NEAR(y1[j], y2[j], 1e-12);
+}
+
+TEST(MatrixTest, MatMulAssociatesWithVector) {
+  Rng rng(6);
+  Matrix a(3, 4);
+  Matrix b(4, 2);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.Normal();
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = rng.Normal();
+  std::vector<double> x{rng.Normal(), rng.Normal()};
+  std::vector<double> lhs = a.MatMul(b).MatVec(x);
+  std::vector<double> rhs = a.MatVec(b.MatVec(x));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-10);
+}
+
+TEST(MatrixTest, VectorHelpers) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4 - 10 + 18);
+  std::vector<double> y = b;
+  Axpy(2.0, a, &y);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], -1);
+  EXPECT_DOUBLE_EQ(y[2], 12);
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+  std::vector<double> s{1.0, -2.0};
+  Scale(-3.0, &s);
+  EXPECT_DOUBLE_EQ(s[0], -3.0);
+  EXPECT_DOUBLE_EQ(s[1], 6.0);
+}
+
+// -------------------------------------------------------------- Cholesky
+
+TEST(CholeskyTest, ReconstructsMatrix) {
+  Rng rng(11);
+  Matrix a = RandomSpd(&rng, 8);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix recon = chol->L().MatMul(chol->L().Transposed());
+  EXPECT_TRUE(recon.ApproxEquals(a, 1e-8));
+  EXPECT_DOUBLE_EQ(chol->jitter(), 0.0);
+}
+
+TEST(CholeskyTest, SolveInvertsMatVec) {
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.UniformInt(12);
+    Matrix a = RandomSpd(&rng, n);
+    std::vector<double> x_true(n);
+    for (double& v : x_true) v = rng.Normal();
+    std::vector<double> b = a.MatVec(x_true);
+    auto chol = Cholesky::Factor(a);
+    ASSERT_TRUE(chol.ok());
+    std::vector<double> x = chol->Solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-6);
+  }
+}
+
+TEST(CholeskyTest, InverseTimesMatrixIsIdentity) {
+  Rng rng(13);
+  Matrix a = RandomSpd(&rng, 6);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix prod = a.MatMul(chol->Inverse());
+  EXPECT_TRUE(prod.ApproxEquals(Matrix::Identity(6), 1e-8));
+}
+
+TEST(CholeskyTest, LogDetMatchesDiagonalProduct) {
+  // Diagonal matrix: logdet = sum of logs.
+  Matrix a(4, 4);
+  a(0, 0) = 2.0;
+  a(1, 1) = 3.0;
+  a(2, 2) = 0.5;
+  a(3, 3) = 7.0;
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->LogDet(), std::log(2.0 * 3.0 * 0.5 * 7.0), 1e-12);
+}
+
+TEST(CholeskyTest, JitterRescuesNearSingular) {
+  // Rank-1 matrix: needs jitter.
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = 1.0;
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_GT(chol->jitter(), 0.0);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 0.0;
+  a(1, 1) = -5.0;  // beyond max jitter repair
+  auto chol = Cholesky::Factor(a);
+  EXPECT_FALSE(chol.ok());
+  EXPECT_EQ(chol.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, RejectsNonSquareAndEmpty) {
+  EXPECT_FALSE(Cholesky::Factor(Matrix(2, 3)).ok());
+  EXPECT_FALSE(Cholesky::Factor(Matrix()).ok());
+}
+
+TEST(CholeskyTest, SolveMatrixColumnwise) {
+  Rng rng(14);
+  Matrix a = RandomSpd(&rng, 5);
+  Matrix b(5, 3);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 3; ++j) b(i, j) = rng.Normal();
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix x = chol->SolveMatrix(b);
+  EXPECT_TRUE(a.MatMul(x).ApproxEquals(b, 1e-7));
+}
+
+TEST(CholeskyTest, TriangularSolvesCompose) {
+  Rng rng(15);
+  Matrix a = RandomSpd(&rng, 7);
+  auto chol = Cholesky::Factor(a);
+  ASSERT_TRUE(chol.ok());
+  std::vector<double> b(7);
+  for (double& v : b) v = rng.Normal();
+  std::vector<double> via_parts = chol->SolveUpper(chol->SolveLower(b));
+  std::vector<double> direct = chol->Solve(b);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(via_parts[i], direct[i]);
+  }
+}
+
+}  // namespace
+}  // namespace la
+}  // namespace smiler

@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/knn_result.h"
+#include "predictors/ar_predictor.h"
+#include "predictors/ensemble.h"
+#include "predictors/gp_predictor.h"
+#include "predictors/predictor.h"
+
+namespace smiler {
+namespace predictors {
+namespace {
+
+// ---------------------------------------------------------- training set
+
+TEST(MakeTrainingSetTest, ExtractsSegmentsAndTargets) {
+  std::vector<double> series;
+  for (int i = 0; i < 20; ++i) series.push_back(i);
+  index::ItemQueryResult item;
+  item.d = 3;
+  item.neighbors = {{/*t=*/2, 0.1}, {/*t=*/7, 0.2}};
+  auto set = MakeTrainingSet(series, item, /*k=*/2, /*h=*/2);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->x.rows(), 2u);
+  EXPECT_EQ(set->x.cols(), 3u);
+  // Segment [2,5): 2,3,4; y = series[2+3-1+2] = series[6] = 6.
+  EXPECT_DOUBLE_EQ(set->x(0, 0), 2);
+  EXPECT_DOUBLE_EQ(set->x(0, 2), 4);
+  EXPECT_DOUBLE_EQ(set->y[0], 6);
+  EXPECT_DOUBLE_EQ(set->y[1], 11);
+}
+
+TEST(MakeTrainingSetTest, TruncatesToAvailableNeighbors) {
+  std::vector<double> series(30, 1.0);
+  index::ItemQueryResult item;
+  item.d = 4;
+  item.neighbors = {{0, 0.1}, {5, 0.2}, {10, 0.3}};
+  auto set = MakeTrainingSet(series, item, /*k=*/10, /*h=*/1);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->x.rows(), 3u);
+}
+
+TEST(MakeTrainingSetTest, RejectsInvalid) {
+  std::vector<double> series(10, 0.0);
+  index::ItemQueryResult empty;
+  empty.d = 3;
+  EXPECT_FALSE(MakeTrainingSet(series, empty, 2, 1).ok());
+  index::ItemQueryResult item;
+  item.d = 3;
+  item.neighbors = {{0, 0.0}};
+  EXPECT_FALSE(MakeTrainingSet(series, item, 0, 1).ok());
+  EXPECT_FALSE(MakeTrainingSet(series, item, 2, 0).ok());
+  // y index out of range: t=8, d=3 -> y at 8+2+1 = 11 >= 10.
+  index::ItemQueryResult late;
+  late.d = 3;
+  late.neighbors = {{7, 0.0}};
+  EXPECT_FALSE(MakeTrainingSet(series, late, 1, 1).ok());
+}
+
+// -------------------------------------------------------------------- AR
+
+TEST(ArPredictorTest, MatchesMeanAndVariance) {
+  KnnTrainingSet set;
+  set.x = la::Matrix(4, 2);
+  set.y = {1.0, 2.0, 3.0, 4.0};
+  const Prediction p = AggregationPredict(set);
+  EXPECT_DOUBLE_EQ(p.mean, 2.5);
+  EXPECT_DOUBLE_EQ(p.variance, 1.25);
+}
+
+TEST(ArPredictorTest, ClampsDegenerateVariance) {
+  KnnTrainingSet set;
+  set.x = la::Matrix(3, 2);
+  set.y = {2.0, 2.0, 2.0};
+  const Prediction p = AggregationPredict(set);
+  EXPECT_DOUBLE_EQ(p.mean, 2.0);
+  EXPECT_GT(p.variance, 0.0);
+}
+
+// ------------------------------------------------------------------- GP
+
+KnnTrainingSet SineTrainingSet(Rng* rng, int k, int d) {
+  KnnTrainingSet set;
+  set.x = la::Matrix(k, d);
+  set.y.resize(k);
+  for (int j = 0; j < k; ++j) {
+    const double phase = rng->Uniform(0, 2 * M_PI);
+    for (int p = 0; p < d; ++p) {
+      set.x(j, p) = std::sin(phase + 0.3 * p);
+    }
+    set.y[j] = std::sin(phase + 0.3 * d);  // next value of the wave
+  }
+  return set;
+}
+
+TEST(GpCellPredictorTest, LearnsSmoothFunction) {
+  Rng rng(90);
+  KnnTrainingSet set = SineTrainingSet(&rng, 24, 8);
+  GpCellPredictor cell;
+  // Query: another phase of the same wave.
+  std::vector<double> x0(8);
+  const double phase = 1.234;
+  for (int p = 0; p < 8; ++p) x0[p] = std::sin(phase + 0.3 * p);
+  const double truth = std::sin(phase + 0.3 * 8);
+  const Prediction p = cell.Predict(set, x0.data(), 30, 5);
+  // The noise floor regularizes toward the neighbor mean, so allow some
+  // shrinkage — but the GP must still clearly beat plain aggregation.
+  EXPECT_NEAR(p.mean, truth, 0.3);
+  EXPECT_LT(std::fabs(p.mean - truth),
+            std::fabs(AggregationPredict(set).mean - truth));
+  EXPECT_GT(p.variance, 0.0);
+  ASSERT_TRUE(cell.kernel().has_value());
+}
+
+TEST(GpCellPredictorTest, WarmStartPersists) {
+  Rng rng(91);
+  KnnTrainingSet set = SineTrainingSet(&rng, 16, 6);
+  GpCellPredictor cell;
+  std::vector<double> x0(6, 0.1);
+  cell.Predict(set, x0.data(), 20, 5);
+  ASSERT_TRUE(cell.kernel().has_value());
+  const auto params = cell.kernel()->log_params();
+  cell.Predict(set, x0.data(), 20, 0);  // zero online steps: unchanged
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(cell.kernel()->log_params()[i], params[i]);
+  }
+  cell.Reset();
+  EXPECT_FALSE(cell.kernel().has_value());
+}
+
+TEST(GpCellPredictorTest, DegenerateDataFallsBackToAr) {
+  KnnTrainingSet set;
+  set.x = la::Matrix(5, 3);  // identical all-zero inputs
+  set.y = {1.0, 1.0, 1.0, 1.0, 1.0};
+  GpCellPredictor cell;
+  std::vector<double> x0(3, 0.0);
+  const Prediction p = cell.Predict(set, x0.data(), 10, 5);
+  EXPECT_TRUE(std::isfinite(p.mean));
+  EXPECT_GT(p.variance, 0.0);
+  EXPECT_NEAR(p.mean, 1.0, 0.2);
+}
+
+// ---------------------------------------------------------------- grid
+
+TEST(PredictionGridTest, SetAndQuery) {
+  PredictionGrid grid(2, 3);
+  EXPECT_FALSE(grid.Has(1, 2));
+  grid.Set(1, 2, Prediction{3.0, 0.5});
+  EXPECT_TRUE(grid.Has(1, 2));
+  EXPECT_DOUBLE_EQ(grid.At(1, 2).mean, 3.0);
+  EXPECT_FALSE(grid.Has(0, 0));
+}
+
+// ------------------------------------------------------------- ensemble
+
+Ensemble::Options DefaultOptions() {
+  Ensemble::Options o;
+  o.rows = 2;
+  o.cols = 2;
+  return o;
+}
+
+TEST(EnsembleTest, StartsUniformAndAwake) {
+  Ensemble e(DefaultOptions());
+  EXPECT_EQ(e.NumAwake(), 4);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_TRUE(e.IsAwake(i, j));
+      EXPECT_DOUBLE_EQ(e.Weight(i, j), 0.25);
+    }
+  }
+  EXPECT_DOUBLE_EQ(e.sleep_threshold(), 1.0 / 8.0);
+}
+
+TEST(EnsembleTest, CombineIsWeightedMomentMatch) {
+  Ensemble e(DefaultOptions());
+  PredictionGrid grid(2, 2);
+  grid.Set(0, 0, Prediction{1.0, 1.0});
+  grid.Set(0, 1, Prediction{3.0, 1.0});
+  // Only two cells predict; weights renormalize to 0.5 each.
+  const Prediction p = e.Combine(grid);
+  EXPECT_DOUBLE_EQ(p.mean, 2.0);
+  // var = E[sigma^2] + E[u^2] - (E[u])^2 = 1 + 5 - 4 = 2.
+  EXPECT_DOUBLE_EQ(p.variance, 2.0);
+}
+
+TEST(EnsembleTest, EmptyGridGivesFallback) {
+  Ensemble e(DefaultOptions());
+  PredictionGrid grid(2, 2);
+  const Prediction p = e.Combine(grid);
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_DOUBLE_EQ(p.variance, 1.0);
+}
+
+TEST(EnsembleTest, GoodPredictorGainsWeight) {
+  Ensemble e(DefaultOptions());
+  PredictionGrid grid(2, 2);
+  for (int step = 0; step < 10; ++step) {
+    grid = PredictionGrid(2, 2);
+    grid.Set(0, 0, Prediction{0.0, 0.1});   // spot-on
+    grid.Set(0, 1, Prediction{5.0, 0.1});   // badly off
+    grid.Set(1, 0, Prediction{2.0, 10.0});  // vague
+    grid.Set(1, 1, Prediction{-2.0, 10.0});
+    e.Observe(0.0, grid);
+  }
+  EXPECT_GT(e.Weight(0, 0), 0.5);
+  EXPECT_GT(e.Weight(0, 0), e.Weight(1, 0));
+}
+
+TEST(EnsembleTest, WeightsStayNormalized) {
+  Ensemble e(DefaultOptions());
+  Rng rng(92);
+  for (int step = 0; step < 50; ++step) {
+    PredictionGrid grid(2, 2);
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        if (e.IsAwake(i, j)) {
+          grid.Set(i, j, Prediction{rng.Normal(), 0.5 + rng.Uniform()});
+        }
+      }
+    }
+    e.Observe(rng.Normal(), grid);
+    double sum = 0.0;
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        if (e.IsAwake(i, j)) sum += e.Weight(i, j);
+      }
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-9) << "step " << step;
+    ASSERT_GE(e.NumAwake(), 1);
+  }
+}
+
+TEST(EnsembleTest, PersistentlyBadPredictorSleeps) {
+  Ensemble e(DefaultOptions());
+  for (int step = 0; step < 20; ++step) {
+    PredictionGrid grid(2, 2);
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        if (!e.IsAwake(i, j)) continue;
+        const bool bad = (i == 1 && j == 1);
+        grid.Set(i, j, Prediction{bad ? 100.0 : 0.0, 0.1});
+      }
+    }
+    e.Observe(0.0, grid);
+    if (!e.IsAwake(1, 1)) break;
+  }
+  EXPECT_FALSE(e.IsAwake(1, 1));
+  EXPECT_EQ(e.NumAwake(), 3);
+}
+
+TEST(EnsembleTest, SleeperRecoversAndCounterDoubles) {
+  Ensemble::Options o;
+  o.rows = 1;
+  o.cols = 2;
+  Ensemble e(o);
+  auto observe_bad_cell1 = [&] {
+    PredictionGrid grid(1, 2);
+    if (e.IsAwake(0, 0)) grid.Set(0, 0, Prediction{0.0, 0.1});
+    if (e.IsAwake(0, 1)) grid.Set(0, 1, Prediction{50.0, 0.1});
+    e.Observe(0.0, grid);
+  };
+  // Drive cell (0,1) to sleep (counter 1 => sleeps one step).
+  int steps_to_sleep = 0;
+  while (e.IsAwake(0, 1) && steps_to_sleep < 50) {
+    observe_bad_cell1();
+    ++steps_to_sleep;
+  }
+  ASSERT_FALSE(e.IsAwake(0, 1));
+  const int counter_at_sleep = e.SleepCounter(0, 1);
+  // One more observation: the sleeper recovers.
+  observe_bad_cell1();
+  EXPECT_TRUE(e.IsAwake(0, 1));
+  // It predicts badly again, re-sleeps immediately, counter doubles.
+  observe_bad_cell1();
+  EXPECT_FALSE(e.IsAwake(0, 1));
+  EXPECT_EQ(e.SleepCounter(0, 1), counter_at_sleep * 2);
+}
+
+TEST(EnsembleTest, SelfAdaptiveOffKeepsUniformWeights) {
+  Ensemble::Options o = DefaultOptions();
+  o.self_adaptive = false;
+  Ensemble e(o);
+  PredictionGrid grid(2, 2);
+  grid.Set(0, 0, Prediction{0.0, 0.1});
+  grid.Set(1, 1, Prediction{99.0, 0.1});
+  e.Observe(0.0, grid);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(e.Weight(i, j), 0.25);
+      EXPECT_TRUE(e.IsAwake(i, j));
+    }
+  }
+}
+
+TEST(EnsembleTest, SleepDisabledKeepsEveryoneAwake) {
+  Ensemble::Options o = DefaultOptions();
+  o.sleep_and_recovery = false;
+  Ensemble e(o);
+  for (int step = 0; step < 30; ++step) {
+    PredictionGrid grid(2, 2);
+    grid.Set(0, 0, Prediction{0.0, 0.1});
+    grid.Set(0, 1, Prediction{80.0, 0.1});
+    grid.Set(1, 0, Prediction{80.0, 0.1});
+    grid.Set(1, 1, Prediction{80.0, 0.1});
+    e.Observe(0.0, grid);
+  }
+  EXPECT_EQ(e.NumAwake(), 4);
+  EXPECT_GT(e.Weight(0, 0), 0.9);  // weights still adapt
+}
+
+TEST(EnsembleTest, MixtureLogDensityBracketsComponents) {
+  Ensemble e(DefaultOptions());
+  PredictionGrid grid(2, 2);
+  grid.Set(0, 0, Prediction{0.0, 1.0});
+  grid.Set(0, 1, Prediction{4.0, 1.0});
+  const double at_zero = e.MixtureLogDensity(0.0, grid);
+  const double at_two = e.MixtureLogDensity(2.0, grid);
+  EXPECT_GT(at_zero, at_two);  // mass concentrated at the components
+  EXPECT_TRUE(std::isfinite(at_zero));
+}
+
+
+TEST(EnsembleTest, MixtureLogDensityStableAtExtremes) {
+  Ensemble e(DefaultOptions());
+  PredictionGrid grid(2, 2);
+  // Extremely sharp and extremely vague components together: the
+  // log-sum-exp path must not overflow or lose the answer.
+  grid.Set(0, 0, Prediction{0.0, 1e-12});
+  grid.Set(0, 1, Prediction{0.0, 1e6});
+  const double at_mode = e.MixtureLogDensity(0.0, grid);
+  EXPECT_TRUE(std::isfinite(at_mode));
+  EXPECT_GT(at_mode, 0.0);  // the sharp component dominates at its mode
+  const double far = e.MixtureLogDensity(100.0, grid);
+  EXPECT_TRUE(std::isfinite(far));
+  EXPECT_LT(far, at_mode);
+}
+
+TEST(EnsembleTest, ObserveSurvivesZeroLikelihoodEverywhere) {
+  Ensemble e(DefaultOptions());
+  PredictionGrid grid(2, 2);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      grid.Set(i, j, Prediction{1000.0, 1e-12});  // density underflows
+    }
+  }
+  e.Observe(0.0, grid);  // must not produce NaN weights
+  double sum = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      if (e.IsAwake(i, j)) {
+        EXPECT_TRUE(std::isfinite(e.Weight(i, j)));
+        sum += e.Weight(i, j);
+      }
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EnsembleTest, CalibrationScaleClampedAndMonotone) {
+  Ensemble e(DefaultOptions());
+  EXPECT_DOUBLE_EQ(e.variance_scale(), 1.0);
+  // Persistent huge surprises drive the scale up to its clamp.
+  for (int i = 0; i < 2000; ++i) {
+    e.ObserveCalibration(10.0, Prediction{0.0, 0.01});
+  }
+  EXPECT_GE(e.variance_scale(), 49.0);
+  EXPECT_LE(e.variance_scale(), 50.0);
+  // Well-calibrated residuals bring it back down to the floor of 1.
+  for (int i = 0; i < 5000; ++i) {
+    e.ObserveCalibration(0.0, Prediction{0.0, 1.0});
+  }
+  EXPECT_NEAR(e.variance_scale(), 1.0, 0.2);
+}
+
+TEST(EnsembleTest, CalibrationDisabledWithoutSelfAdaptation) {
+  Ensemble::Options o = DefaultOptions();
+  o.self_adaptive = false;
+  Ensemble e(o);
+  for (int i = 0; i < 100; ++i) {
+    e.ObserveCalibration(10.0, Prediction{0.0, 0.01});
+  }
+  EXPECT_DOUBLE_EQ(e.variance_scale(), 1.0);
+}
+
+TEST(EnsembleTest, CombineAppliesCalibrationScale) {
+  Ensemble e(DefaultOptions());
+  PredictionGrid grid(2, 2);
+  grid.Set(0, 0, Prediction{1.0, 2.0});
+  const Prediction before = e.Combine(grid);
+  for (int i = 0; i < 500; ++i) {
+    e.ObserveCalibration(5.0, Prediction{0.0, 0.1});
+  }
+  const Prediction after = e.Combine(grid);
+  EXPECT_DOUBLE_EQ(before.mean, after.mean);
+  EXPECT_GT(after.variance, before.variance * 10.0);
+  EXPECT_DOUBLE_EQ(e.CombineRaw(grid).variance, before.variance);
+}
+
+}  // namespace
+}  // namespace predictors
+}  // namespace smiler

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "simgpu/device.h"
+
+namespace smiler {
+namespace simgpu {
+namespace {
+
+TEST(SharedMemoryTest, BumpAllocatesWithinCapacity) {
+  SharedMemory shm(1024);
+  double* a = shm.Alloc<double>(64);  // 512 bytes
+  ASSERT_NE(a, nullptr);
+  double* b = shm.Alloc<double>(64);  // another 512
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(shm.used(), 1024u);
+  EXPECT_EQ(shm.Alloc<double>(1), nullptr);  // exhausted
+  shm.Reset();
+  EXPECT_EQ(shm.used(), 0u);
+  EXPECT_NE(shm.Alloc<double>(64), nullptr);
+}
+
+TEST(SharedMemoryTest, RespectsAlignment) {
+  SharedMemory shm(256);
+  char* c = shm.Alloc<char>(3);
+  ASSERT_NE(c, nullptr);
+  double* d = shm.Alloc<double>(1);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+}
+
+TEST(DeviceTest, LaunchRunsEveryBlockOnce) {
+  Device device;
+  std::vector<std::atomic<int>> hits(128);
+  auto st = device.Launch(128, 32, [&](BlockContext& ctx) {
+    hits[ctx.block_id] += 1;
+    EXPECT_EQ(ctx.grid_dim, 128);
+    EXPECT_EQ(ctx.block_dim, 32);
+    EXPECT_NE(ctx.shared, nullptr);
+  });
+  ASSERT_TRUE(st.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(device.stats().kernels_launched, 1u);
+  EXPECT_EQ(device.stats().blocks_executed, 128u);
+}
+
+TEST(DeviceTest, LaunchZeroGridIsNoop) {
+  Device device;
+  bool called = false;
+  auto st = device.Launch(0, 32, [&](BlockContext&) { called = true; });
+  EXPECT_TRUE(st.ok());
+  EXPECT_FALSE(called);
+}
+
+TEST(DeviceTest, LaunchRejectsBadDims) {
+  Device device;
+  EXPECT_FALSE(device.Launch(-1, 32, [](BlockContext&) {}).ok());
+  EXPECT_FALSE(device.Launch(4, 0, [](BlockContext&) {}).ok());
+}
+
+TEST(DeviceTest, ForEachLaneCoversBlockDim) {
+  Device device;
+  std::atomic<int> lanes{0};
+  auto st = device.Launch(1, 17, [&](BlockContext& ctx) {
+    ctx.ForEachLane([&](int) { lanes += 1; });
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(lanes.load(), 17);
+}
+
+TEST(DeviceTest, SharedMemoryIsPerBlock) {
+  Device device;
+  std::atomic<int> failures{0};
+  auto st = device.Launch(64, 4, [&](BlockContext& ctx) {
+    int* p = ctx.shared->Alloc<int>(16);
+    if (p == nullptr) {
+      failures += 1;
+      return;
+    }
+    for (int i = 0; i < 16; ++i) p[i] = ctx.block_id;
+    for (int i = 0; i < 16; ++i) {
+      if (p[i] != ctx.block_id) failures += 1;
+    }
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(DeviceTest, MemoryAccounting) {
+  Device device(/*memory_budget_bytes=*/1024);
+  EXPECT_TRUE(device.AllocateBytes(512).ok());
+  EXPECT_EQ(device.memory_used(), 512u);
+  EXPECT_TRUE(device.AllocateBytes(512).ok());
+  auto st = device.AllocateBytes(1);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  device.FreeBytes(1024);
+  EXPECT_EQ(device.memory_used(), 0u);
+}
+
+TEST(DeviceBufferTest, ChargesAndReleasesBudget) {
+  Device device(/*memory_budget_bytes=*/4096);
+  {
+    auto buf = DeviceBuffer<double>::Create(&device, 256);  // 2048 bytes
+    ASSERT_TRUE(buf.ok());
+    EXPECT_EQ(device.memory_used(), 2048u);
+    EXPECT_EQ(buf->size(), 256u);
+    (*buf)[0] = 1.5;
+    EXPECT_DOUBLE_EQ((*buf)[0], 1.5);
+    ASSERT_TRUE(buf->Resize(128).ok());
+    EXPECT_EQ(device.memory_used(), 1024u);
+    ASSERT_TRUE(buf->Resize(512).ok());
+    EXPECT_EQ(device.memory_used(), 4096u);
+    EXPECT_FALSE(buf->Resize(513).ok());  // over budget
+    EXPECT_EQ(buf->size(), 512u);         // unchanged on failure
+  }
+  EXPECT_EQ(device.memory_used(), 0u);  // destructor released
+}
+
+TEST(DeviceBufferTest, CreateFailsOverBudget) {
+  Device device(/*memory_budget_bytes=*/64);
+  auto buf = DeviceBuffer<double>::Create(&device, 9);
+  EXPECT_FALSE(buf.ok());
+  EXPECT_EQ(buf.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(device.memory_used(), 0u);
+}
+
+TEST(DeviceBufferTest, MoveTransfersOwnership) {
+  Device device(4096);
+  auto buf = DeviceBuffer<double>::Create(&device, 16);
+  ASSERT_TRUE(buf.ok());
+  DeviceBuffer<double> other = std::move(*buf);
+  EXPECT_EQ(other.size(), 16u);
+  EXPECT_EQ(device.memory_used(), 128u);
+  DeviceBuffer<double> third;
+  third = std::move(other);
+  EXPECT_EQ(device.memory_used(), 128u);
+}
+
+TEST(DeviceTest, ConcurrentBlocksShareGlobalMemorySafely) {
+  Device device;
+  std::vector<long> out(1000, 0);
+  auto st = device.Launch(10, 8, [&](BlockContext& ctx) {
+    // Grid-strided disjoint writes, the idiom every index kernel uses.
+    for (std::size_t i = ctx.block_id; i < out.size(); i += ctx.grid_dim) {
+      out[i] = static_cast<long>(i) * 3;
+    }
+  });
+  ASSERT_TRUE(st.ok());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<long>(i) * 3);
+  }
+}
+
+}  // namespace
+}  // namespace simgpu
+}  // namespace smiler

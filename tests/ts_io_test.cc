@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "ts/io.h"
+
+namespace smiler {
+namespace ts {
+namespace {
+
+TEST(CsvTest, ParsesColumnLayoutWithHeader) {
+  const std::string text =
+      "road-a,road-b\n"
+      "1.0,4.0\n"
+      "2.0,5.0\n"
+      "3.0,6.0\n";
+  auto result = ParseCsv(text);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].sensor_id(), "road-a");
+  EXPECT_EQ((*result)[1].sensor_id(), "road-b");
+  EXPECT_EQ((*result)[0].values(), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ((*result)[1].values(), (std::vector<double>{4, 5, 6}));
+}
+
+TEST(CsvTest, ParsesRowLayoutWithoutHeader) {
+  CsvOptions options;
+  options.has_header = false;
+  options.sensors_in_columns = false;
+  auto result = ParseCsv("1,2,3\n4,5,6\n", options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].sensor_id(), "sensor-0");
+  EXPECT_EQ((*result)[0].values(), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ((*result)[1].values(), (std::vector<double>{4, 5, 6}));
+}
+
+TEST(CsvTest, CustomDelimiterAndCrlf) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto result = ParseCsv("a;b\r\n1;2\r\n3;4\r\n", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)[1].values(), (std::vector<double>{2, 4}));
+}
+
+TEST(CsvTest, ScientificNotationAndNegatives) {
+  auto result = ParseCsv("s\n-1.5e-3\n2E2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ((*result)[0][0], -0.0015);
+  EXPECT_DOUBLE_EQ((*result)[0][1], 200.0);
+}
+
+TEST(CsvTest, RejectsNonNumeric) {
+  auto result = ParseCsv("s\n1.0\nNA\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto result = ParseCsv("a,b\n1,2\n3\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(CsvTest, RejectsEmpty) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("header-only\n").ok());
+}
+
+TEST(CsvTest, MissingValueIsRejectedNotSilentlyZero) {
+  auto result = ParseCsv("a,b\n1,\n2,3\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(CsvTest, ReadMissingFileIsNotFound) {
+  auto result = ReadCsv("/no/such/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  std::vector<TimeSeries> series;
+  series.emplace_back("alpha", std::vector<double>{1.25, -2.5, 3.75});
+  series.emplace_back("beta", std::vector<double>{0.1, 0.2, 0.3});
+  const std::string path = ::testing::TempDir() + "/smiler_io_test.csv";
+  ASSERT_TRUE(WriteCsv(path, series).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].sensor_id(), "alpha");
+  EXPECT_EQ((*back)[0].values(), series[0].values());
+  EXPECT_EQ((*back)[1].values(), series[1].values());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteRejectsRaggedOrEmpty) {
+  EXPECT_FALSE(WriteCsv("/tmp/x.csv", {}).ok());
+  std::vector<TimeSeries> ragged;
+  ragged.emplace_back("a", std::vector<double>{1, 2});
+  ragged.emplace_back("b", std::vector<double>{1});
+  EXPECT_FALSE(WriteCsv("/tmp/x.csv", ragged).ok());
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace smiler

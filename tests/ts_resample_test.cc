@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ts/resample.h"
+
+namespace smiler {
+namespace ts {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(ResampleTest, IdentityWhenIntervalsMatch) {
+  std::vector<double> v{1, 2, 3, 4};
+  auto out = Resample(v, 10.0, 10.0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, v);
+}
+
+TEST(ResampleTest, Upsample2xLinearlyInterpolates) {
+  std::vector<double> v{0.0, 2.0, 4.0};
+  auto out = Resample(v, 10.0, 5.0);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 5u);
+  EXPECT_DOUBLE_EQ((*out)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*out)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*out)[2], 2.0);
+  EXPECT_DOUBLE_EQ((*out)[3], 3.0);
+  EXPECT_DOUBLE_EQ((*out)[4], 4.0);
+}
+
+TEST(ResampleTest, DownsampleKeepsEndpointsInSpan) {
+  std::vector<double> v{0, 1, 2, 3, 4, 5, 6};
+  auto out = Resample(v, 1.0, 2.0);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 4u);
+  EXPECT_DOUBLE_EQ((*out)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*out)[3], 6.0);
+}
+
+TEST(ResampleTest, NonIntegerRatio) {
+  // Span 30; target interval 7 -> samples at 0, 7, 14, 21, 28.
+  std::vector<double> v{0, 10, 20, 30};
+  auto out = Resample(v, 10.0, 7.0);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 5u);
+  EXPECT_DOUBLE_EQ((*out)[1], 7.0);   // linear through (0,0) .. (10,10)
+  EXPECT_DOUBLE_EQ((*out)[4], 28.0);
+}
+
+TEST(ResampleTest, SinglePointSeries) {
+  auto out = Resample({5.0}, 1.0, 0.5);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_DOUBLE_EQ((*out)[0], 5.0);
+}
+
+TEST(ResampleTest, RejectsBadArguments) {
+  EXPECT_FALSE(Resample({}, 1.0, 1.0).ok());
+  EXPECT_FALSE(Resample({1.0}, 0.0, 1.0).ok());
+  EXPECT_FALSE(Resample({1.0}, 1.0, -2.0).ok());
+}
+
+TEST(ResampleTest, PreservesSmoothSignalShape) {
+  std::vector<double> fine(101);
+  for (int i = 0; i <= 100; ++i) fine[i] = std::sin(0.1 * i);
+  auto coarse = Resample(fine, 1.0, 4.0);
+  ASSERT_TRUE(coarse.ok());
+  auto back = Resample(*coarse, 4.0, 1.0);
+  ASSERT_TRUE(back.ok());
+  for (std::size_t i = 0; i < back->size(); ++i) {
+    EXPECT_NEAR((*back)[i], fine[i], 0.05);
+  }
+}
+
+TEST(FillGapsTest, InteriorGapLinear) {
+  std::vector<double> v{1.0, kNan, kNan, 4.0};
+  ASSERT_TRUE(FillGaps(&v).ok());
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(FillGapsTest, LeadingAndTrailingGaps) {
+  std::vector<double> v{kNan, kNan, 5.0, kNan};
+  ASSERT_TRUE(FillGaps(&v).ok());
+  EXPECT_DOUBLE_EQ(v[0], 5.0);
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+  EXPECT_DOUBLE_EQ(v[3], 5.0);
+}
+
+TEST(FillGapsTest, NoGapsIsNoop) {
+  std::vector<double> v{1, 2, 3};
+  ASSERT_TRUE(FillGaps(&v).ok());
+  EXPECT_EQ(v, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(FillGapsTest, AllNanFails) {
+  std::vector<double> v{kNan, kNan};
+  EXPECT_FALSE(FillGaps(&v).ok());
+}
+
+TEST(FillGapsTest, MultipleGaps) {
+  std::vector<double> v{0.0, kNan, 2.0, kNan, kNan, 8.0};
+  ASSERT_TRUE(FillGaps(&v).ok());
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  EXPECT_DOUBLE_EQ(v[3], 4.0);
+  EXPECT_DOUBLE_EQ(v[4], 6.0);
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace smiler

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/math_utils.h"
+#include "ts/datasets.h"
+#include "ts/series.h"
+
+namespace smiler {
+namespace ts {
+namespace {
+
+TEST(SeriesTest, BasicAccessors) {
+  TimeSeries s("sensor-1", {1.0, 2.0, 3.0});
+  EXPECT_EQ(s.sensor_id(), "sensor-1");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  s.Append(4.0);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[3], 4.0);
+}
+
+TEST(SeriesTest, SegmentViewCoversRequestedRange) {
+  TimeSeries s("x", {0, 10, 20, 30, 40, 50});
+  auto seg = s.Segment(2, 3);
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg->length, 3);
+  EXPECT_EQ(seg->start, 2);
+  EXPECT_EQ(seg->end_time(), 4);
+  EXPECT_DOUBLE_EQ((*seg)[0], 20);
+  EXPECT_DOUBLE_EQ((*seg)[2], 40);
+}
+
+TEST(SeriesTest, SegmentOutOfRangeFails) {
+  TimeSeries s("x", {1, 2, 3});
+  EXPECT_FALSE(s.Segment(-1, 2).ok());
+  EXPECT_FALSE(s.Segment(2, 2).ok());
+  EXPECT_FALSE(s.Segment(0, 0).ok());
+  EXPECT_TRUE(s.Segment(0, 3).ok());
+}
+
+TEST(SeriesTest, SuffixSegmentEndsAtRequestedTime) {
+  TimeSeries s("x", {0, 1, 2, 3, 4, 5, 6, 7});
+  auto seg = s.SuffixSegment(7, 3);  // the paper's x_{0,d} at t0 = 7
+  ASSERT_TRUE(seg.ok());
+  EXPECT_EQ(seg->start, 5);
+  EXPECT_DOUBLE_EQ((*seg)[0], 5);
+  EXPECT_DOUBLE_EQ((*seg)[2], 7);
+}
+
+TEST(ZNormalizeTest, ProducesZeroMeanUnitVariance) {
+  std::vector<double> v{3, 7, 1, 9, 4, 4, 2, 8};
+  auto [mean, stddev] = ZNormalize(&v);
+  EXPECT_GT(stddev, 0.0);
+  EXPECT_NEAR(Mean(v), 0.0, 1e-12);
+  EXPECT_NEAR(Variance(v), 1.0, 1e-9);
+  EXPECT_NEAR(mean, 4.75, 1e-12);
+}
+
+TEST(ZNormalizeTest, ConstantSeriesBecomesZeros) {
+  std::vector<double> v{5, 5, 5, 5};
+  ZNormalize(&v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(ZNormalizeTest, RoundTripsViaReturnedMoments) {
+  std::vector<double> original{3, 7, 1, 9};
+  std::vector<double> v = original;
+  auto [mean, stddev] = ZNormalize(&v);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i] * stddev + mean, original[i], 1e-12);
+  }
+}
+
+TEST(ZNormalizedTest, KeepsSensorId) {
+  TimeSeries s("abc", {1, 2, 3, 4});
+  TimeSeries z = ZNormalized(s);
+  EXPECT_EQ(z.sensor_id(), "abc");
+  EXPECT_EQ(z.size(), 4u);
+}
+
+// --------------------------------------------------------------- datasets
+
+TEST(DatasetTest, KindNames) {
+  EXPECT_STREQ(DatasetKindName(DatasetKind::kRoad), "ROAD");
+  EXPECT_STREQ(DatasetKindName(DatasetKind::kMall), "MALL");
+  EXPECT_STREQ(DatasetKindName(DatasetKind::kNet), "NET");
+}
+
+TEST(DatasetTest, MakeDatasetShapes) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kMall;
+  spec.num_sensors = 5;
+  spec.points_per_sensor = 1000;
+  auto data = MakeDataset(spec);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 5u);
+  for (const auto& s : *data) EXPECT_EQ(s.size(), 1000u);
+  EXPECT_EQ((*data)[0].sensor_id(), "MALL-0");
+}
+
+TEST(DatasetTest, ZNormalizedByDefault) {
+  DatasetSpec spec;
+  spec.kind = DatasetKind::kNet;
+  spec.num_sensors = 2;
+  spec.points_per_sensor = 2000;
+  auto data = MakeDataset(spec);
+  ASSERT_TRUE(data.ok());
+  for (const auto& s : *data) {
+    EXPECT_NEAR(Mean(s.values()), 0.0, 1e-9);
+    EXPECT_NEAR(Variance(s.values()), 1.0, 1e-6);
+  }
+}
+
+TEST(DatasetTest, DeterministicForSameSeed) {
+  DatasetSpec spec;
+  spec.num_sensors = 2;
+  spec.points_per_sensor = 512;
+  auto a = MakeDataset(spec);
+  auto b = MakeDataset(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)[1].values(), (*b)[1].values());
+}
+
+TEST(DatasetTest, DifferentSensorsDiffer) {
+  DatasetSpec spec;
+  spec.num_sensors = 2;
+  spec.points_per_sensor = 512;
+  auto data = MakeDataset(spec);
+  ASSERT_TRUE(data.ok());
+  EXPECT_NE((*data)[0].values(), (*data)[1].values());
+}
+
+TEST(DatasetTest, RejectsBadSpecs) {
+  DatasetSpec spec;
+  spec.num_sensors = 0;
+  EXPECT_FALSE(MakeDataset(spec).ok());
+  spec = DatasetSpec{};
+  spec.points_per_sensor = 1;
+  EXPECT_FALSE(MakeDataset(spec).ok());
+  spec = DatasetSpec{};
+  spec.samples_per_day = 2;
+  EXPECT_FALSE(MakeDataset(spec).ok());
+}
+
+// Daily seasonality check: the MALL generator must correlate strongly at a
+// one-day lag (the paper's "seasonal patterns"), ROAD less so.
+double LagCorrelation(const std::vector<double>& v, int lag) {
+  const int n = static_cast<int>(v.size()) - lag;
+  double m1 = 0, m2 = 0;
+  for (int i = 0; i < n; ++i) {
+    m1 += v[i];
+    m2 += v[i + lag];
+  }
+  m1 /= n;
+  m2 /= n;
+  double num = 0, d1 = 0, d2 = 0;
+  for (int i = 0; i < n; ++i) {
+    num += (v[i] - m1) * (v[i + lag] - m2);
+    d1 += (v[i] - m1) * (v[i] - m1);
+    d2 += (v[i + lag] - m2) * (v[i + lag] - m2);
+  }
+  return num / std::sqrt(d1 * d2);
+}
+
+TEST(DatasetTest, MallIsMoreSeasonalThanRoad) {
+  const int day = 96;
+  const int n = day * 40;
+  auto mall = GenerateSensor(DatasetKind::kMall, 0, n, day, 1);
+  auto road = GenerateSensor(DatasetKind::kRoad, 0, n, day, 1);
+  const double mall_corr = LagCorrelation(mall, day);
+  const double road_corr = LagCorrelation(road, day);
+  EXPECT_GT(mall_corr, 0.7);
+  EXPECT_GT(mall_corr, road_corr);
+}
+
+TEST(DatasetTest, NetIsSeasonal) {
+  const int day = 96;
+  auto net = GenerateSensor(DatasetKind::kNet, 3, day * 40, day, 1);
+  EXPECT_GT(LagCorrelation(net, day), 0.5);
+}
+
+TEST(DatasetTest, RoadValuesAreOccupancyRates) {
+  auto road = GenerateSensor(DatasetKind::kRoad, 1, 5000, 96, 2);
+  for (double v : road) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ts
+}  // namespace smiler
