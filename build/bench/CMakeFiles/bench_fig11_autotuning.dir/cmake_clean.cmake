@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_autotuning.dir/bench_fig11_autotuning.cc.o"
+  "CMakeFiles/bench_fig11_autotuning.dir/bench_fig11_autotuning.cc.o.d"
+  "bench_fig11_autotuning"
+  "bench_fig11_autotuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_autotuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

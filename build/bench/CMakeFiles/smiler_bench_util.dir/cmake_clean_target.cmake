@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libsmiler_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_forecast.dir/csv_forecast.cc.o"
+  "CMakeFiles/csv_forecast.dir/csv_forecast.cc.o.d"
+  "csv_forecast"
+  "csv_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

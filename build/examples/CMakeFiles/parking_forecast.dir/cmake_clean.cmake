@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parking_forecast.dir/parking_forecast.cc.o"
+  "CMakeFiles/parking_forecast.dir/parking_forecast.cc.o.d"
+  "parking_forecast"
+  "parking_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parking_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_fleet.dir/traffic_fleet.cc.o"
+  "CMakeFiles/traffic_fleet.dir/traffic_fleet.cc.o.d"
+  "traffic_fleet"
+  "traffic_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

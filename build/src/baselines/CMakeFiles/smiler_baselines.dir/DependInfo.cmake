@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline.cc" "src/baselines/CMakeFiles/smiler_baselines.dir/baseline.cc.o" "gcc" "src/baselines/CMakeFiles/smiler_baselines.dir/baseline.cc.o.d"
+  "/root/repo/src/baselines/holt_winters.cc" "src/baselines/CMakeFiles/smiler_baselines.dir/holt_winters.cc.o" "gcc" "src/baselines/CMakeFiles/smiler_baselines.dir/holt_winters.cc.o.d"
+  "/root/repo/src/baselines/lazy_knn.cc" "src/baselines/CMakeFiles/smiler_baselines.dir/lazy_knn.cc.o" "gcc" "src/baselines/CMakeFiles/smiler_baselines.dir/lazy_knn.cc.o.d"
+  "/root/repo/src/baselines/linear_sgd.cc" "src/baselines/CMakeFiles/smiler_baselines.dir/linear_sgd.cc.o" "gcc" "src/baselines/CMakeFiles/smiler_baselines.dir/linear_sgd.cc.o.d"
+  "/root/repo/src/baselines/nys_svr.cc" "src/baselines/CMakeFiles/smiler_baselines.dir/nys_svr.cc.o" "gcc" "src/baselines/CMakeFiles/smiler_baselines.dir/nys_svr.cc.o.d"
+  "/root/repo/src/baselines/psgp.cc" "src/baselines/CMakeFiles/smiler_baselines.dir/psgp.cc.o" "gcc" "src/baselines/CMakeFiles/smiler_baselines.dir/psgp.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/smiler_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/smiler_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/vlgp.cc" "src/baselines/CMakeFiles/smiler_baselines.dir/vlgp.cc.o" "gcc" "src/baselines/CMakeFiles/smiler_baselines.dir/vlgp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smiler_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/smiler_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/smiler_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/smiler_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/smiler_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/smiler_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/smiler_dtw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiler_baselines.dir/baseline.cc.o"
+  "CMakeFiles/smiler_baselines.dir/baseline.cc.o.d"
+  "CMakeFiles/smiler_baselines.dir/holt_winters.cc.o"
+  "CMakeFiles/smiler_baselines.dir/holt_winters.cc.o.d"
+  "CMakeFiles/smiler_baselines.dir/lazy_knn.cc.o"
+  "CMakeFiles/smiler_baselines.dir/lazy_knn.cc.o.d"
+  "CMakeFiles/smiler_baselines.dir/linear_sgd.cc.o"
+  "CMakeFiles/smiler_baselines.dir/linear_sgd.cc.o.d"
+  "CMakeFiles/smiler_baselines.dir/nys_svr.cc.o"
+  "CMakeFiles/smiler_baselines.dir/nys_svr.cc.o.d"
+  "CMakeFiles/smiler_baselines.dir/psgp.cc.o"
+  "CMakeFiles/smiler_baselines.dir/psgp.cc.o.d"
+  "CMakeFiles/smiler_baselines.dir/registry.cc.o"
+  "CMakeFiles/smiler_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/smiler_baselines.dir/vlgp.cc.o"
+  "CMakeFiles/smiler_baselines.dir/vlgp.cc.o.d"
+  "libsmiler_baselines.a"
+  "libsmiler_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiler_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

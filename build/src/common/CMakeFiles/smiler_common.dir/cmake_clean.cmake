@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiler_common.dir/status.cc.o"
+  "CMakeFiles/smiler_common.dir/status.cc.o.d"
+  "CMakeFiles/smiler_common.dir/thread_pool.cc.o"
+  "CMakeFiles/smiler_common.dir/thread_pool.cc.o.d"
+  "libsmiler_common.a"
+  "libsmiler_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiler_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmiler_common.a"
+)

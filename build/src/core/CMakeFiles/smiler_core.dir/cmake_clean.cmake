@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiler_core.dir/engine.cc.o"
+  "CMakeFiles/smiler_core.dir/engine.cc.o.d"
+  "CMakeFiles/smiler_core.dir/manager.cc.o"
+  "CMakeFiles/smiler_core.dir/manager.cc.o.d"
+  "libsmiler_core.a"
+  "libsmiler_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiler_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiler_dtw.dir/dtw.cc.o"
+  "CMakeFiles/smiler_dtw.dir/dtw.cc.o.d"
+  "CMakeFiles/smiler_dtw.dir/envelope.cc.o"
+  "CMakeFiles/smiler_dtw.dir/envelope.cc.o.d"
+  "CMakeFiles/smiler_dtw.dir/lower_bounds.cc.o"
+  "CMakeFiles/smiler_dtw.dir/lower_bounds.cc.o.d"
+  "libsmiler_dtw.a"
+  "libsmiler_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiler_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

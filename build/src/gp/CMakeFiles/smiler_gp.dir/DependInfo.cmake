@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/cg_optimizer.cc" "src/gp/CMakeFiles/smiler_gp.dir/cg_optimizer.cc.o" "gcc" "src/gp/CMakeFiles/smiler_gp.dir/cg_optimizer.cc.o.d"
+  "/root/repo/src/gp/gp_regressor.cc" "src/gp/CMakeFiles/smiler_gp.dir/gp_regressor.cc.o" "gcc" "src/gp/CMakeFiles/smiler_gp.dir/gp_regressor.cc.o.d"
+  "/root/repo/src/gp/kernel.cc" "src/gp/CMakeFiles/smiler_gp.dir/kernel.cc.o" "gcc" "src/gp/CMakeFiles/smiler_gp.dir/kernel.cc.o.d"
+  "/root/repo/src/gp/trainer.cc" "src/gp/CMakeFiles/smiler_gp.dir/trainer.cc.o" "gcc" "src/gp/CMakeFiles/smiler_gp.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smiler_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/smiler_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiler_gp.dir/cg_optimizer.cc.o"
+  "CMakeFiles/smiler_gp.dir/cg_optimizer.cc.o.d"
+  "CMakeFiles/smiler_gp.dir/gp_regressor.cc.o"
+  "CMakeFiles/smiler_gp.dir/gp_regressor.cc.o.d"
+  "CMakeFiles/smiler_gp.dir/kernel.cc.o"
+  "CMakeFiles/smiler_gp.dir/kernel.cc.o.d"
+  "CMakeFiles/smiler_gp.dir/trainer.cc.o"
+  "CMakeFiles/smiler_gp.dir/trainer.cc.o.d"
+  "libsmiler_gp.a"
+  "libsmiler_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiler_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/kselect.cc" "src/index/CMakeFiles/smiler_index.dir/kselect.cc.o" "gcc" "src/index/CMakeFiles/smiler_index.dir/kselect.cc.o.d"
+  "/root/repo/src/index/scan_baselines.cc" "src/index/CMakeFiles/smiler_index.dir/scan_baselines.cc.o" "gcc" "src/index/CMakeFiles/smiler_index.dir/scan_baselines.cc.o.d"
+  "/root/repo/src/index/smiler_index.cc" "src/index/CMakeFiles/smiler_index.dir/smiler_index.cc.o" "gcc" "src/index/CMakeFiles/smiler_index.dir/smiler_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smiler_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/smiler_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/smiler_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/smiler_dtw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiler_index.dir/kselect.cc.o"
+  "CMakeFiles/smiler_index.dir/kselect.cc.o.d"
+  "CMakeFiles/smiler_index.dir/scan_baselines.cc.o"
+  "CMakeFiles/smiler_index.dir/scan_baselines.cc.o.d"
+  "CMakeFiles/smiler_index.dir/smiler_index.cc.o"
+  "CMakeFiles/smiler_index.dir/smiler_index.cc.o.d"
+  "libsmiler_index.a"
+  "libsmiler_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiler_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiler_la.dir/cholesky.cc.o"
+  "CMakeFiles/smiler_la.dir/cholesky.cc.o.d"
+  "CMakeFiles/smiler_la.dir/matrix.cc.o"
+  "CMakeFiles/smiler_la.dir/matrix.cc.o.d"
+  "libsmiler_la.a"
+  "libsmiler_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiler_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

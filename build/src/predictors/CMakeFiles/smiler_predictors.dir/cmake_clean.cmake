@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiler_predictors.dir/ar_predictor.cc.o"
+  "CMakeFiles/smiler_predictors.dir/ar_predictor.cc.o.d"
+  "CMakeFiles/smiler_predictors.dir/ensemble.cc.o"
+  "CMakeFiles/smiler_predictors.dir/ensemble.cc.o.d"
+  "CMakeFiles/smiler_predictors.dir/gp_predictor.cc.o"
+  "CMakeFiles/smiler_predictors.dir/gp_predictor.cc.o.d"
+  "CMakeFiles/smiler_predictors.dir/predictor.cc.o"
+  "CMakeFiles/smiler_predictors.dir/predictor.cc.o.d"
+  "libsmiler_predictors.a"
+  "libsmiler_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiler_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiler_simgpu.dir/device.cc.o"
+  "CMakeFiles/smiler_simgpu.dir/device.cc.o.d"
+  "libsmiler_simgpu.a"
+  "libsmiler_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiler_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/datasets.cc" "src/ts/CMakeFiles/smiler_ts.dir/datasets.cc.o" "gcc" "src/ts/CMakeFiles/smiler_ts.dir/datasets.cc.o.d"
+  "/root/repo/src/ts/io.cc" "src/ts/CMakeFiles/smiler_ts.dir/io.cc.o" "gcc" "src/ts/CMakeFiles/smiler_ts.dir/io.cc.o.d"
+  "/root/repo/src/ts/resample.cc" "src/ts/CMakeFiles/smiler_ts.dir/resample.cc.o" "gcc" "src/ts/CMakeFiles/smiler_ts.dir/resample.cc.o.d"
+  "/root/repo/src/ts/series.cc" "src/ts/CMakeFiles/smiler_ts.dir/series.cc.o" "gcc" "src/ts/CMakeFiles/smiler_ts.dir/series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smiler_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smiler_ts.dir/datasets.cc.o"
+  "CMakeFiles/smiler_ts.dir/datasets.cc.o.d"
+  "CMakeFiles/smiler_ts.dir/io.cc.o"
+  "CMakeFiles/smiler_ts.dir/io.cc.o.d"
+  "CMakeFiles/smiler_ts.dir/resample.cc.o"
+  "CMakeFiles/smiler_ts.dir/resample.cc.o.d"
+  "CMakeFiles/smiler_ts.dir/series.cc.o"
+  "CMakeFiles/smiler_ts.dir/series.cc.o.d"
+  "libsmiler_ts.a"
+  "libsmiler_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smiler_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

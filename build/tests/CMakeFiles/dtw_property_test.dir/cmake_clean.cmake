@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtw_property_test.dir/dtw_property_test.cc.o"
+  "CMakeFiles/dtw_property_test.dir/dtw_property_test.cc.o.d"
+  "dtw_property_test"
+  "dtw_property_test.pdb"
+  "dtw_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtw_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

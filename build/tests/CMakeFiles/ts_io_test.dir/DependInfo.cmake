@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ts_io_test.cc" "tests/CMakeFiles/ts_io_test.dir/ts_io_test.cc.o" "gcc" "tests/CMakeFiles/ts_io_test.dir/ts_io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/smiler_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/smiler_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictors/CMakeFiles/smiler_predictors.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/smiler_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/smiler_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtw/CMakeFiles/smiler_dtw.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/smiler_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/smiler_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/smiler_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smiler_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

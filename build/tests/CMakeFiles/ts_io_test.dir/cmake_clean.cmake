@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_io_test.dir/ts_io_test.cc.o"
+  "CMakeFiles/ts_io_test.dir/ts_io_test.cc.o.d"
+  "ts_io_test"
+  "ts_io_test.pdb"
+  "ts_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ts_resample_test.dir/ts_resample_test.cc.o"
+  "CMakeFiles/ts_resample_test.dir/ts_resample_test.cc.o.d"
+  "ts_resample_test"
+  "ts_resample_test.pdb"
+  "ts_resample_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ts_resample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/la_test[1]_include.cmake")
+include("/root/repo/build/tests/simgpu_test[1]_include.cmake")
+include("/root/repo/build/tests/ts_test[1]_include.cmake")
+include("/root/repo/build/tests/dtw_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/gp_test[1]_include.cmake")
+include("/root/repo/build/tests/predictors_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/dtw_property_test[1]_include.cmake")
+include("/root/repo/build/tests/index_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/ts_io_test[1]_include.cmake")
+include("/root/repo/build/tests/ts_resample_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_property_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
