@@ -9,9 +9,10 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smiler;
   using namespace smiler::bench;
+  InitObsFlags(argc, argv);
   const BenchScale scale = GetScale();
   const SmilerConfig cfg = PaperConfig();
   PrintHeader("Ablation: retained history vs accuracy vs capacity");

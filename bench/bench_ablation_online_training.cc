@@ -8,9 +8,10 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smiler;
   using namespace smiler::bench;
+  InitObsFlags(argc, argv);
   const BenchScale scale = GetScale();
   PrintHeader("Ablation: GP online training strategy");
   const int warmup_points = scale.points - scale.predict_steps - 32;

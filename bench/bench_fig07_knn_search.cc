@@ -98,8 +98,9 @@ void RunDataset(ts::DatasetKind kind, const BenchScale& scale) {
 }  // namespace bench
 }  // namespace smiler
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smiler::bench;
+  InitObsFlags(argc, argv);
   const BenchScale scale = GetScale();
   PrintHeader("Fig 7: Suffix kNN Search time vs k (all sensors, per step)");
   std::printf("sensors=%d points=%d steps=%d\n", scale.sensors, scale.points,

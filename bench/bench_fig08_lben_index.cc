@@ -9,9 +9,10 @@
 #include "bench_util.h"
 #include "common/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smiler;
   using namespace smiler::bench;
+  InitObsFlags(argc, argv);
   const BenchScale scale = GetScale();
   const SmilerConfig cfg = PaperConfig();
   PrintHeader("Fig 8: LBen computation time for all sensors (per step)");

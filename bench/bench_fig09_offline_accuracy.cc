@@ -10,9 +10,10 @@
 #include "baselines/registry.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smiler;
   using namespace smiler::bench;
+  InitObsFlags(argc, argv);
   const BenchScale scale = GetScale();
   const SmilerConfig cfg = PaperConfig();
   PrintHeader("Fig 9: accuracy vs offline models, varying h");

@@ -25,9 +25,10 @@ smiler::SmilerConfig VariantConfig(const std::string& variant) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smiler;
   using namespace smiler::bench;
+  InitObsFlags(argc, argv);
   const BenchScale scale = GetScale();
   PrintHeader("Fig 11: effect of the adaptive auto-tuning mechanism");
   const int warmup_points = scale.points - scale.predict_steps - 32;

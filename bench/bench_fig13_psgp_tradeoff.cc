@@ -12,9 +12,10 @@
 #include "common/timer.h"
 #include "core/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smiler;
   using namespace smiler::bench;
+  InitObsFlags(argc, argv);
   const BenchScale scale = GetScale();
   const SmilerConfig cfg = PaperConfig();
   PrintHeader("Fig 13: PSGP active points vs SMiLer-GP");

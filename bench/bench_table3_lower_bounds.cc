@@ -8,9 +8,10 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smiler;
   using namespace smiler::bench;
+  InitObsFlags(argc, argv);
   const BenchScale scale = GetScale();
   const SmilerConfig cfg = PaperConfig();
   PrintHeader("Table 3: effect of the enhanced lower bound LBen");

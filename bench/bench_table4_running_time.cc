@@ -13,9 +13,10 @@
 #include "baselines/registry.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smiler;
   using namespace smiler::bench;
+  InitObsFlags(argc, argv);
   const BenchScale scale = GetScale();
   const SmilerConfig cfg = PaperConfig();
   PrintHeader("Table 4: running time comparison");

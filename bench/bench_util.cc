@@ -2,12 +2,60 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "baselines/registry.h"
 #include "common/timer.h"
+#include "obs/obs.h"
 
 namespace smiler {
 namespace bench {
+
+namespace {
+
+// Exit-hook destinations set by InitObsFlags (leaked: read at atexit).
+std::string* g_metrics_json_path = nullptr;
+std::string* g_metrics_prom_path = nullptr;
+std::string* g_trace_path = nullptr;
+
+void DumpObsAtExit() {
+  if (g_metrics_json_path != nullptr) {
+    obs::Registry::Global().Dump(*g_metrics_json_path);
+  }
+  if (g_metrics_prom_path != nullptr) {
+    const std::string text = obs::Registry::Global().ToPrometheus();
+    if (std::FILE* f = std::fopen(g_metrics_prom_path->c_str(), "w")) {
+      std::fputs(text.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "obs: cannot open '%s'\n",
+                   g_metrics_prom_path->c_str());
+    }
+  }
+  if (g_trace_path != nullptr) {
+    obs::Tracer::Global().WriteChromeTrace(*g_trace_path);
+  }
+}
+
+}  // namespace
+
+void InitObsFlags(int argc, char** argv) {
+  bool any = false;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      g_metrics_json_path = new std::string(argv[i + 1]);
+      any = true;
+    } else if (std::strcmp(argv[i], "--metrics-prom") == 0) {
+      g_metrics_prom_path = new std::string(argv[i + 1]);
+      any = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      g_trace_path = new std::string(argv[i + 1]);
+      obs::Tracer::Global().Start();
+      any = true;
+    }
+  }
+  if (any) std::atexit(DumpObsAtExit);
+}
 
 BenchScale GetScale() {
   BenchScale scale;

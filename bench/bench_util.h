@@ -29,6 +29,21 @@ struct BenchScale {
 /// "full" for the heavier configuration).
 BenchScale GetScale();
 
+/// \brief Parses the observability flags every bench binary supports and
+/// installs the matching exit hooks:
+///   --metrics-json <path>   dump the metrics registry as JSON on exit,
+///                           so BENCH_*.json trajectories capture the
+///                           per-stage breakdowns (lower-bound / verify /
+///                           k-select, GP counters, kernel profiles), not
+///                           just printed totals
+///   --metrics-prom <path>   same registry, Prometheus text format
+///   --trace <path>          enable span tracing and write a Chrome
+///                           trace_event file on exit (open in Perfetto)
+/// Unknown flags are ignored (benches take no other arguments). The
+/// SMILER_METRICS / SMILER_TRACE environment variables keep working and
+/// the flags take precedence.
+void InitObsFlags(int argc, char** argv);
+
 /// The three synthetic stand-ins for the paper's datasets.
 std::vector<ts::DatasetKind> AllDatasets();
 

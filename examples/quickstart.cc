@@ -6,6 +6,14 @@
 // the forecast (mean +/- stddev) against the actual value as it arrives.
 //
 //   ./examples/quickstart
+//
+// Observability: every layer reports into the global metrics registry.
+//   SMILER_METRICS=stderr ./examples/quickstart   # JSON snapshot at exit
+//                                                 # (search/predict latency
+//                                                 # histograms, pruning
+//                                                 # ratio, GP counters, ...)
+//   SMILER_TRACE=trace.json ./examples/quickstart # Chrome trace; open in
+//                                                 # about:tracing / Perfetto
 
 #include <cmath>
 #include <cstdio>

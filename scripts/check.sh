@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Repo gate: tier-1 build + tests, then the obs concurrency tests under
+# ThreadSanitizer.
+#
+#   scripts/check.sh          # full gate
+#   scripts/check.sh --fast   # tier-1 label only, skip the TSan pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then FAST=1; fi
+
+echo "== tier-1 build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+
+echo "== tier-1 tests =="
+if [[ "$FAST" == 1 ]]; then
+  ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
+else
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+fi
+
+if [[ "$FAST" == 1 ]]; then
+  echo "== skipping TSan pass (--fast) =="
+  exit 0
+fi
+
+echo "== obs concurrency tests under ThreadSanitizer =="
+cmake -B build-tsan -S . \
+  -DSMILER_ENABLE_TSAN=ON \
+  -DSMILER_BUILD_BENCHMARKS=OFF \
+  -DSMILER_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j --target obs_concurrency_test >/dev/null
+ctest --test-dir build-tsan -R 'ObsConcurrencyTest' --output-on-failure
+
+echo "== all checks passed =="

@@ -1,7 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace smiler {
 
@@ -86,6 +90,14 @@ void ThreadPool::ParallelFor(std::size_t n,
     return;
   }
 
+  obs::Registry& reg = obs::Registry::Global();
+  static obs::Gauge& queue_depth = reg.GetGauge("threadpool.queue_depth");
+  static obs::Histogram& for_seconds =
+      reg.GetHistogram("threadpool.parallel_for_seconds");
+  static obs::Histogram& task_wait =
+      reg.GetHistogram("threadpool.task_wait_seconds");
+  WallTimer for_timer;
+
   auto state = std::make_shared<ForState>();
   state->fn = fn;
   state->n = n;
@@ -95,17 +107,25 @@ void ThreadPool::ParallelFor(std::size_t n,
   state->remaining.store(n);
 
   const std::size_t helpers = std::min(num_workers, n) - 1;
+  const auto enqueued_at = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < helpers; ++i) {
-      tasks_.push([state] { state->Run(); });
+      tasks_.push([state, enqueued_at] {
+        task_wait.Observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - enqueued_at)
+                              .count());
+        state->Run();
+      });
     }
+    queue_depth.Set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_all();
   // The calling thread participates instead of idling.
   state->Run();
   std::unique_lock<std::mutex> lock(state->done_mu);
   state->done_cv.wait(lock, [&] { return state->done; });
+  for_seconds.Observe(for_timer.ElapsedSeconds());
 }
 
 ThreadPool& ThreadPool::Default() {

@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/obs.h"
 #include "predictors/ar_predictor.h"
 #include "predictors/predictor.h"
 
@@ -48,16 +49,30 @@ Result<SensorEngine> SensorEngine::Create(simgpu::Device* device,
 }
 
 Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
+  SMILER_TRACE_SPAN("engine.predict");
+  static obs::Counter& predictions =
+      obs::Registry::Global().GetCounter("engine.predictions");
+  static obs::Histogram& search_hist =
+      obs::Registry::Global().GetHistogram("engine.search_seconds");
+  static obs::Histogram& predict_hist =
+      obs::Registry::Global().GetHistogram("engine.predict_seconds");
+
   WallTimer timer;
   index::SuffixSearchOptions opts;
   opts.k = cfg_.MaxK();
   opts.reserve_horizon = cfg_.horizon;
   index::SearchStats search_stats;
-  SMILER_ASSIGN_OR_RETURN(index::SuffixKnnResult knn,
-                          index_.Search(opts, &search_stats));
+  Result<index::SuffixKnnResult> knn_or = [&] {
+    SMILER_TRACE_SPAN("engine.search");
+    return index_.Search(opts, &search_stats);
+  }();
+  if (!knn_or.ok()) return knn_or.status();
+  index::SuffixKnnResult& knn = *knn_or;
   const double search_seconds = timer.ElapsedSeconds();
+  search_hist.Observe(search_seconds);
 
   timer.Reset();
+  SMILER_TRACE_SPAN("engine.predict_step");
   const int rows = static_cast<int>(cfg_.ekv.size());
   const int cols = static_cast<int>(cfg_.elv.size());
   predictors::PredictionGrid grid(rows, cols);
@@ -103,18 +118,26 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
   pending_.push_back(
       PendingForecast{now() + cfg_.horizon, std::move(grid), raw});
 
+  const double predict_seconds = timer.ElapsedSeconds();
+  predict_hist.Observe(predict_seconds);
+  predictions.Increment();
   if (stats != nullptr) {
     stats->search_seconds += search_seconds;
-    stats->predict_seconds += timer.ElapsedSeconds();
+    stats->predict_seconds += predict_seconds;
     stats->search.Add(search_stats);
   }
   return combined;
 }
 
 Status SensorEngine::Observe(double value) {
+  SMILER_TRACE_SPAN("engine.observe");
+  static obs::Counter& observations =
+      obs::Registry::Global().GetCounter("engine.observations");
+  observations.Increment();
   const long t_new = now() + 1;
   while (!pending_.empty() && pending_.front().target_time <= t_new) {
     if (pending_.front().target_time == t_new) {
+      SMILER_TRACE_SPAN("engine.ensemble_update");
       ensemble_.ObserveCalibration(value, pending_.front().raw);
       ensemble_.Observe(value, pending_.front().grid);
     }

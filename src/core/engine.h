@@ -25,6 +25,12 @@ enum class PredictorKind {
 const char* PredictorKindName(PredictorKind kind);
 
 /// \brief Per-prediction timing / instrumentation.
+///
+/// A thin per-call view over the `engine.*` metrics: Predict() fills one
+/// of these for callers that aggregate by hand, and always mirrors the
+/// same numbers into the global obs::Registry (`engine.search_seconds` /
+/// `engine.predict_seconds` histograms, `engine.predictions` counter),
+/// where dashboards and the SMILER_METRICS dump read them.
 struct EngineStats {
   double search_seconds = 0.0;   ///< Search Step (Suffix kNN on the index)
   double predict_seconds = 0.0;  ///< Prediction Step (model fit + combine)

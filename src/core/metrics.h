@@ -18,12 +18,13 @@ namespace core {
 class MetricAccumulator {
  public:
   /// Records one (truth, prediction) pair. Degenerate variances are
-  /// clamped to keep the density defined.
+  /// clamped to gp::kMinPredictiveVariance to keep the density defined
+  /// (each clamp shows up in the `gp.variance_clamped` counter).
   void Add(double truth, const gp::Prediction& p) {
     const double err = truth - p.mean;
     abs_err_ += std::fabs(err);
     sq_err_ += err * err;
-    const double var = p.variance > 1e-12 ? p.variance : 1e-12;
+    const double var = gp::ClampPredictiveVariance(p.variance);
     nlpd_ += -GaussianLogDensity(truth, p.mean, var);
     count_ += 1;
   }

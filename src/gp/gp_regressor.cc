@@ -4,9 +4,18 @@
 #include <cmath>
 
 #include "common/math_utils.h"
+#include "obs/metrics.h"
 
 namespace smiler {
 namespace gp {
+
+double ClampPredictiveVariance(double variance) {
+  if (variance >= kMinPredictiveVariance) return variance;
+  static obs::Counter& clamped =
+      obs::Registry::Global().GetCounter("gp.variance_clamped");
+  clamped.Increment();
+  return kMinPredictiveVariance;
+}
 
 Result<GpRegressor> GpRegressor::Fit(la::Matrix x, std::vector<double> y,
                                      const SeKernel& kernel) {
@@ -31,14 +40,14 @@ Prediction GpRegressor::Predict(const double* xstar) const {
   p.mean = la::Dot(c0, alpha_);
   const std::vector<double> v = chol_.Solve(c0);
   p.variance =
-      std::max(kernel_.SelfCovariance() - la::Dot(c0, v), 1e-12);
+      ClampPredictiveVariance(kernel_.SelfCovariance() - la::Dot(c0, v));
   return p;
 }
 
 Prediction GpRegressor::LooPrediction(std::size_t i) const {
   const double kii = kinv_(i, i);
   Prediction p;
-  p.variance = std::max(1.0 / kii, 1e-12);
+  p.variance = ClampPredictiveVariance(1.0 / kii);
   p.mean = y_[i] - alpha_[i] / kii;
   return p;
 }

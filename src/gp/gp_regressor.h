@@ -18,6 +18,17 @@ struct Prediction {
   double variance = 0.0;
 };
 
+/// \brief Floor applied to every predictive variance so Gaussian log
+/// densities stay defined when a fit degenerates. Shared by the GP
+/// posterior, the LOO folds, and core::MetricAccumulator; each clamp
+/// increments the `gp.variance_clamped` counter so silent clamping is
+/// observable (a rising rate means overconfident, near-singular fits).
+inline constexpr double kMinPredictiveVariance = 1e-12;
+
+/// Returns max(variance, kMinPredictiveVariance), counting the clamp in
+/// the `gp.variance_clamped` metric when it actually fires.
+double ClampPredictiveVariance(double variance);
+
 /// \brief Exact Gaussian Process regressor over a (small) training set —
 /// the heart of the semi-lazy predictor, fit fresh on every query's kNN
 /// data (Section 5.2.2 / Appendix B.3).
@@ -34,7 +45,8 @@ class GpRegressor {
 
   /// Posterior predictive distribution at test input \p xstar (Eqn 16/17):
   ///   mean     = c0^T C^{-1} y
-  ///   variance = c(x*, x*) - c0^T C^{-1} c0   (clamped to >= 1e-12)
+  ///   variance = c(x*, x*) - c0^T C^{-1} c0
+  ///              (clamped to >= kMinPredictiveVariance)
   Prediction Predict(const double* xstar) const;
 
   /// Leave-one-out predictive log likelihood of the training data

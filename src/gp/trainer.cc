@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "gp/cg_optimizer.h"
+#include "obs/obs.h"
 
 namespace smiler {
 namespace gp {
@@ -15,6 +16,7 @@ Result<TrainResult> TrainLoo(const la::Matrix& x, const std::vector<double>& y,
   if (x.rows() == 0 || x.rows() != y.size()) {
     return Status::InvalidArgument("TrainLoo requires matching x rows and y");
   }
+  SMILER_TRACE_SPAN("gp.train");
   const SeKernel anchor = SeKernel::Heuristic(x, y);
   SeKernel seed = (warm_start != nullptr) ? *warm_start : anchor;
 
@@ -49,6 +51,13 @@ Result<TrainResult> TrainLoo(const la::Matrix& x, const std::vector<double>& y,
   CgOptions options;
   options.max_iters = cg_steps;
   const CgResult cg = MaximizeCg(objective, &params, options);
+  {
+    obs::Registry& reg = obs::Registry::Global();
+    static obs::Counter& train_calls = reg.GetCounter("gp.train_calls");
+    static obs::Counter& cg_iterations = reg.GetCounter("gp.cg_iterations");
+    train_calls.Increment();
+    cg_iterations.Increment(static_cast<std::uint64_t>(cg.iterations));
+  }
 
   if (std::isfinite(trust_radius)) {
     for (int m = 0; m < SeKernel::kNumParams; ++m) {

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace smiler {
 namespace index {
 
@@ -19,10 +21,10 @@ struct Neighbor {
 
 /// \brief kNN result of a single item query (one entry of the ELV).
 struct ItemQueryResult {
-  /// Item query length d (the ELV entry this answers).
+  /// \brief Item query length d (the ELV entry this answers).
   int d = 0;
-  /// Neighbors in ascending DTW order; size() == requested k when at least
-  /// k candidate segments exist, fewer otherwise.
+  /// \brief Neighbors in ascending DTW order; size() == requested k when
+  /// at least k candidate segments exist, fewer otherwise.
   std::vector<Neighbor> neighbors;
 };
 
@@ -33,18 +35,34 @@ struct SuffixKnnResult {
 };
 
 /// \brief Instrumentation of one search, powering Table 3 / Fig 7 / Fig 8.
+///
+/// A thin per-call view over the `index.*` entries of the global metrics
+/// registry: `SmilerIndex::Search` fills one of these and then mirrors it
+/// into the registry via Publish(), so callers that aggregated SearchStats
+/// by hand keep working while dashboards read the registry.
 struct SearchStats {
-  /// Candidate segments considered across all item queries.
+  /// \brief Candidate segments considered across all item queries.
   std::uint64_t candidates_total = 0;
-  /// Candidates whose lower bound did not exceed the threshold and were
-  /// verified with a full DTW computation.
+  /// \brief Candidates whose lower bound did not exceed the threshold and
+  /// were verified with a full DTW computation.
   std::uint64_t candidates_verified = 0;
-  /// Wall seconds spent computing lower bounds (index path: group level).
+  /// \brief Wall seconds spent computing lower bounds (index path: group
+  /// level).
   double lower_bound_seconds = 0.0;
-  /// Wall seconds spent verifying unfiltered candidates with exact DTW.
+  /// \brief Wall seconds spent verifying unfiltered candidates with exact
+  /// DTW.
   double verify_seconds = 0.0;
-  /// Wall seconds spent in k-selection.
+  /// \brief Wall seconds spent in k-selection.
   double select_seconds = 0.0;
+
+  /// \brief Fraction of candidates eliminated by the filtering phase
+  /// (0 when nothing was considered).
+  double PruningRatio() const {
+    return candidates_total == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(candidates_verified) /
+                           static_cast<double>(candidates_total);
+  }
 
   void Add(const SearchStats& other) {
     candidates_total += other.candidates_total;
@@ -52,6 +70,30 @@ struct SearchStats {
     lower_bound_seconds += other.lower_bound_seconds;
     verify_seconds += other.verify_seconds;
     select_seconds += other.select_seconds;
+  }
+
+  /// \brief Mirrors this search's numbers into the global metrics
+  /// registry: the `index.candidates_*` counters, the per-phase
+  /// `index.search.{lower_bound,verify,select}_seconds` histograms, and
+  /// the `index.pruning_ratio` gauge.
+  void Publish() const {
+    obs::Registry& reg = obs::Registry::Global();
+    static obs::Counter& total = reg.GetCounter("index.candidates_total");
+    static obs::Counter& verified =
+        reg.GetCounter("index.candidates_verified");
+    static obs::Histogram& lb =
+        reg.GetHistogram("index.search.lower_bound_seconds");
+    static obs::Histogram& verify =
+        reg.GetHistogram("index.search.verify_seconds");
+    static obs::Histogram& select =
+        reg.GetHistogram("index.search.select_seconds");
+    static obs::Gauge& pruning = reg.GetGauge("index.pruning_ratio");
+    total.Increment(candidates_total);
+    verified.Increment(candidates_verified);
+    lb.Observe(lower_bound_seconds);
+    verify.Observe(verify_seconds);
+    select.Observe(select_seconds);
+    if (candidates_total > 0) pruning.Set(PruningRatio());
   }
 };
 

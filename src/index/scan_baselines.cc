@@ -42,7 +42,8 @@ ItemQueryResult GpuScanOneItem(simgpu::Device* device,
 
   WallTimer timer;
   const int n_blocks = static_cast<int>(std::min<long>(t_count, 64));
-  device->Launch(n_blocks, cfg.omega, [&](simgpu::BlockContext& ctx) {
+  device->Launch("index.scan_dtw", n_blocks, cfg.omega,
+                 [&](simgpu::BlockContext& ctx) {
     double* shq = ctx.shared->Alloc<double>(d);
     std::memcpy(shq, q, sizeof(double) * d);
     const int rho = banded ? cfg.rho : d;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <numeric>
+#include <optional>
 
 #include "common/math_utils.h"
 #include "common/timer.h"
@@ -10,6 +11,7 @@
 #include "dtw/lower_bounds.h"
 #include "index/csg.h"
 #include "index/kselect.h"
+#include "obs/obs.h"
 
 namespace smiler {
 namespace index {
@@ -59,7 +61,8 @@ Result<SmilerIndex> SmilerIndex::Build(simgpu::Device* device,
   // window's whole posting list (Section 4.3.1).
   SmilerIndex* self = &idx;
   SMILER_RETURN_NOT_OK(device->Launch(
-      idx.S_, config.omega, [self](simgpu::BlockContext& ctx) {
+      "index.window_build", idx.S_, config.omega,
+      [self](simgpu::BlockContext& ctx) {
         self->ComputeRow(ctx.block_id, /*eq_only=*/false);
       }));
   SMILER_RETURN_NOT_OK(idx.UpdateMemoryAccounting());
@@ -152,6 +155,10 @@ void SmilerIndex::ComputeNewColumn(long r) {
 }
 
 Status SmilerIndex::Append(double value) {
+  SMILER_TRACE_SPAN("index.append");
+  static obs::Histogram& append_seconds =
+      obs::Registry::Global().GetHistogram("index.append_seconds");
+  WallTimer append_timer;
   const int omega = cfg_.omega;
   const int rho = cfg_.rho;
   series_.push_back(value);
@@ -194,7 +201,9 @@ Status SmilerIndex::Append(double value) {
   const int refresh = std::min(rho, S_ - 1);
   for (int b = 1; b <= refresh; ++b) ComputeRow(b, /*eq_only=*/true);
 
-  return UpdateMemoryAccounting();
+  Status st = UpdateMemoryAccounting();
+  append_seconds.Observe(append_timer.ElapsedSeconds());
+  return st;
 }
 
 long SmilerIndex::NumCandidates(std::size_t elv_index,
@@ -248,8 +257,9 @@ LowerBoundTable SmilerIndex::GroupLowerBounds(int reserve_horizon) const {
   LowerBoundTable* out = &table;
   const std::vector<long>* limits = &t_limit;
   const std::vector<std::vector<Emit>>* emit_ptr = &emits;
-  device_->Launch(omega, omega, [self, out, limits, emit_ptr,
-                                 omega](simgpu::BlockContext& ctx) {
+  device_->Launch("index.group_lower_bound", omega, omega,
+                  [self, out, limits, emit_ptr,
+                   omega](simgpu::BlockContext& ctx) {
     const int b = ctx.block_id;
     const std::vector<Emit>& todo = (*emit_ptr)[b];
     if (todo.empty()) return;
@@ -285,8 +295,8 @@ LowerBoundTable SmilerIndex::DirectLowerBounds(int reserve_horizon) const {
   const SmilerIndex* self = this;
   LowerBoundTable* out = &table;
   const int h = reserve_horizon;
-  device_->Launch(static_cast<int>(n_items), cfg_.omega,
-                  [self, out, h](simgpu::BlockContext& ctx) {
+  device_->Launch("index.direct_lower_bound", static_cast<int>(n_items),
+                  cfg_.omega, [self, out, h](simgpu::BlockContext& ctx) {
                     const std::size_t i = ctx.block_id;
                     const int d = self->cfg_.elv[i];
                     const long t_count = self->NumCandidates(i, h);
@@ -314,10 +324,15 @@ Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
   if (options.reserve_horizon < 0) {
     return Status::InvalidArgument("reserve_horizon must be >= 0");
   }
+  SMILER_TRACE_SPAN("index.search");
   SearchStats local_stats;
   WallTimer timer;
 
-  LowerBoundTable table = GroupLowerBounds(options.reserve_horizon);
+  LowerBoundTable table;
+  {
+    SMILER_TRACE_SPAN("search.lower_bound");
+    table = GroupLowerBounds(options.reserve_horizon);
+  }
   local_stats.lower_bound_seconds = timer.ElapsedSeconds();
 
   const std::size_t n_items = cfg_.elv.size();
@@ -332,6 +347,11 @@ Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
     local_stats.candidates_total += static_cast<std::uint64_t>(t_count);
 
     const double* q = series_.data() + series_.size() - d;
+
+    // Covers threshold seeding, filtering and exact-DTW verification —
+    // the region charged to verify_seconds below.
+    std::optional<obs::ScopedSpan> verify_span;
+    verify_span.emplace("search.verify");
 
     // --- Threshold seeding (Section 4.3.3, Filtering) ---
     // Initial query: verify the k candidates with the smallest lower
@@ -394,7 +414,7 @@ Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
     std::vector<double>* dist_ptr = &cand_dist;
     if (!cand.empty()) {
       device_->Launch(
-          n_blocks, cfg_.omega,
+          "index.verify_dtw", n_blocks, cfg_.omega,
           [self, cand_ptr, dist_ptr, q, d](simgpu::BlockContext& ctx) {
             // The query and the compressed warping matrix live in shared
             // memory (Appendix E / Algorithm 2).
@@ -411,9 +431,11 @@ Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
           });
     }
     local_stats.verify_seconds += timer.ElapsedSeconds();
+    verify_span.reset();
 
     // --- Selection: distributive-partitioning k-selection ---
     timer.Reset();
+    SMILER_TRACE_SPAN("search.select");
     std::vector<Neighbor> all = std::move(seeds);
     all.reserve(all.size() + cand.size());
     for (std::size_t idx = 0; idx < cand.size(); ++idx) {
@@ -424,6 +446,7 @@ Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
     local_stats.select_seconds += timer.ElapsedSeconds();
   }
 
+  local_stats.Publish();
   if (stats != nullptr) stats->Add(local_stats);
   return result;
 }

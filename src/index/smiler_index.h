@@ -108,13 +108,13 @@ class SmilerIndex {
   Result<SuffixKnnResult> Search(const SuffixSearchOptions& options,
                                  SearchStats* stats = nullptr);
 
-  /// Group-level pass alone: lower bounds for every item query and
+  /// \brief Group-level pass alone: lower bounds for every item query and
   /// candidate via the two-level index (the "SMiLer-Idx" side of Fig 8).
   LowerBoundTable GroupLowerBounds(int reserve_horizon) const;
 
-  /// The strawman of Fig 8 ("SMiLer-Dir"): computes LBen(IQ_i, C_{t,d_i})
-  /// directly from full-length envelopes for every item query and
-  /// candidate, without the window-level index.
+  /// \brief The strawman of Fig 8 ("SMiLer-Dir"): computes
+  /// LBen(IQ_i, C_{t,d_i}) directly from full-length envelopes for every
+  /// item query and candidate, without the window-level index.
   LowerBoundTable DirectLowerBounds(int reserve_horizon) const;
 
   /// Number of valid candidate segments for ELV entry \p i under

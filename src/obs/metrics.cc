@@ -1,0 +1,268 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace smiler {
+namespace obs {
+
+void Histogram::Observe(double v) {
+  const int idx = BucketIndex(v);
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // Min/max low- and high-water marks via CAS (min_ is seeded +inf so the
+  // first observation always wins).
+  double cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0.0)) return 0;
+  const double pos = (std::log2(v) - kMinExponent) * kSubBucketsPerOctave;
+  const int idx = static_cast<int>(std::floor(pos));
+  return std::clamp(idx, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int i) {
+  return std::exp2(kMinExponent +
+                   static_cast<double>(i) / kSubBucketsPerOctave);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot s;
+  std::uint64_t counts[kNumBuckets];
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += counts[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.min = min_.load(std::memory_order_relaxed);
+
+  // Quantile q = geometric midpoint of the bucket holding the q-th
+  // observation, clamped into [min, max] so singleton distributions
+  // report exact quantiles.
+  auto quantile = [&](double q) {
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        std::min<double>(static_cast<double>(s.count) - 1.0,
+                         q * static_cast<double>(s.count)));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      seen += counts[i];
+      if (seen > rank) {
+        const double lo = BucketLowerBound(i);
+        const double hi = BucketLowerBound(i + 1);
+        return std::clamp(std::sqrt(lo * hi), s.min, s.max);
+      }
+    }
+    return s.max;
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kMinSeed, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+void DumpGlobalAtExit() {
+  const char* dest = std::getenv("SMILER_METRICS");
+  if (dest != nullptr && dest[0] != '\0') {
+    Registry::Global().Dump(dest);
+  }
+}
+
+// Formats a double with enough precision to round-trip typical metric
+// values while staying readable ("0.25", not "2.500000e-01").
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "smiler_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  // Leaked singleton: instrumented code may run inside static destructors
+  // (thread pool teardown), so the registry must never be destroyed. The
+  // atexit dump hook is installed exactly once, here.
+  static Registry* global = [] {
+    auto* r = new Registry();
+    if (std::getenv("SMILER_METRICS") != nullptr) {
+      std::atexit(DumpGlobalAtExit);
+    }
+    return r;
+  }();
+  return *global;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << FormatDouble(g->value());
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->Snap();
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {"
+        << "\"count\": " << s.count << ", \"sum\": " << FormatDouble(s.sum)
+        << ", \"min\": " << FormatDouble(s.min)
+        << ", \"max\": " << FormatDouble(s.max)
+        << ", \"p50\": " << FormatDouble(s.p50)
+        << ", \"p95\": " << FormatDouble(s.p95)
+        << ", \"p99\": " << FormatDouble(s.p99) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string Registry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = PrometheusName(name);
+    out << "# TYPE " << pn << " counter\n" << pn << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = PrometheusName(name);
+    out << "# TYPE " << pn << " gauge\n"
+        << pn << " " << FormatDouble(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->Snap();
+    const std::string pn = PrometheusName(name);
+    out << "# TYPE " << pn << " summary\n";
+    out << pn << "{quantile=\"0.5\"} " << FormatDouble(s.p50) << "\n";
+    out << pn << "{quantile=\"0.95\"} " << FormatDouble(s.p95) << "\n";
+    out << pn << "{quantile=\"0.99\"} " << FormatDouble(s.p99) << "\n";
+    out << pn << "_sum " << FormatDouble(s.sum) << "\n";
+    out << pn << "_count " << s.count << "\n";
+  }
+  return out.str();
+}
+
+bool Registry::Dump(const std::string& destination) const {
+  const std::string text = ToJson();
+  if (destination == "stderr") {
+    std::fputs(text.c_str(), stderr);
+    return true;
+  }
+  if (destination == "stdout") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(destination.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open metrics destination '%s'\n",
+                 destination.c_str());
+    return false;
+  }
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::vector<std::string> Registry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Registry::GaugeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Registry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
+}  // namespace obs
+}  // namespace smiler

@@ -1,0 +1,150 @@
+#ifndef SMILER_OBS_METRICS_H_
+#define SMILER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smiler {
+namespace obs {
+
+/// \brief Monotonically increasing event count (e.g. kernel launches,
+/// candidates verified). All operations are thread-safe and wait-free.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// \brief Last-value (or high-water) instrument for quantities that go up
+/// and down: pruning ratio, queue depth, shared-memory peaks.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Raises the gauge to \p v if it is larger (high-water-mark semantics).
+  void SetMax(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Log-bucketed latency/size histogram.
+///
+/// Buckets are geometric with 4 sub-buckets per octave (bucket width
+/// ~ +19%), spanning [2^-30, 2^18) ~ [1 ns, 73 h] for values in seconds.
+/// Observations are a handful of relaxed atomics, so instrumenting a hot
+/// path costs nanoseconds; quantiles are estimated at snapshot time from
+/// the bucket counts (error bounded by the bucket width).
+class Histogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 4;
+  static constexpr int kMinExponent = -30;
+  static constexpr int kMaxExponent = 18;
+  static constexpr int kNumBuckets =
+      (kMaxExponent - kMinExponent) * kSubBucketsPerOctave;
+
+  void Observe(double v);
+
+  /// Point-in-time view of the distribution.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot Snap() const;
+
+  void Reset();
+
+  /// Lower edge of bucket \p i (exposed for tests).
+  static double BucketLowerBound(int i);
+  /// Bucket index that \p v falls into (exposed for tests).
+  static int BucketIndex(double v);
+
+ private:
+  static constexpr double kMinSeed = 1.0e308;  // beats any real observation
+
+  std::atomic<std::uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{kMinSeed};
+  std::atomic<double> max_{0.0};
+};
+
+/// \brief Process-wide, thread-safe registry of named instruments.
+///
+/// Instruments are created on first use and live forever; the references
+/// returned are stable, so call sites cache them in a function-local
+/// static and pay only the atomic update per event:
+///
+///   static obs::Counter& c =
+///       obs::Registry::Global().GetCounter("index.candidates_total");
+///   c.Increment(n);
+///
+/// Naming convention: lower-case, dot-separated `<subsystem>.<what>[_unit]`
+/// (see docs/observability.md for the full catalog).
+class Registry {
+ public:
+  /// The process-wide registry. On first use, if the SMILER_METRICS
+  /// environment variable is set ("stderr", "stdout", or a file path), an
+  /// atexit hook is installed that dumps the JSON exposition there when
+  /// the process exits.
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// JSON exposition: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+  /// Prometheus text exposition (names sanitized: '.'/'-' -> '_', prefixed
+  /// "smiler_"; histograms exported as summaries with p50/p95/p99).
+  std::string ToPrometheus() const;
+
+  /// Writes ToJson() to \p destination: "stderr", "stdout", or a path.
+  /// Returns false when the file could not be opened.
+  bool Dump(const std::string& destination) const;
+
+  /// Zeroes every registered instrument (references stay valid). Tests and
+  /// benchmark sections use this to isolate measurement windows.
+  void ResetAll();
+
+  /// Sorted names per instrument kind (exposition order; also for tests).
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> GaugeNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace smiler
+
+#endif  // SMILER_OBS_METRICS_H_

@@ -1,0 +1,15 @@
+#ifndef SMILER_OBS_OBS_H_
+#define SMILER_OBS_OBS_H_
+
+/// \file obs.h
+/// \brief Umbrella header of the observability layer: the metrics registry
+/// (counters / gauges / log-bucketed histograms with JSON + Prometheus
+/// exposition) and scoped tracing spans with a Chrome trace_event
+/// exporter. See docs/observability.md for the metric catalog, the span
+/// naming convention, and the environment switches (SMILER_METRICS,
+/// SMILER_TRACE).
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#endif  // SMILER_OBS_OBS_H_

@@ -1,0 +1,143 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace smiler {
+namespace obs {
+
+namespace {
+
+// Per-thread span nesting level. Maintained even while tracing is
+// disabled so depths stay correct across Start()/Stop() transitions...
+// except that an inactive span records nothing, so only active spans
+// increment it (an active child under an inactive parent would otherwise
+// report a depth with no recorded parent).
+thread_local std::int32_t t_depth = 0;
+
+void ExportTraceAtExit() {
+  const char* path = std::getenv("SMILER_TRACE");
+  if (path != nullptr && path[0] != '\0') {
+    Tracer::Global().WriteChromeTrace(path);
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() {
+  if (std::getenv("SMILER_TRACE") != nullptr) {
+    enabled_.store(true, std::memory_order_relaxed);
+    std::atexit(ExportTraceAtExit);
+  }
+}
+
+Tracer& Tracer::Global() {
+  // Leaked: spans may close during static destruction (pool teardown).
+  static Tracer* global = new Tracer();
+  return *global;
+}
+
+std::int64_t Tracer::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local = [this] {
+    auto buf = std::make_shared<ThreadBuffer>();
+    buf->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(register_mu_);
+    buffers_.push_back(buf);
+    return buf;
+  }();
+  return *local;
+}
+
+void Tracer::Record(const SpanEvent& event) {
+  ThreadBuffer& buf = LocalBuffer();
+  SpanEvent e = event;
+  e.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(e);
+}
+
+std::vector<SpanEvent> Tracer::Collect() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(register_mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> all;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  std::sort(all.begin(), all.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    return a.tid != b.tid ? a.tid < b.tid : a.start_us < b.start_us;
+  });
+  return all;
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(register_mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  const std::vector<SpanEvent> events = Collect();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    out << (first ? "" : ",\n") << "{\"name\":\"" << e.name
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":" << e.start_us << ",\"dur\":" << e.duration_us << "}";
+    first = false;
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open trace destination '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string text = ToChromeTraceJson();
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  if (!Tracer::Global().enabled()) return;
+  active_ = true;
+  ++t_depth;
+  start_us_ = Tracer::NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  SpanEvent e;
+  e.name = name_;
+  e.start_us = start_us_;
+  e.duration_us = Tracer::NowMicros() - start_us_;
+  e.depth = --t_depth;
+  Tracer::Global().Record(e);
+}
+
+}  // namespace obs
+}  // namespace smiler

@@ -1,0 +1,108 @@
+#ifndef SMILER_OBS_TRACE_H_
+#define SMILER_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smiler {
+namespace obs {
+
+/// \brief One completed span: a named interval on one thread. Durations
+/// are microseconds on the steady clock; \p depth is the span-nesting
+/// level on its thread (0 = top level), which lets tests reconstruct the
+/// call tree without parent pointers.
+struct SpanEvent {
+  const char* name = nullptr;  ///< static string (from SMILER_TRACE_SPAN)
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+  std::uint32_t tid = 0;  ///< small dense per-thread id
+  std::int32_t depth = 0;
+};
+
+/// \brief Process-wide span collector.
+///
+/// Disabled by default: an inactive `ScopedSpan` costs one relaxed atomic
+/// load. When enabled (explicitly or via the SMILER_TRACE=<path> env var,
+/// which also installs an atexit exporter), completed spans are appended
+/// to a per-thread buffer — threads never contend with each other on the
+/// hot path; the per-buffer mutex is only taken against `Collect()`.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void Start() { enabled_.store(true, std::memory_order_relaxed); }
+  void Stop() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a completed span (called by ScopedSpan; callers normally use
+  /// the macro instead).
+  void Record(const SpanEvent& event);
+
+  /// Snapshots every thread's spans, sorted by (tid, start). Does not stop
+  /// tracing or clear the buffers.
+  std::vector<SpanEvent> Collect() const;
+
+  /// Drops all recorded spans.
+  void Clear();
+
+  /// Renders the collected spans in the Chrome trace_event JSON array
+  /// format; load the file in about:tracing or https://ui.perfetto.dev.
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to \p path. Returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+  /// Microseconds since the tracer's epoch (span timestamps use this).
+  static std::int64_t NowMicros();
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<SpanEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  Tracer();
+  ThreadBuffer& LocalBuffer();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex register_mu_;
+  // shared_ptr keeps buffers alive after their owning thread exits.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::atomic<std::uint32_t> next_tid_{0};
+};
+
+/// \brief RAII span: records [construction, destruction) on the calling
+/// thread when tracing is enabled. \p name must outlive the tracer
+/// (string literals only).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+#define SMILER_TRACE_CONCAT_IMPL_(a, b) a##b
+#define SMILER_TRACE_CONCAT_(a, b) SMILER_TRACE_CONCAT_IMPL_(a, b)
+
+/// Opens a scoped tracing span covering the rest of the enclosing block:
+///   SMILER_TRACE_SPAN("search.lower_bound");
+#define SMILER_TRACE_SPAN(name)                                      \
+  ::smiler::obs::ScopedSpan SMILER_TRACE_CONCAT_(smiler_trace_span_, \
+                                                 __LINE__)(name)
+
+}  // namespace obs
+}  // namespace smiler
+
+#endif  // SMILER_OBS_TRACE_H_

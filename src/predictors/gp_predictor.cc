@@ -5,12 +5,21 @@
 
 #include "common/math_utils.h"
 #include "gp/trainer.h"
+#include "obs/metrics.h"
 #include "predictors/ar_predictor.h"
 
 namespace smiler {
 namespace predictors {
 
 namespace {
+
+// Counts GP fits abandoned for the aggregation predictor (singular kernel
+// matrices the Cholesky jitter could not repair).
+void CountCholeskyFallback() {
+  static obs::Counter& fallbacks =
+      obs::Registry::Global().GetCounter("gp.cholesky_fallbacks");
+  fallbacks.Increment();
+}
 
 // LOO training on a handful of points can collapse the noise scale theta2
 // to ~0, producing wildly overconfident predictive variances. Clamp the
@@ -59,12 +68,14 @@ Prediction GpCellPredictor::Predict(const KnnTrainingSet& set,
   if (!trained.ok()) {
     // Degenerate kNN data (e.g. all-identical targets): aggregate instead,
     // and clear the warm start so the next step retries from scratch.
+    CountCholeskyFallback();
     kernel_.reset();
     return AggregationPredict(set);
   }
   trained->kernel = WithNoiseFloor(trained->kernel, set.y);
   auto fit = gp::GpRegressor::Fit(set.x, y_centered, trained->kernel);
   if (!fit.ok()) {
+    CountCholeskyFallback();
     kernel_.reset();
     return AggregationPredict(set);
   }

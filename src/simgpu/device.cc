@@ -2,10 +2,14 @@
 
 #include <string>
 
+#include "common/timer.h"
+#include "obs/obs.h"
+
 namespace smiler {
 namespace simgpu {
 
-Status Device::Launch(int grid_dim, int block_dim, const Kernel& kernel) {
+Status Device::Launch(const char* name, int grid_dim, int block_dim,
+                      const Kernel& kernel) {
   if (grid_dim < 0 || block_dim <= 0) {
     return Status::InvalidArgument("grid_dim must be >= 0, block_dim > 0");
   }
@@ -13,6 +17,18 @@ Status Device::Launch(int grid_dim, int block_dim, const Kernel& kernel) {
 
   stats_.kernels_launched += 1;
   stats_.blocks_executed += static_cast<std::uint64_t>(grid_dim);
+
+  // Per-kernel profiling instruments (one registry lookup per launch; the
+  // per-block work below touches only the resolved references).
+  obs::Registry& reg = obs::Registry::Global();
+  const std::string prefix = std::string("simgpu.kernel.") + name;
+  reg.GetCounter(prefix + ".launches").Increment();
+  obs::Histogram& block_seconds = reg.GetHistogram(prefix + ".block_seconds");
+  obs::Gauge& kernel_high_water =
+      reg.GetGauge(prefix + ".shared_high_water_bytes");
+  static obs::Gauge& device_high_water =
+      reg.GetGauge("simgpu.shared_memory.high_water_bytes");
+  obs::ScopedSpan span(name);
 
   const std::size_t shared_bytes = shared_bytes_;
   pool_->ParallelFor(static_cast<std::size_t>(grid_dim),
@@ -25,7 +41,13 @@ Status Device::Launch(int grid_dim, int block_dim, const Kernel& kernel) {
                        ctx.grid_dim = grid_dim;
                        ctx.block_dim = block_dim;
                        ctx.shared = &shared;
+                       WallTimer timer;
                        kernel(ctx);
+                       block_seconds.Observe(timer.ElapsedSeconds());
+                       const double peak =
+                           static_cast<double>(shared.high_water());
+                       kernel_high_water.SetMax(peak);
+                       device_high_water.SetMax(peak);
                      });
   return Status::OK();
 }

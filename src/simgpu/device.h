@@ -22,7 +22,7 @@ namespace simgpu {
 class SharedMemory {
  public:
   explicit SharedMemory(std::size_t capacity_bytes)
-      : data_(capacity_bytes), used_(0) {}
+      : data_(capacity_bytes), used_(0), high_water_(0) {}
 
   /// Bump-allocates \p count elements of T. Returns nullptr when the
   /// request exceeds the remaining capacity (kernel authors must treat
@@ -34,18 +34,23 @@ class SharedMemory {
     const std::size_t bytes = count * sizeof(T);
     if (offset + bytes > data_.size()) return nullptr;
     used_ = offset + bytes;
+    if (used_ > high_water_) high_water_ = used_;
     return reinterpret_cast<T*>(data_.data() + offset);
   }
 
-  /// Releases all allocations (block exit).
+  /// Releases all allocations (block exit). The high-water mark survives.
   void Reset() { used_ = 0; }
 
   std::size_t capacity() const { return data_.size(); }
   std::size_t used() const { return used_; }
+  /// Largest `used()` ever reached — the arena's occupancy profile. Never
+  /// exceeds capacity() (over-capacity Allocs fail instead of counting).
+  std::size_t high_water() const { return high_water_; }
 
  private:
   std::vector<std::byte> data_;
   std::size_t used_;
+  std::size_t high_water_;
 };
 
 /// \brief Execution context handed to a kernel, one per thread block.
@@ -108,7 +113,18 @@ class Device {
   /// Launches \p grid_dim blocks of \p block_dim lanes running \p kernel.
   /// Blocks execute concurrently over the pool; the call returns after all
   /// blocks completed (stream-synchronous semantics).
-  Status Launch(int grid_dim, int block_dim, const Kernel& kernel);
+  ///
+  /// \p name identifies the kernel for profiling (a string literal, e.g.
+  /// "index.verify_dtw"): each launch opens a tracing span and feeds the
+  /// per-kernel `simgpu.kernel.<name>.*` metrics — launch count, per-block
+  /// wall-time histogram, and the SharedMemory high-water gauge.
+  Status Launch(const char* name, int grid_dim, int block_dim,
+                const Kernel& kernel);
+
+  /// Unnamed launch; profiled under the kernel name "anonymous".
+  Status Launch(int grid_dim, int block_dim, const Kernel& kernel) {
+    return Launch("anonymous", grid_dim, block_dim, kernel);
+  }
 
   /// Reserves \p bytes of device memory. Fails with ResourceExhausted when
   /// the budget would be exceeded.

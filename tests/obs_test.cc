@@ -1,0 +1,299 @@
+// Functional coverage of the observability layer: instrument semantics,
+// quantile estimation, JSON / Prometheus exposition, span collection and
+// nesting, and the simgpu kernel-profiling hooks. The multi-threaded
+// hammering lives in obs_concurrency_test.cc (run under TSan by
+// scripts/check.sh).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/obs.h"
+#include "simgpu/device.h"
+
+namespace smiler {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndSetMax) {
+  Gauge g;
+  g.Set(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 0.25);
+  g.SetMax(0.125);  // lower: no effect
+  EXPECT_DOUBLE_EQ(g.value(), 0.25);
+  g.SetMax(0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+  g.Set(0.125);  // Set always overwrites
+  EXPECT_DOUBLE_EQ(g.value(), 0.125);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram h;
+  const Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(HistogramTest, SingletonQuantilesAreExact) {
+  Histogram h;
+  h.Observe(0.125);
+  const Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 0.125);
+  EXPECT_DOUBLE_EQ(s.max, 0.125);
+  // Quantiles are clamped into [min, max], so a singleton is exact.
+  EXPECT_DOUBLE_EQ(s.p50, 0.125);
+  EXPECT_DOUBLE_EQ(s.p99, 0.125);
+}
+
+TEST(HistogramTest, BucketIndexMonotoneAndBounded) {
+  int prev = -1;
+  for (double v = 1e-10; v < 1e6; v *= 1.7) {
+    const int idx = Histogram::BucketIndex(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    ASSERT_GE(idx, prev);
+    prev = idx;
+    // The bucket's range must contain v (unless clamped at the edges).
+    if (idx > 0 && idx < Histogram::kNumBuckets - 1) {
+      EXPECT_LE(Histogram::BucketLowerBound(idx), v);
+      EXPECT_GT(Histogram::BucketLowerBound(idx + 1), v);
+    }
+  }
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-3.0), 0);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketResolution) {
+  Histogram h;
+  // 1..1000 "milliseconds".
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 1e-3);
+  const Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.count, 1000u);
+  // Log-bucketed with 4 sub-buckets per octave => bucket width ~19%, so
+  // the estimate is within ~20% of the true quantile.
+  EXPECT_NEAR(s.p50, 0.500, 0.500 * 0.25);
+  EXPECT_NEAR(s.p95, 0.950, 0.950 * 0.25);
+  EXPECT_NEAR(s.p99, 0.990, 0.990 * 0.25);
+  EXPECT_DOUBLE_EQ(s.min, 1e-3);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+}
+
+TEST(RegistryTest, InstrumentsAreStableAndNamed) {
+  Registry reg;
+  Counter& a = reg.GetCounter("test.counter");
+  Counter& b = reg.GetCounter("test.counter");
+  EXPECT_EQ(&a, &b);  // same name -> same instrument
+  a.Increment(7);
+  EXPECT_EQ(reg.GetCounter("test.counter").value(), 7u);
+  reg.GetGauge("test.gauge").Set(1.5);
+  reg.GetHistogram("test.hist").Observe(2.0);
+  EXPECT_EQ(reg.CounterNames(), std::vector<std::string>{"test.counter"});
+  EXPECT_EQ(reg.GaugeNames(), std::vector<std::string>{"test.gauge"});
+  EXPECT_EQ(reg.HistogramNames(), std::vector<std::string>{"test.hist"});
+}
+
+TEST(RegistryTest, JsonExpositionRoundTripsValues) {
+  Registry reg;
+  reg.GetCounter("index.candidates_total").Increment(12345);
+  reg.GetGauge("index.pruning_ratio").Set(0.25);
+  Histogram& h = reg.GetHistogram("engine.search_seconds");
+  h.Observe(0.5);
+  h.Observe(0.5);
+
+  const std::string json = reg.ToJson();
+  // Counters and gauges round-trip exactly.
+  EXPECT_NE(json.find("\"index.candidates_total\": 12345"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"index.pruning_ratio\": 0.25"), std::string::npos)
+      << json;
+  // Histogram summary: exact count/sum/min/max.
+  EXPECT_NE(json.find("\"engine.search_seconds\": {\"count\": 2, "
+                      "\"sum\": 1, \"min\": 0.5, \"max\": 0.5"),
+            std::string::npos)
+      << json;
+  // Structural sanity: one object with the three sections.
+  EXPECT_EQ(json.find('{'), 0u);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(RegistryTest, PrometheusExpositionRoundTripsValues) {
+  Registry reg;
+  reg.GetCounter("gp.cg_iterations").Increment(99);
+  reg.GetGauge("threadpool.queue_depth").Set(3);
+  Histogram& h = reg.GetHistogram("index.search.verify_seconds");
+  h.Observe(0.25);
+
+  const std::string prom = reg.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE smiler_gp_cg_iterations counter\n"
+                      "smiler_gp_cg_iterations 99\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE smiler_threadpool_queue_depth gauge\n"
+                      "smiler_threadpool_queue_depth 3\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE smiler_index_search_verify_seconds summary"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("smiler_index_search_verify_seconds_sum 0.25"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("smiler_index_search_verify_seconds_count 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("smiler_index_search_verify_seconds{quantile=\"0.5\"} "
+                      "0.25"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(RegistryTest, ResetAllZeroesButKeepsReferences) {
+  Registry reg;
+  Counter& c = reg.GetCounter("x");
+  Histogram& h = reg.GetHistogram("y");
+  c.Increment(5);
+  h.Observe(1.0);
+  reg.ResetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.Snap().count, 0u);
+  c.Increment();  // reference still live
+  EXPECT_EQ(reg.GetCounter("x").value(), 1u);
+}
+
+TEST(TracerTest, SpanNestingReconstructsWellFormedTree) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  tracer.Start();
+  {
+    SMILER_TRACE_SPAN("outer");
+    {
+      SMILER_TRACE_SPAN("middle");
+      { SMILER_TRACE_SPAN("inner"); }
+      { SMILER_TRACE_SPAN("inner"); }
+    }
+    { SMILER_TRACE_SPAN("middle"); }
+  }
+  tracer.Stop();
+  const std::vector<SpanEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 5u);
+
+  int outer = 0, middle = 0, inner = 0;
+  for (const SpanEvent& e : events) {
+    const std::string name = e.name;
+    if (name == "outer") {
+      ++outer;
+      EXPECT_EQ(e.depth, 0);
+    } else if (name == "middle") {
+      ++middle;
+      EXPECT_EQ(e.depth, 1);
+    } else if (name == "inner") {
+      ++inner;
+      EXPECT_EQ(e.depth, 2);
+    } else {
+      FAIL() << "unexpected span " << name;
+    }
+  }
+  EXPECT_EQ(outer, 1);
+  EXPECT_EQ(middle, 2);
+  EXPECT_EQ(inner, 2);
+
+  // Well-formed tree: same-thread spans are either disjoint or nested,
+  // and a deeper span starting inside a shallower one ends inside it too.
+  for (const SpanEvent& a : events) {
+    for (const SpanEvent& b : events) {
+      if (&a == &b || a.tid != b.tid) continue;
+      const std::int64_t a_end = a.start_us + a.duration_us;
+      const std::int64_t b_end = b.start_us + b.duration_us;
+      const bool disjoint = a_end <= b.start_us || b_end <= a.start_us;
+      const bool a_in_b = a.start_us >= b.start_us && a_end <= b_end;
+      const bool b_in_a = b.start_us >= a.start_us && b_end <= a_end;
+      EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+          << a.name << " vs " << b.name;
+    }
+  }
+  tracer.Clear();
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  tracer.Stop();
+  { SMILER_TRACE_SPAN("ignored"); }
+  EXPECT_TRUE(tracer.Collect().empty());
+}
+
+TEST(TracerTest, ChromeTraceJsonShape) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  tracer.Start();
+  { SMILER_TRACE_SPAN("engine.predict"); }
+  tracer.Stop();
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"engine.predict\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(SimgpuProfilingTest, KernelLaunchRecordsProfile) {
+  Registry& reg = Registry::Global();
+  reg.GetCounter("simgpu.kernel.test_kernel.launches").Reset();
+  reg.GetGauge("simgpu.kernel.test_kernel.shared_high_water_bytes").Reset();
+  reg.GetHistogram("simgpu.kernel.test_kernel.block_seconds").Reset();
+
+  simgpu::Device device;
+  const std::size_t capacity = device.shared_memory_bytes();
+  Status st = device.Launch("test_kernel", /*grid_dim=*/4, /*block_dim=*/8,
+                            [&](simgpu::BlockContext& ctx) {
+                              double* a = ctx.shared->Alloc<double>(100);
+                              ASSERT_NE(a, nullptr);
+                              ctx.shared->Reset();
+                              double* b = ctx.shared->Alloc<double>(50);
+                              ASSERT_NE(b, nullptr);
+                            });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  EXPECT_EQ(reg.GetCounter("simgpu.kernel.test_kernel.launches").value(), 1u);
+  // Block wall time: one observation per block.
+  EXPECT_EQ(
+      reg.GetHistogram("simgpu.kernel.test_kernel.block_seconds").Snap().count,
+      4u);
+  // Shared-memory high-water: peak across Resets (100 doubles), and never
+  // above the arena capacity.
+  const double hw =
+      reg.GetGauge("simgpu.kernel.test_kernel.shared_high_water_bytes")
+          .value();
+  EXPECT_GE(hw, 100 * sizeof(double));
+  EXPECT_LE(hw, static_cast<double>(capacity));
+  EXPECT_LE(reg.GetGauge("simgpu.shared_memory.high_water_bytes").value(),
+            static_cast<double>(capacity));
+}
+
+TEST(SimgpuProfilingTest, OverCapacityAllocDoesNotInflateHighWater) {
+  simgpu::SharedMemory shared(1024);
+  EXPECT_NE(shared.Alloc<double>(16), nullptr);
+  EXPECT_EQ(shared.Alloc<double>(4096), nullptr);  // exceeds capacity
+  EXPECT_EQ(shared.high_water(), 16 * sizeof(double));
+  EXPECT_LE(shared.high_water(), shared.capacity());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace smiler
