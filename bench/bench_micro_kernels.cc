@@ -1,22 +1,30 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels underneath the
-// SMiLer index: banded DTW (reference vs compressed warping matrix),
-// envelope construction, LB_Keogh, and k-selection. These are the
-// per-candidate / per-window costs that every macro number in Fig 7/8
-// decomposes into.
+// SMiLer index and predictors: banded DTW (reference vs compressed
+// warping matrix), envelope construction, LB_Keogh, k-selection, and the
+// GP linear-algebra core (blocked Cholesky, tiled MatMul, multi-RHS
+// solves, diag-only inverse, and kernel-matrix construction from a
+// cached Gram) paired against the scalar la::reference implementations.
+// scripts/bench_regression.sh turns the paired runs into BENCH_la.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/rng.h"
 #include "dtw/dtw.h"
 #include "dtw/envelope.h"
 #include "dtw/lower_bounds.h"
+#include "gp/kernel.h"
 #include "index/kselect.h"
+#include "la/cholesky.h"
+#include "la/matrix.h"
+#include "la/reference.h"
 
 namespace {
 
 using smiler::Rng;
+namespace la = smiler::la;
 
 std::vector<double> RandomWalk(uint64_t seed, int n) {
   Rng rng(seed);
@@ -97,6 +105,134 @@ void BM_KSelect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KSelect)->Arg(1024)->Arg(8192)->Arg(65536);
+
+// ------------------------------------------------------------ la core
+// Each optimized kernel is paired with the reference implementation it
+// replaced (same seed, same operands) so speedup-vs-reference falls out
+// of the ratio of the two timings.
+
+la::Matrix RandomLaMatrix(uint64_t seed, std::size_t rows, std::size_t cols) {
+  Rng rng(seed);
+  la::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.Normal();
+  }
+  return m;
+}
+
+la::Matrix RandomSpd(uint64_t seed, std::size_t n) {
+  la::Matrix b = RandomLaMatrix(seed, n, n);
+  la::Matrix a = b.MatMul(b.Transposed());
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) *= inv_n;
+  }
+  a.AddToDiagonal(1.0);
+  return a;
+}
+
+void BM_CholeskyBlocked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = RandomSpd(11, n);
+  for (auto _ : state) {
+    auto chol = la::Cholesky::Factor(a);
+    benchmark::DoNotOptimize(chol);
+  }
+}
+BENCHMARK(BM_CholeskyBlocked)->Arg(32)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_CholeskyReference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = RandomSpd(11, n);
+  for (auto _ : state) {
+    la::Matrix m = a;
+    benchmark::DoNotOptimize(la::reference::CholeskyFactorUnblocked(&m));
+  }
+}
+BENCHMARK(BM_CholeskyReference)->Arg(32)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_MatMulTiled(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = RandomLaMatrix(12, n, n);
+  const la::Matrix b = RandomLaMatrix(13, n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+}
+BENCHMARK(BM_MatMulTiled)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulReference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix a = RandomLaMatrix(12, n, n);
+  const la::Matrix b = RandomLaMatrix(13, n, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::reference::MatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMulReference)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SolveMatrixBatched(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto chol = la::Cholesky::Factor(RandomSpd(14, n));
+  const la::Matrix b = RandomLaMatrix(15, n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chol->SolveMatrix(b));
+  }
+}
+BENCHMARK(BM_SolveMatrixBatched)->Arg(64)->Arg(256);
+
+void BM_SolveMatrixColumnwise(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto chol = la::Cholesky::Factor(RandomSpd(14, n));
+  const la::Matrix b = RandomLaMatrix(15, n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::reference::SolveMatrixColumnwise(*chol, b));
+  }
+}
+BENCHMARK(BM_SolveMatrixColumnwise)->Arg(64)->Arg(256);
+
+void BM_InverseDiagonal(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto chol = la::Cholesky::Factor(RandomSpd(16, n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chol->InverseDiagonal());
+  }
+}
+BENCHMARK(BM_InverseDiagonal)->Arg(64)->Arg(256);
+
+void BM_InverseFull(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto chol = la::Cholesky::Factor(RandomSpd(16, n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chol->Inverse());
+  }
+}
+BENCHMARK(BM_InverseFull)->Arg(64)->Arg(256);
+
+// Kernel-matrix construction: the cached-Gram path every ensemble cell
+// takes inside the engine vs recomputing pairwise distances each call.
+void BM_KernelMatrixCachedGram(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix x = RandomLaMatrix(17, n, 64);
+  const la::Matrix gram = smiler::gp::PairwiseSquaredDistances(x);
+  const smiler::gp::SeKernel kernel(std::log(1.2), std::log(0.8),
+                                    std::log(0.2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.CovarianceFromSqDist(gram));
+  }
+}
+BENCHMARK(BM_KernelMatrixCachedGram)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_KernelMatrixFromInputs(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const la::Matrix x = RandomLaMatrix(17, n, 64);
+  const smiler::gp::SeKernel kernel(std::log(1.2), std::log(0.8),
+                                    std::log(0.2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.Covariance(x));
+  }
+}
+BENCHMARK(BM_KernelMatrixFromInputs)->Arg(64)->Arg(256)->Arg(512);
 
 }  // namespace
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# LA-core performance regression harness: runs the paired
+# optimized-vs-reference micro-benchmarks (fixed seeds baked into
+# bench_micro_kernels.cc) plus the end-to-end Table-4 predict step, and
+# distils both into BENCH_la.json at the repo root:
+#
+#   {"micro": [{"op", "size", "ns_per_op", "reference_ns_per_op",
+#               "speedup_vs_reference"}, ...],
+#    "end_to_end": {"predict_seconds_p50", ...}}
+#
+#   scripts/bench_regression.sh            # writes ./BENCH_la.json
+#   scripts/bench_regression.sh /tmp/out   # writes /tmp/out/BENCH_la.json
+#
+# Deterministic inputs; timings are machine-dependent, the speedup ratios
+# are what regressions show up in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-.}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_micro_kernels bench_table4_running_time \
+  >/dev/null
+
+echo "== micro kernels (paired vs la::reference) =="
+./build/bench/bench_micro_kernels \
+  --benchmark_filter='Cholesky|MatMul|SolveMatrix|Inverse|KernelMatrix' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="$WORK/micro.json" --benchmark_out_format=json
+
+echo "== end-to-end predict step (Table 4 path) =="
+SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" \
+  ./build/bench/bench_table4_running_time \
+  --metrics-json "$WORK/table4_metrics.json" > "$WORK/table4.txt"
+grep "SMiLer-GP" "$WORK/table4.txt" || true
+
+python3 - "$WORK/micro.json" "$WORK/table4_metrics.json" \
+  "$OUT_DIR/BENCH_la.json" <<'PY'
+import json
+import sys
+
+micro_path, metrics_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+# Optimized benchmark -> (reference twin, logical op name).
+PAIRS = {
+    "BM_CholeskyBlocked": ("BM_CholeskyReference", "cholesky_factor"),
+    "BM_MatMulTiled": ("BM_MatMulReference", "matmul"),
+    "BM_SolveMatrixBatched": ("BM_SolveMatrixColumnwise", "solve_multi_rhs"),
+    "BM_InverseDiagonal": ("BM_InverseFull", "inverse_diagonal"),
+    "BM_KernelMatrixCachedGram": ("BM_KernelMatrixFromInputs",
+                                  "kernel_matrix"),
+}
+
+with open(micro_path) as f:
+    runs = json.load(f)["benchmarks"]
+times = {}
+for b in runs:
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    name, _, size = b["name"].partition("/")
+    times[(name, int(size))] = float(b["real_time"])  # ns (default unit)
+
+micro = []
+for (name, size), ns in sorted(times.items()):
+    if name not in PAIRS:
+        continue
+    ref_name, op = PAIRS[name]
+    ref_ns = times.get((ref_name, size))
+    if ref_ns is None:
+        continue
+    micro.append({
+        "op": op,
+        "size": size,
+        "ns_per_op": round(ns, 1),
+        "reference_ns_per_op": round(ref_ns, 1),
+        "speedup_vs_reference": round(ref_ns / ns, 2),
+    })
+
+with open(metrics_path) as f:
+    metrics = json.load(f)
+h = metrics.get("histograms", {}).get("engine.predict_seconds", {})
+predict = {
+    "predict_seconds_p50": h.get("p50"),
+    "predict_seconds_p95": h.get("p95"),
+    "predict_steps": h.get("count"),
+} if h else {}
+
+out = {"micro": micro, "end_to_end": predict}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+for row in micro:
+    print(f"  {row['op']:>16} n={row['size']:<4} "
+          f"{row['speedup_vs_reference']:.2f}x vs reference")
+print(f"wrote {out_path}")
+PY

@@ -34,4 +34,12 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j --target obs_concurrency_test >/dev/null
 ctest --test-dir build-tsan -R 'ObsConcurrencyTest' --output-on-failure
 
+echo "== la property tests under ASan+UBSan =="
+cmake -B build-asan -S . \
+  -DSMILER_ENABLE_ASAN=ON \
+  -DSMILER_BUILD_BENCHMARKS=OFF \
+  -DSMILER_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j --target la_property_test >/dev/null
+ctest --test-dir build-asan -R 'LaPropertyTest' --output-on-failure
+
 echo "== all checks passed =="

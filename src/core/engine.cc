@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "gp/kernel.h"
 #include "obs/obs.h"
 #include "predictors/ar_predictor.h"
 #include "predictors/predictor.h"
@@ -89,6 +90,32 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
       if (ensemble_.IsAwake(i, j)) cells.emplace_back(i, j);
     }
   }
+  // Cross-cell Gram reuse (GP only): every EKV row of an ELV column
+  // trains on a prefix of the same neighbor list, so one pairwise
+  // squared-distance matrix per column — computed once at the column's
+  // largest awake k — serves all of its cells through leading-submatrix
+  // views, and every CG evaluation inside each cell reuses it again.
+  std::vector<la::Matrix> column_grams(cols);
+  if (kind_ == PredictorKind::kGp) {
+    SMILER_TRACE_SPAN("engine.gram_cache");
+    static obs::Counter& gram_columns =
+        obs::Registry::Global().GetCounter("engine.gram_columns");
+    std::vector<int> column_max_k(cols, 0);
+    for (const auto& [i, j] : cells) {
+      column_max_k[j] = std::max(column_max_k[j], cfg_.ekv[i]);
+    }
+    for (int j = 0; j < cols; ++j) {
+      if (column_max_k[j] == 0) continue;
+      auto full = predictors::MakeTrainingSet(series, knn.items[j],
+                                              column_max_k[j], cfg_.horizon);
+      // On failure the cells recompute their own distances (and surface
+      // the same failure themselves if it affects them).
+      if (!full.ok()) continue;
+      column_grams[j] = gp::PairwiseSquaredDistances(full->x);
+      gram_columns.Increment();
+    }
+  }
+
   auto fit_cell = [&](std::size_t idx) {
     const auto [i, j] = cells[idx];
     const index::ItemQueryResult& item = knn.items[j];
@@ -100,8 +127,15 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
     if (kind_ == PredictorKind::kGp) {
       predictors::GpCellPredictor& cell = gp_cells_[i * cols + j];
       if (!cfg_.gp_warm_start) cell.Reset();
+      la::ConstMatrixView gram_view;
+      const la::ConstMatrixView* gram = nullptr;
+      if (!column_grams[j].empty() &&
+          set->x.rows() <= column_grams[j].rows()) {
+        gram_view = la::ConstMatrixView(column_grams[j]).Leading(set->x.rows());
+        gram = &gram_view;
+      }
       p = cell.Predict(*set, x0, cfg_.initial_cg_steps,
-                       cfg_.online_cg_steps);
+                       cfg_.online_cg_steps, gram);
     } else {
       p = predictors::AggregationPredict(*set);
     }

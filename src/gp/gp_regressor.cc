@@ -18,20 +18,49 @@ double ClampPredictiveVariance(double variance) {
 }
 
 Result<GpRegressor> GpRegressor::Fit(la::Matrix x, std::vector<double> y,
-                                     const SeKernel& kernel) {
+                                     const SeKernel& kernel,
+                                     const la::ConstMatrixView* gram) {
   if (x.rows() == 0 || x.rows() != y.size()) {
     return Status::InvalidArgument(
         "GpRegressor::Fit requires matching non-empty x rows and y");
   }
   GpRegressor gp;
   gp.kernel_ = kernel;
-  la::Matrix cov = kernel.Covariance(x, &gp.sq_dist_);
+  la::Matrix cov;
+  if (gram != nullptr) {
+    if (gram->rows() != x.rows() || gram->cols() != x.rows()) {
+      return Status::InvalidArgument(
+          "GpRegressor::Fit gram dimensions must match x rows");
+    }
+    gp.gram_ext_ = *gram;
+    cov = kernel.CovarianceFromSqDist(*gram);
+  } else {
+    cov = kernel.Covariance(x, &gp.sq_dist_);
+  }
   SMILER_ASSIGN_OR_RETURN(gp.chol_, la::Cholesky::Factor(cov));
   gp.alpha_ = gp.chol_.Solve(y);
-  gp.kinv_ = gp.chol_.Inverse();
   gp.x_ = std::move(x);
   gp.y_ = std::move(y);
   return gp;
+}
+
+const la::Matrix& GpRegressor::FullInverse() const {
+  if (kinv_.empty()) kinv_ = chol_.Inverse();
+  return kinv_;
+}
+
+const std::vector<double>& GpRegressor::InverseDiag() const {
+  if (kinv_diag_.empty()) {
+    if (!kinv_.empty()) {
+      kinv_diag_.resize(kinv_.rows());
+      for (std::size_t i = 0; i < kinv_.rows(); ++i) {
+        kinv_diag_[i] = kinv_(i, i);
+      }
+    } else {
+      kinv_diag_ = chol_.InverseDiagonal();
+    }
+  }
+  return kinv_diag_;
 }
 
 Prediction GpRegressor::Predict(const double* xstar) const {
@@ -45,7 +74,7 @@ Prediction GpRegressor::Predict(const double* xstar) const {
 }
 
 Prediction GpRegressor::LooPrediction(std::size_t i) const {
-  const double kii = kinv_(i, i);
+  const double kii = InverseDiag()[i];
   Prediction p;
   p.variance = ClampPredictiveVariance(1.0 / kii);
   p.mean = y_[i] - alpha_[i] / kii;
@@ -69,8 +98,10 @@ std::array<double, SeKernel::kNumParams> GpRegressor::LooGradient() const {
   //               / Kinv_ii
   std::array<double, SeKernel::kNumParams> grad{};
   const std::size_t k = y_.size();
+  const la::Matrix& kinv = FullInverse();
+  const la::ConstMatrixView gram = Gram();
   for (int m = 0; m < SeKernel::kNumParams; ++m) {
-    const la::Matrix dc = kernel_.CovarianceGrad(sq_dist_, m);
+    const la::Matrix dc = kernel_.CovarianceGrad(gram, m);
     const la::Matrix z = chol_.SolveMatrix(dc);
     const std::vector<double> z_alpha = z.MatVec(alpha_);
     double g = 0.0;
@@ -79,9 +110,9 @@ std::array<double, SeKernel::kNumParams> GpRegressor::LooGradient() const {
       // (Kinv symmetric).
       double zk_ii = 0.0;
       const double* zrow = z.Row(i);
-      const double* krow = kinv_.Row(i);
+      const double* krow = kinv.Row(i);
       for (std::size_t j = 0; j < k; ++j) zk_ii += zrow[j] * krow[j];
-      const double kii = kinv_(i, i);
+      const double kii = kinv(i, i);
       g += (alpha_[i] * z_alpha[i] -
             0.5 * (1.0 + alpha_[i] * alpha_[i] / kii) * zk_ii) /
            kii;

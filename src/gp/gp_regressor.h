@@ -35,13 +35,30 @@ double ClampPredictiveVariance(double variance);
 ///
 /// Fit cost is O(k^3) for k training points, which the semi-lazy design
 /// keeps tiny (k <= max EKV), so exact inference is affordable per query.
+///
+/// Inverse-of-K quantities are computed lazily and only as needed:
+/// Predict() touches none of them, LOO predictions/likelihood need only
+/// diag(K^{-1}) (Cholesky::InverseDiagonal), and only LooGradient()
+/// materializes the full inverse. A purely predictive fit therefore never
+/// pays the O(k^3) inversion the seed implementation always did.
+/// Laziness is cached in mutable members: a single GpRegressor is not
+/// thread-safe for concurrent const access (ensemble cells each own one).
 class GpRegressor {
  public:
   /// Fits the GP to inputs \p x (k rows of dimension d) and targets \p y
   /// (length k) under \p kernel. Fails when k == 0, the sizes disagree, or
   /// the kernel matrix is numerically singular beyond jitter repair.
+  ///
+  /// \p gram, when non-null, must view the pairwise squared distances of
+  /// the rows of \p x (PairwiseSquaredDistances) with
+  /// gram->rows() == gram->cols() == x.rows(); the covariance build then
+  /// skips all distance computation. The viewed storage must outlive the
+  /// regressor (the engine's per-column Gram caches and TrainLoo's
+  /// objective both satisfy this). When null, distances are computed and
+  /// owned internally.
   static Result<GpRegressor> Fit(la::Matrix x, std::vector<double> y,
-                                 const SeKernel& kernel);
+                                 const SeKernel& kernel,
+                                 const la::ConstMatrixView* gram = nullptr);
 
   /// Posterior predictive distribution at test input \p xstar (Eqn 16/17):
   ///   mean     = c0^T C^{-1} y
@@ -70,13 +87,28 @@ class GpRegressor {
  private:
   GpRegressor() = default;
 
+  /// The pairwise squared distances backing this fit: the external view
+  /// when one was supplied, otherwise the internally computed matrix.
+  la::ConstMatrixView Gram() const {
+    return sq_dist_.empty() ? gram_ext_ : la::ConstMatrixView(sq_dist_);
+  }
+
+  /// diag(K^{-1}), computed on first use (from the cached full inverse
+  /// when that already exists, else via the ~6x cheaper diagonal-only
+  /// path).
+  const std::vector<double>& InverseDiag() const;
+  /// Full K^{-1}, computed on first use (gradients only).
+  const la::Matrix& FullInverse() const;
+
   la::Matrix x_;
   std::vector<double> y_;
   SeKernel kernel_;
   la::Cholesky chol_;
-  std::vector<double> alpha_;  // C^{-1} y
-  la::Matrix kinv_;            // C^{-1}
-  la::Matrix sq_dist_;         // cached pairwise squared input distances
+  std::vector<double> alpha_;          // C^{-1} y
+  la::Matrix sq_dist_;                 // owned Gram (empty when external)
+  la::ConstMatrixView gram_ext_;       // external Gram (empty when owned)
+  mutable la::Matrix kinv_;            // lazy: full C^{-1}
+  mutable std::vector<double> kinv_diag_;  // lazy: diag(C^{-1})
 };
 
 }  // namespace gp

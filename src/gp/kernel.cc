@@ -17,8 +17,21 @@ double SquaredDistance(const double* a, const double* b, std::size_t dim) {
   return s;
 }
 
-SeKernel SeKernel::Heuristic(const la::Matrix& x,
-                             const std::vector<double>& y) {
+la::Matrix PairwiseSquaredDistances(const la::Matrix& x) {
+  const std::size_t k = x.rows();
+  la::Matrix dists(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double d = SquaredDistance(x.Row(i), x.Row(j), x.cols());
+      dists(i, j) = d;
+      dists(j, i) = d;
+    }
+  }
+  return dists;
+}
+
+SeKernel SeKernel::Heuristic(const la::Matrix& x, const std::vector<double>& y,
+                             const la::ConstMatrixView* gram) {
   const double var_y = std::max(Variance(y), 1e-6);
   // Median pairwise distance as the length-scale seed.
   std::vector<double> dists;
@@ -26,8 +39,10 @@ SeKernel SeKernel::Heuristic(const la::Matrix& x,
   dists.reserve(k * (k - 1) / 2);
   for (std::size_t i = 0; i < k; ++i) {
     for (std::size_t j = i + 1; j < k; ++j) {
-      dists.push_back(
-          std::sqrt(SquaredDistance(x.Row(i), x.Row(j), x.cols())));
+      const double sq = (gram != nullptr)
+                            ? (*gram)(i, j)
+                            : SquaredDistance(x.Row(i), x.Row(j), x.cols());
+      dists.push_back(std::sqrt(sq));
     }
   }
   double length = 1.0;
@@ -58,22 +73,24 @@ double SeKernel::SelfCovariance() const {
 
 la::Matrix SeKernel::Covariance(const la::Matrix& x,
                                 la::Matrix* sq_dist) const {
-  const std::size_t k = x.rows();
+  la::Matrix dists = PairwiseSquaredDistances(x);
+  la::Matrix cov = CovarianceFromSqDist(dists);
+  if (sq_dist != nullptr) *sq_dist = std::move(dists);
+  return cov;
+}
+
+la::Matrix SeKernel::CovarianceFromSqDist(la::ConstMatrixView sq_dist) const {
+  const std::size_t k = sq_dist.rows();
   la::Matrix cov(k, k);
-  la::Matrix dists(k, k);
   const double noise = theta2() * theta2();
   for (std::size_t i = 0; i < k; ++i) {
     for (std::size_t j = i; j < k; ++j) {
-      const double d = SquaredDistance(x.Row(i), x.Row(j), x.cols());
-      dists(i, j) = d;
-      dists(j, i) = d;
-      const double c = CovFromSqDist(d);
+      const double c = CovFromSqDist(sq_dist(i, j));
       cov(i, j) = c;
       cov(j, i) = c;
     }
     cov(i, i) += noise;
   }
-  if (sq_dist != nullptr) *sq_dist = std::move(dists);
   return cov;
 }
 
@@ -86,7 +103,7 @@ std::vector<double> SeKernel::CrossCovariance(const la::Matrix& x,
   return c0;
 }
 
-la::Matrix SeKernel::CovarianceGrad(const la::Matrix& sq_dist,
+la::Matrix SeKernel::CovarianceGrad(la::ConstMatrixView sq_dist,
                                     int param) const {
   const std::size_t k = sq_dist.rows();
   la::Matrix grad(k, k);

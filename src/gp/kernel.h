@@ -18,6 +18,12 @@ namespace gp {
 /// Hyperparameters are stored and optimized in log space so positivity is
 /// structural. theta1 is the characteristic length-scale; theta2^2 the
 /// observation noise.
+///
+/// The kernel separates *geometry* from *hyperparameters*: the pairwise
+/// squared distances of a training set (PairwiseSquaredDistances) depend
+/// only on the inputs, so one Gram matrix serves every covariance build
+/// across hyperparameter updates — and, in the engine, across every
+/// ensemble cell that shares the same kNN inputs.
 class SeKernel {
  public:
   /// Number of hyperparameters.
@@ -31,7 +37,10 @@ class SeKernel {
   /// Data-driven initialisation: theta0^2 ~ var(y), theta1 ~ median
   /// pairwise input distance, theta2^2 ~ 10% of var(y). Gives the online
   /// trainer a seed in the right order of magnitude for any sensor scale.
-  static SeKernel Heuristic(const la::Matrix& x, const std::vector<double>& y);
+  /// \p gram, when non-null, supplies the pairwise squared distances of
+  /// \p x (a cached Gram) so the median needs no recomputation.
+  static SeKernel Heuristic(const la::Matrix& x, const std::vector<double>& y,
+                            const la::ConstMatrixView* gram = nullptr);
 
   const std::array<double, kNumParams>& log_params() const {
     return log_params_;
@@ -56,6 +65,12 @@ class SeKernel {
   la::Matrix Covariance(const la::Matrix& x, la::Matrix* sq_dist = nullptr)
       const;
 
+  /// k x k covariance matrix from an already computed pairwise
+  /// squared-distance matrix (noise on diagonal). The distance-free hot
+  /// path: every hyperparameter evaluation against a cached Gram costs
+  /// only the exponentials.
+  la::Matrix CovarianceFromSqDist(la::ConstMatrixView sq_dist) const;
+
   /// Cross-covariance vector c0 between every row of \p x and test input
   /// \p xstar (length = x.cols()).
   std::vector<double> CrossCovariance(const la::Matrix& x,
@@ -63,7 +78,7 @@ class SeKernel {
 
   /// dC/dlog(theta_param) over the rows of \p x, given the cached pairwise
   /// squared distances from Covariance(). \p param in [0, kNumParams).
-  la::Matrix CovarianceGrad(const la::Matrix& sq_dist, int param) const;
+  la::Matrix CovarianceGrad(la::ConstMatrixView sq_dist, int param) const;
 
  private:
   std::array<double, kNumParams> log_params_;
@@ -71,6 +86,14 @@ class SeKernel {
 
 /// Squared Euclidean distance between two length-\p dim vectors.
 double SquaredDistance(const double* a, const double* b, std::size_t dim);
+
+/// \brief Symmetric k x k matrix of pairwise squared distances between the
+/// rows of \p x — the hyperparameter-independent Gram that Covariance /
+/// CovarianceGrad / Heuristic consume. Computed entrywise with
+/// SquaredDistance, so a cached Gram is bitwise-identical to what each
+/// consumer would have computed itself (and a leading submatrix view of it
+/// is exactly the Gram of the corresponding row prefix).
+la::Matrix PairwiseSquaredDistances(const la::Matrix& x);
 
 }  // namespace gp
 }  // namespace smiler

@@ -12,25 +12,26 @@ namespace gp {
 
 Result<TrainResult> TrainLoo(const la::Matrix& x, const std::vector<double>& y,
                              const SeKernel* warm_start, int cg_steps,
-                             double prior_precision, double trust_radius) {
+                             double prior_precision, double trust_radius,
+                             const la::ConstMatrixView* gram) {
   if (x.rows() == 0 || x.rows() != y.size()) {
     return Status::InvalidArgument("TrainLoo requires matching x rows and y");
   }
   SMILER_TRACE_SPAN("gp.train");
-  const SeKernel anchor = SeKernel::Heuristic(x, y);
+  const SeKernel anchor = SeKernel::Heuristic(x, y, gram);
   SeKernel seed = (warm_start != nullptr) ? *warm_start : anchor;
 
   // Verify the seed is feasible before optimizing.
   {
-    auto fit = GpRegressor::Fit(x, y, seed);
+    auto fit = GpRegressor::Fit(x, y, seed, gram);
     if (!fit.ok()) return fit.status();
   }
 
-  Objective objective = [&x, &y, &anchor, prior_precision](
+  Objective objective = [&x, &y, &anchor, prior_precision, gram](
                             const std::vector<double>& params,
                             std::vector<double>* grad) -> double {
     SeKernel kernel(params[0], params[1], params[2]);
-    auto fit = GpRegressor::Fit(x, y, kernel);
+    auto fit = GpRegressor::Fit(x, y, kernel, gram);
     if (!fit.ok()) {
       // Infeasible configuration: reject via -inf (line search backtracks).
       std::fill(grad->begin(), grad->end(), 0.0);

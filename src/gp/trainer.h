@@ -41,11 +41,18 @@ struct TrainResult {
 /// within that distance of the heuristic anchor after optimization — a
 /// trust region guarding against slow multi-step drift into degenerate
 /// configurations during warm-started continuous prediction.
+///
+/// \p gram, when non-null, views the pairwise squared distances of \p x
+/// (see GpRegressor::Fit); every objective evaluation then reuses it, so
+/// the O(k^2 d) distance work is paid zero times inside the optimization
+/// loop instead of once per CG evaluation. The viewed storage must
+/// outlive the call.
 Result<TrainResult> TrainLoo(const la::Matrix& x, const std::vector<double>& y,
                              const SeKernel* warm_start, int cg_steps,
                              double prior_precision = 0.0,
                              double trust_radius =
-                                 std::numeric_limits<double>::infinity());
+                                 std::numeric_limits<double>::infinity(),
+                             const la::ConstMatrixView* gram = nullptr);
 
 }  // namespace gp
 }  // namespace smiler

@@ -1,5 +1,6 @@
 #include "la/cholesky.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace smiler {
@@ -7,23 +8,196 @@ namespace la {
 
 namespace {
 
-// In-place lower Cholesky of `m`; returns false on breakdown.
-bool TryFactor(Matrix* m) {
-  const std::size_t n = m->rows();
-  for (std::size_t j = 0; j < n; ++j) {
-    double d = (*m)(j, j);
-    for (std::size_t k = 0; k < j; ++k) d -= (*m)(j, k) * (*m)(j, k);
+// Factors the diagonal block rows/cols [j0, j1) in place, assuming every
+// column < j0 has already been applied to it (right-looking invariant).
+// With j0 == 0 and j1 == n this is exactly the historical unblocked
+// algorithm, bitwise included: contributions subtract one column at a
+// time in ascending k, and the panel below the block is reduced the same
+// way. Returns false on breakdown.
+bool FactorDiagonalBlock(Matrix* m, std::size_t j0, std::size_t j1) {
+  for (std::size_t j = j0; j < j1; ++j) {
+    const double* SMILER_RESTRICT jrow = m->Row(j);
+    double d = jrow[j];
+    for (std::size_t k = j0; k < j; ++k) d -= jrow[k] * jrow[k];
     if (!(d > 0.0) || !std::isfinite(d)) return false;
     const double ljj = std::sqrt(d);
     (*m)(j, j) = ljj;
     const double inv = 1.0 / ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double s = (*m)(i, j);
-      for (std::size_t k = 0; k < j; ++k) s -= (*m)(i, k) * (*m)(j, k);
-      (*m)(i, j) = s * inv;
+    for (std::size_t i = j + 1; i < j1; ++i) {
+      double* SMILER_RESTRICT irow = m->Row(i);
+      double s = irow[j];
+      for (std::size_t k = j0; k < j; ++k) s -= irow[k] * jrow[k];
+      irow[j] = s * inv;
     }
-    // Zero the strict upper triangle of this column for cleanliness.
-    for (std::size_t i = 0; i < j; ++i) (*m)(i, j) = 0.0;
+  }
+  return true;
+}
+
+// Applies the freshly factored diagonal block [j0, j1) to the panel rows
+// [j1, n): a triangular solve of each row against the block's transpose.
+// Only reached when the matrix spans more than one block, so the
+// strict-order (bitwise) guarantee does not constrain it and the dot may
+// vectorize freely.
+void SolvePanel(Matrix* m, std::size_t j0, std::size_t j1) {
+  const std::size_t n = m->rows();
+  std::size_t i = j1;
+  // Four panel rows per pass: the j-loop is sequential (triangular
+  // dependency) but rows are independent, so each dot against the shared
+  // block row runs four accumulator chains.
+  for (; i + 4 <= n; i += 4) {
+    double* SMILER_RESTRICT r0 = m->Row(i);
+    double* SMILER_RESTRICT r1 = m->Row(i + 1);
+    double* SMILER_RESTRICT r2 = m->Row(i + 2);
+    double* SMILER_RESTRICT r3 = m->Row(i + 3);
+    for (std::size_t j = j0; j < j1; ++j) {
+      const double* SMILER_RESTRICT jrow = m->Row(j);
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+#pragma omp simd reduction(+ : s0, s1, s2, s3)
+      for (std::size_t k = j0; k < j; ++k) {
+        const double b = jrow[k];
+        s0 += r0[k] * b;
+        s1 += r1[k] * b;
+        s2 += r2[k] * b;
+        s3 += r3[k] * b;
+      }
+      const double d = jrow[j];
+      r0[j] = (r0[j] - s0) / d;
+      r1[j] = (r1[j] - s1) / d;
+      r2[j] = (r2[j] - s2) / d;
+      r3[j] = (r3[j] - s3) / d;
+    }
+  }
+  for (; i < n; ++i) {
+    double* SMILER_RESTRICT irow = m->Row(i);
+    for (std::size_t j = j0; j < j1; ++j) {
+      const double* SMILER_RESTRICT jrow = m->Row(j);
+      double s = 0.0;
+#pragma omp simd reduction(+ : s)
+      for (std::size_t k = j0; k < j; ++k) s += irow[k] * jrow[k];
+      irow[j] = (irow[j] - s) / jrow[j];
+    }
+  }
+}
+
+// Rank-(j1-j0) update of the trailing lower triangle [j1, n) x [j1, i]:
+// A(i, c) -= L(i, j0:j1) . L(c, j0:j1). Both operand slices are
+// contiguous row segments, so the reduction vectorizes; four columns per
+// pass keep four independent accumulator chains in flight and reuse each
+// load of the i-row slice (the dots are otherwise latency-bound).
+void UpdateTrailing(Matrix* m, std::size_t j0, std::size_t j1) {
+  const std::size_t n = m->rows();
+  const std::size_t jb = j1 - j0;
+  std::size_t i = j1;
+  // 2x4 tiles: two target rows share each load of the four panel-row
+  // slices, and the eight accumulators keep independent chains in flight.
+  for (; i + 2 <= n; i += 2) {
+    const double* SMILER_RESTRICT a0 = m->Row(i) + j0;
+    const double* SMILER_RESTRICT a1 = m->Row(i + 1) + j0;
+    double* SMILER_RESTRICT out0 = m->Row(i);
+    double* SMILER_RESTRICT out1 = m->Row(i + 1);
+    std::size_t c = j1;
+    for (; c + 4 <= i + 1; c += 4) {
+      const double* SMILER_RESTRICT c0 = m->Row(c) + j0;
+      const double* SMILER_RESTRICT c1 = m->Row(c + 1) + j0;
+      const double* SMILER_RESTRICT c2 = m->Row(c + 2) + j0;
+      const double* SMILER_RESTRICT c3 = m->Row(c + 3) + j0;
+      double s00 = 0.0, s01 = 0.0, s02 = 0.0, s03 = 0.0;
+      double s10 = 0.0, s11 = 0.0, s12 = 0.0, s13 = 0.0;
+#pragma omp simd reduction(+ : s00, s01, s02, s03, s10, s11, s12, s13)
+      for (std::size_t k = 0; k < jb; ++k) {
+        const double x0 = a0[k];
+        const double x1 = a1[k];
+        s00 += x0 * c0[k];
+        s01 += x0 * c1[k];
+        s02 += x0 * c2[k];
+        s03 += x0 * c3[k];
+        s10 += x1 * c0[k];
+        s11 += x1 * c1[k];
+        s12 += x1 * c2[k];
+        s13 += x1 * c3[k];
+      }
+      out0[c] -= s00;
+      out0[c + 1] -= s01;
+      out0[c + 2] -= s02;
+      out0[c + 3] -= s03;
+      out1[c] -= s10;
+      out1[c + 1] -= s11;
+      out1[c + 2] -= s12;
+      out1[c + 3] -= s13;
+    }
+    // Triangular tail of the row pair (row i stops at column i, row i+1
+    // one later; the unused s0 at c == i+1 is simply discarded).
+    for (; c <= i + 1; ++c) {
+      const double* SMILER_RESTRICT lc = m->Row(c) + j0;
+      double s0 = 0.0, s1 = 0.0;
+#pragma omp simd reduction(+ : s0, s1)
+      for (std::size_t k = 0; k < jb; ++k) {
+        s0 += a0[k] * lc[k];
+        s1 += a1[k] * lc[k];
+      }
+      if (c <= i) out0[c] -= s0;
+      out1[c] -= s1;
+    }
+  }
+  for (; i < n; ++i) {
+    const double* SMILER_RESTRICT li = m->Row(i) + j0;
+    double* SMILER_RESTRICT out = m->Row(i);
+    for (std::size_t c = j1; c <= i; ++c) {
+      const double* SMILER_RESTRICT lc = m->Row(c) + j0;
+      double s = 0.0;
+#pragma omp simd reduction(+ : s)
+      for (std::size_t k = 0; k < jb; ++k) s += li[k] * lc[k];
+      out[c] -= s;
+    }
+  }
+}
+
+// Vectorized twin of FactorDiagonalBlock for matrices spanning more than
+// one block, where the strict-order (bitwise) guarantee does not apply:
+// the per-column contributions fold through simd reductions instead of
+// ascending-k subtraction.
+bool FactorDiagonalBlockFast(Matrix* m, std::size_t j0, std::size_t j1) {
+  for (std::size_t j = j0; j < j1; ++j) {
+    const double* SMILER_RESTRICT jrow = m->Row(j);
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::size_t k = j0; k < j; ++k) acc += jrow[k] * jrow[k];
+    const double d = jrow[j] - acc;
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    (*m)(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < j1; ++i) {
+      double* SMILER_RESTRICT irow = m->Row(i);
+      double s = 0.0;
+#pragma omp simd reduction(+ : s)
+      for (std::size_t k = j0; k < j; ++k) s += irow[k] * jrow[k];
+      irow[j] = (irow[j] - s) * inv;
+    }
+  }
+  return true;
+}
+
+// In-place blocked right-looking lower Cholesky; returns false on
+// breakdown.
+bool TryFactor(Matrix* m) {
+  const std::size_t n = m->rows();
+  const bool single_block = n <= Cholesky::kBlockSize;
+  for (std::size_t j0 = 0; j0 < n; j0 += Cholesky::kBlockSize) {
+    const std::size_t j1 = std::min(n, j0 + Cholesky::kBlockSize);
+    if (single_block ? !FactorDiagonalBlock(m, j0, j1)
+                     : !FactorDiagonalBlockFast(m, j0, j1)) {
+      return false;
+    }
+    if (j1 < n) {
+      SolvePanel(m, j0, j1);
+      UpdateTrailing(m, j0, j1);
+    }
+  }
+  // Zero the strict upper triangle for cleanliness (callers read L()).
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = m->Row(i);
+    for (std::size_t j = i + 1; j < n; ++j) row[j] = 0.0;
   }
   return true;
 }
@@ -81,18 +255,76 @@ std::vector<double> Cholesky::Solve(const std::vector<double>& b) const {
   return SolveUpper(SolveLower(b));
 }
 
-Matrix Cholesky::SolveMatrix(const Matrix& b) const {
-  Matrix out(b.rows(), b.cols());
-  std::vector<double> col(b.rows());
-  for (std::size_t c = 0; c < b.cols(); ++c) {
-    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
-    std::vector<double> x = Solve(col);
-    for (std::size_t r = 0; r < b.rows(); ++r) out(r, c) = x[r];
+void Cholesky::SolveMatrixInPlace(Matrix* b) const {
+  const std::size_t n = dim();
+  assert(b->rows() == n);
+  const std::size_t nrhs = b->cols();
+  // Forward pass: L Y = B. Row i of B accumulates -L(i,k) * row k for all
+  // k < i in ascending order, then divides by L(i,i) — per column this is
+  // exactly SolveLower's arithmetic, but the inner loops run contiguously
+  // across all right-hand sides.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* SMILER_RESTRICT bi = b->Row(i);
+    const double* SMILER_RESTRICT li = l_.Row(i);
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      const double* SMILER_RESTRICT bk = b->Row(k);
+#pragma omp simd
+      for (std::size_t c = 0; c < nrhs; ++c) bi[c] -= lik * bk[c];
+    }
+    const double lii = li[i];
+#pragma omp simd
+    for (std::size_t c = 0; c < nrhs; ++c) bi[c] /= lii;
   }
+  // Backward pass: L^T X = Y, mirroring SolveUpper.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* SMILER_RESTRICT bi = b->Row(ii);
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      const double lki = l_(k, ii);
+      const double* SMILER_RESTRICT bk = b->Row(k);
+#pragma omp simd
+      for (std::size_t c = 0; c < nrhs; ++c) bi[c] -= lki * bk[c];
+    }
+    const double lii = l_(ii, ii);
+#pragma omp simd
+    for (std::size_t c = 0; c < nrhs; ++c) bi[c] /= lii;
+  }
+}
+
+Matrix Cholesky::SolveMatrix(const Matrix& b) const {
+  Matrix out = b;
+  SolveMatrixInPlace(&out);
   return out;
 }
 
-Matrix Cholesky::Inverse() const { return SolveMatrix(Matrix::Identity(dim())); }
+Matrix Cholesky::Inverse() const {
+  Matrix out = Matrix::Identity(dim());
+  SolveMatrixInPlace(&out);
+  return out;
+}
+
+std::vector<double> Cholesky::InverseDiagonal() const {
+  const std::size_t n = dim();
+  std::vector<double> diag(n);
+  std::vector<double> v(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Forward solve L v = e_j; components before j are structurally zero.
+    v[j] = 1.0 / l_(j, j);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double* SMILER_RESTRICT li = l_.Row(i);
+      const double* SMILER_RESTRICT vp = v.data();
+      double s = 0.0;
+#pragma omp simd reduction(+ : s)
+      for (std::size_t k = j; k < i; ++k) s += li[k] * vp[k];
+      v[i] = -s / li[i];
+    }
+    double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+    for (std::size_t i = j; i < n; ++i) acc += v[i] * v[i];
+    diag[j] = acc;
+  }
+  return diag;
+}
 
 double Cholesky::LogDet() const {
   double s = 0.0;

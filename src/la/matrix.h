@@ -5,14 +5,22 @@
 #include <cstddef>
 #include <vector>
 
+#if defined(__GNUC__) || defined(__clang__)
+#define SMILER_RESTRICT __restrict__
+#else
+#define SMILER_RESTRICT
+#endif
+
 namespace smiler {
 namespace la {
 
 /// \brief Dense row-major matrix of doubles.
 ///
-/// Sized for the semi-lazy workload: kernel matrices are k x k with
-/// k <= ~128, so a simple cache-friendly dense layout outperforms anything
-/// fancier. No expression templates; operations are explicit functions.
+/// Sized for the semi-lazy workload: per-cell kernel matrices are k x k
+/// with k <= ~128, while the shared per-column Gram caches and baseline
+/// inducing-point systems reach a few hundred. Operations are explicit
+/// functions (no expression templates); the hot ones are cache-blocked
+/// and written so the compiler can vectorize their inner loops.
 class Matrix {
  public:
   Matrix() = default;
@@ -58,6 +66,9 @@ class Matrix {
   std::vector<double> TransMatVec(const std::vector<double>& x) const;
 
   /// Matrix product this * other. Requires cols() == other.rows().
+  /// Register-blocked over rows of this (each row of other streams through
+  /// several output rows at once) — dense kernel matrices vectorize with
+  /// no per-element branching.
   Matrix MatMul(const Matrix& other) const;
 
   /// Adds \p value to every diagonal entry (requires square).
@@ -70,6 +81,51 @@ class Matrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<double> data_;
+};
+
+/// \brief Non-owning read-only view of a row-major matrix (or of a
+/// top-left block of one, via the stride).
+///
+/// The workhorse of cross-cell Gram reuse: SensorEngine computes one
+/// pairwise squared-distance matrix per ELV column and every EKV row of
+/// that column reads its leading k x k block through a view, so no cell
+/// recomputes or copies shared distances. The viewed storage must outlive
+/// the view; views are trivially copyable.
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  /// Views the whole of \p m (implicit: any Matrix argument position that
+  /// expects a view accepts the matrix itself).
+  ConstMatrixView(const Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data_(m.empty() ? nullptr : m.Row(0)),
+        rows_(m.rows()),
+        cols_(m.cols()),
+        stride_(m.cols()) {}
+  ConstMatrixView(const double* data, std::size_t rows, std::size_t cols,
+                  std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * stride_ + c];
+  }
+  const double* Row(std::size_t r) const { return data_ + r * stride_; }
+
+  /// The top-left n x n block as a view over the same storage.
+  ConstMatrixView Leading(std::size_t n) const {
+    assert(n <= rows_ && n <= cols_);
+    return ConstMatrixView(data_, n, n, stride_);
+  }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
 };
 
 /// Dot product of equally sized vectors.

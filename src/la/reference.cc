@@ -1,0 +1,69 @@
+#include "la/reference.h"
+
+#include <cmath>
+
+namespace smiler {
+namespace la {
+namespace reference {
+
+bool CholeskyFactorUnblocked(Matrix* m) {
+  const std::size_t n = m->rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = (*m)(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= (*m)(j, k) * (*m)(j, k);
+    if (!(d > 0.0) || !std::isfinite(d)) return false;
+    const double ljj = std::sqrt(d);
+    (*m)(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = (*m)(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= (*m)(i, k) * (*m)(j, k);
+      (*m)(i, j) = s * inv;
+    }
+    for (std::size_t i = 0; i < j; ++i) (*m)(i, j) = 0.0;
+  }
+  return true;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* arow = a.Row(r);
+    double* orow = out.Row(r);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double v = arow[k];
+      if (v == 0.0) continue;
+      const double* brow = b.Row(k);
+      for (std::size_t c = 0; c < b.cols(); ++c) orow[c] += v * brow[c];
+    }
+  }
+  return out;
+}
+
+Matrix SolveMatrixColumnwise(const Cholesky& chol, const Matrix& b) {
+  Matrix out(b.rows(), b.cols());
+  std::vector<double> col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    std::vector<double> x = chol.Solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) out(r, c) = x[r];
+  }
+  return out;
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  assert(x.size() == a.cols());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.Row(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+}  // namespace reference
+}  // namespace la
+}  // namespace smiler

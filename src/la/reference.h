@@ -1,0 +1,39 @@
+#ifndef SMILER_LA_REFERENCE_H_
+#define SMILER_LA_REFERENCE_H_
+
+#include <vector>
+
+#include "la/cholesky.h"
+#include "la/matrix.h"
+
+namespace smiler {
+namespace la {
+namespace reference {
+
+/// \brief The pre-blocking scalar implementations of the la hot kernels,
+/// kept verbatim as ground truth.
+///
+/// The blocked/batched production kernels in matrix.cc / cholesky.cc must
+/// agree with these to 1e-12 (tests/la_property_test.cc) and are measured
+/// against them by bench_micro_kernels ("speedup-vs-reference" in
+/// BENCH_la.json). Never optimize these: their value is being boring.
+
+/// In-place unblocked lower Cholesky of \p m (strict column-at-a-time
+/// order); returns false on breakdown. No jitter escalation.
+bool CholeskyFactorUnblocked(Matrix* m);
+
+/// Naive triple-loop matrix product a * b (including the historical
+/// zero-skip branch the tiled rewrite removed).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// Solves A X = B one column at a time through chol.Solve().
+Matrix SolveMatrixColumnwise(const Cholesky& chol, const Matrix& b);
+
+/// Row-by-row scalar matrix-vector product.
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);
+
+}  // namespace reference
+}  // namespace la
+}  // namespace smiler
+
+#endif  // SMILER_LA_REFERENCE_H_

@@ -45,7 +45,8 @@ gp::SeKernel WithNoiseFloor(const gp::SeKernel& kernel,
 
 Prediction GpCellPredictor::Predict(const KnnTrainingSet& set,
                                     const double* x0, int initial_cg_steps,
-                                    int online_cg_steps) {
+                                    int online_cg_steps,
+                                    const la::ConstMatrixView* gram) {
   // Center the targets: the zero-mean GP prior (Appendix B.3) otherwise
   // shrinks predictions toward 0, which is badly biased whenever the
   // local kNN targets sit far from the series' global mean (rush hours,
@@ -64,7 +65,7 @@ Prediction GpCellPredictor::Predict(const KnnTrainingSet& set,
   constexpr double kPriorPrecision = 8.0;
   constexpr double kTrustRadius = 0.35;
   auto trained = gp::TrainLoo(set.x, y_centered, warm ? &*kernel_ : nullptr,
-                              steps, kPriorPrecision, kTrustRadius);
+                              steps, kPriorPrecision, kTrustRadius, gram);
   if (!trained.ok()) {
     // Degenerate kNN data (e.g. all-identical targets): aggregate instead,
     // and clear the warm start so the next step retries from scratch.
@@ -73,7 +74,7 @@ Prediction GpCellPredictor::Predict(const KnnTrainingSet& set,
     return AggregationPredict(set);
   }
   trained->kernel = WithNoiseFloor(trained->kernel, set.y);
-  auto fit = gp::GpRegressor::Fit(set.x, y_centered, trained->kernel);
+  auto fit = gp::GpRegressor::Fit(set.x, y_centered, trained->kernel, gram);
   if (!fit.ok()) {
     CountCholeskyFallback();
     kernel_.reset();

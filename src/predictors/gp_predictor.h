@@ -24,8 +24,16 @@ class GpCellPredictor {
  public:
   /// Predicts the h-step-ahead distribution for query segment \p x0
   /// (length = set.x.cols()) from the cell's kNN data.
+  ///
+  /// \p gram, when non-null, views the pairwise squared distances of
+  /// set.x. SensorEngine computes one Gram per ELV column and hands each
+  /// EKV row of that column its leading k x k block (all those cells
+  /// train on prefixes of the same neighbor list, so the block is exactly
+  /// their own Gram); training and the final fit then skip all distance
+  /// computation. The viewed storage must outlive the call.
   Prediction Predict(const KnnTrainingSet& set, const double* x0,
-                     int initial_cg_steps, int online_cg_steps);
+                     int initial_cg_steps, int online_cg_steps,
+                     const la::ConstMatrixView* gram = nullptr);
 
   /// Drops the warm-start state (used by tests and by engines that reset
   /// after long gaps).

@@ -220,6 +220,98 @@ TEST(GpRegressorTest, LooGradientMatchesFiniteDifferences) {
   }
 }
 
+TEST(GpRegressorTest, ExternalGramMatchesOwnedDistances) {
+  // Fitting against a cached Gram must reproduce the owned-distance fit
+  // exactly: predictions, LOO quantities, and gradients.
+  Rng rng(80);
+  const std::size_t k = 9;
+  la::Matrix x = RandomInputs(&rng, k, 3);
+  std::vector<double> y(k);
+  for (std::size_t i = 0; i < k; ++i) y[i] = std::sin(x(i, 0) + x(i, 1));
+  const la::Matrix gram = PairwiseSquaredDistances(x);
+  const la::ConstMatrixView view(gram);
+  SeKernel kernel(std::log(1.2), std::log(0.9), std::log(0.3));
+  auto with_gram = GpRegressor::Fit(x, y, kernel, &view);
+  auto without = GpRegressor::Fit(x, y, kernel);
+  ASSERT_TRUE(with_gram.ok() && without.ok());
+  const double xs[3] = {0.3, -0.1, 0.9};
+  const Prediction pa = with_gram->Predict(xs);
+  const Prediction pb = without->Predict(xs);
+  EXPECT_DOUBLE_EQ(pa.mean, pb.mean);
+  EXPECT_DOUBLE_EQ(pa.variance, pb.variance);
+  EXPECT_DOUBLE_EQ(with_gram->LooLogLikelihood(), without->LooLogLikelihood());
+  const auto ga = with_gram->LooGradient();
+  const auto gb = without->LooGradient();
+  for (int m = 0; m < SeKernel::kNumParams; ++m) {
+    EXPECT_DOUBLE_EQ(ga[m], gb[m]) << "m=" << m;
+  }
+}
+
+TEST(GpRegressorTest, FitRejectsMismatchedGram) {
+  Rng rng(81);
+  la::Matrix x = RandomInputs(&rng, 5, 2);
+  std::vector<double> y(5, 1.0);
+  la::Matrix wrong = PairwiseSquaredDistances(RandomInputs(&rng, 3, 2));
+  const la::ConstMatrixView view(wrong);
+  EXPECT_FALSE(GpRegressor::Fit(x, y, SeKernel(), &view).ok());
+}
+
+TEST(GpRegressorTest, LooPredictionWorksWithoutGradientCall) {
+  // The diag-only inverse path: LOO predictions straight after Fit (no
+  // LooGradient call materializing the full inverse) must match the
+  // explicit refit, same as the full-inverse path always did.
+  Rng rng(82);
+  const std::size_t k = 6;
+  la::Matrix x = RandomInputs(&rng, k, 2);
+  std::vector<double> y(k);
+  for (std::size_t i = 0; i < k; ++i) y[i] = x(i, 0) - 0.5 * x(i, 1);
+  SeKernel kernel(std::log(1.0), std::log(1.1), std::log(0.4));
+  auto gp = GpRegressor::Fit(x, y, kernel);
+  ASSERT_TRUE(gp.ok());
+  for (std::size_t held = 0; held < k; ++held) {
+    la::Matrix x_rest(k - 1, 2);
+    std::vector<double> y_rest;
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i == held) continue;
+      x_rest(row, 0) = x(i, 0);
+      x_rest(row, 1) = x(i, 1);
+      y_rest.push_back(y[i]);
+      ++row;
+    }
+    auto gp_rest = GpRegressor::Fit(x_rest, y_rest, kernel);
+    ASSERT_TRUE(gp_rest.ok());
+    const Prediction direct = gp_rest->Predict(x.Row(held));
+    const Prediction via_loo = gp->LooPrediction(held);
+    EXPECT_NEAR(via_loo.mean, direct.mean, 1e-8);
+    EXPECT_NEAR(via_loo.variance, direct.variance, 1e-8);
+  }
+}
+
+TEST(PairwiseSquaredDistancesTest, MatchesScalarAndPrefixesNest) {
+  Rng rng(83);
+  la::Matrix x = RandomInputs(&rng, 12, 5);
+  const la::Matrix gram = PairwiseSquaredDistances(x);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      EXPECT_DOUBLE_EQ(gram(i, j), SquaredDistance(x.Row(i), x.Row(j), 5));
+    }
+  }
+  // The Gram of a row prefix is the leading block — the property the
+  // engine's per-column cache relies on across EKV rows.
+  la::Matrix head(7, 5);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) head(i, j) = x(i, j);
+  }
+  const la::Matrix gram_head = PairwiseSquaredDistances(head);
+  const la::ConstMatrixView lead = la::ConstMatrixView(gram).Leading(7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_DOUBLE_EQ(gram_head(i, j), lead(i, j));
+    }
+  }
+}
+
 // -------------------------------------------------------------- optimizer
 
 TEST(CgOptimizerTest, MaximizesConcaveQuadratic) {

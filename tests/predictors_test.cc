@@ -143,6 +143,43 @@ TEST(GpCellPredictorTest, DegenerateDataFallsBackToAr) {
   EXPECT_NEAR(p.mean, 1.0, 0.2);
 }
 
+TEST(GpCellPredictorTest, SharedGramMatchesOwnedDistancesBitwise) {
+  // The engine's cross-cell Gram reuse invariant: a cell fed the cached
+  // pairwise squared distances (or a leading block of a larger cache)
+  // must produce the exact prediction it would have computed on its own.
+  Rng rng(93);
+  KnnTrainingSet big = SineTrainingSet(&rng, 24, 8);
+  const la::Matrix gram_full = gp::PairwiseSquaredDistances(big.x);
+  std::vector<double> x0(8, 0.2);
+  for (int k : {24, 12}) {
+    KnnTrainingSet set;
+    set.x = la::Matrix(k, 8);
+    set.y.assign(big.y.begin(), big.y.begin() + k);
+    for (int j = 0; j < k; ++j) {
+      for (int p = 0; p < 8; ++p) set.x(j, p) = big.x(j, p);
+    }
+    GpCellPredictor with_gram;
+    GpCellPredictor without;
+    const la::ConstMatrixView view =
+        la::ConstMatrixView(gram_full).Leading(static_cast<std::size_t>(k));
+    // Cold step plus a warm-started online step must both agree.
+    Prediction a = with_gram.Predict(set, x0.data(), 20, 5, &view);
+    Prediction b = without.Predict(set, x0.data(), 20, 5);
+    EXPECT_DOUBLE_EQ(a.mean, b.mean) << "k=" << k;
+    EXPECT_DOUBLE_EQ(a.variance, b.variance) << "k=" << k;
+    a = with_gram.Predict(set, x0.data(), 20, 5, &view);
+    b = without.Predict(set, x0.data(), 20, 5);
+    EXPECT_DOUBLE_EQ(a.mean, b.mean) << "warm k=" << k;
+    EXPECT_DOUBLE_EQ(a.variance, b.variance) << "warm k=" << k;
+    ASSERT_TRUE(with_gram.kernel().has_value());
+    ASSERT_TRUE(without.kernel().has_value());
+    for (int m = 0; m < gp::SeKernel::kNumParams; ++m) {
+      EXPECT_DOUBLE_EQ(with_gram.kernel()->log_params()[m],
+                       without.kernel()->log_params()[m]);
+    }
+  }
+}
+
 // ---------------------------------------------------------------- grid
 
 TEST(PredictionGridTest, SetAndQuery) {
