@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
-# LA-core performance regression harness: runs the paired
-# optimized-vs-reference micro-benchmarks (fixed seeds baked into
-# bench_micro_kernels.cc) plus the end-to-end Table-4 predict step, and
-# distils both into BENCH_la.json at the repo root:
+# Performance regression harness.
+#
+# Stage 1 (LA core): runs the paired optimized-vs-reference
+# micro-benchmarks (fixed seeds baked into bench_micro_kernels.cc) plus
+# the end-to-end Table-4 predict step, and distils both into
+# BENCH_la.json:
 #
 #   {"micro": [{"op", "size", "ns_per_op", "reference_ns_per_op",
 #               "speedup_vs_reference"}, ...],
 #    "end_to_end": {"predict_seconds_p50", ...}}
 #
-#   scripts/bench_regression.sh            # writes ./BENCH_la.json
-#   scripts/bench_regression.sh /tmp/out   # writes /tmp/out/BENCH_la.json
+# Stage 2 (kNN index): runs the Fig-7 search workload and distils the
+# filter-and-verify counters into BENCH_index.json — pruning ratio,
+# verify/append wall time, and the early-abandon/late-prune split of the
+# cascade (counts are deterministic; wall times are machine-dependent).
 #
-# Deterministic inputs; timings are machine-dependent, the speedup ratios
-# are what regressions show up in.
+#   scripts/bench_regression.sh            # writes ./BENCH_{la,index}.json
+#   scripts/bench_regression.sh /tmp/out   # writes them under /tmp/out
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +26,7 @@ trap 'rm -rf "$WORK"' EXIT
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_micro_kernels bench_table4_running_time \
-  >/dev/null
+  bench_fig07_knn_search >/dev/null
 
 echo "== micro kernels (paired vs la::reference) =="
 ./build/bench/bench_micro_kernels \
@@ -95,5 +99,66 @@ with open(out_path, "w") as f:
 for row in micro:
     print(f"  {row['op']:>16} n={row['size']:<4} "
           f"{row['speedup_vs_reference']:.2f}x vs reference")
+print(f"wrote {out_path}")
+PY
+
+echo "== kNN index search/append (Fig 7 workload) =="
+SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" \
+  ./build/bench/bench_fig07_knn_search \
+  --metrics-json "$WORK/fig07_metrics.json" > "$WORK/fig07.txt"
+
+python3 - "$WORK/fig07_metrics.json" "$OUT_DIR/BENCH_index.json" <<'PY'
+import json
+import sys
+
+metrics_path, out_path = sys.argv[1], sys.argv[2]
+with open(metrics_path) as f:
+    metrics = json.load(f)
+c = metrics.get("counters", {})
+g = metrics.get("gauges", {})
+h = metrics.get("histograms", {})
+
+
+def hist(name):
+    d = h.get(name, {})
+    return {k: d.get(k) for k in ("count", "sum", "p50", "p95")}
+
+
+# Counters are deterministic on the fixed-seed smoke workload; the
+# "baseline" block is the pre-cascade core (threshold fixed after
+# seeding, no early abandon, serial item loop) measured on the same
+# workload, kept here so the speedup survives in-tree.
+out = {
+    "workload": "bench_fig07_knn_search SMILER_BENCH_SCALE=smoke",
+    "candidates_total": c.get("index.candidates_total"),
+    "candidates_verified": c.get("index.candidates_verified"),
+    "verify_early_abandoned": c.get("index.verify.early_abandoned"),
+    "verify_pruned_late": c.get("index.verify.pruned_late"),
+    "pruning_ratio": g.get("search.pruning_ratio"),
+    "verify_seconds": hist("index.search.verify_seconds"),
+    "append_seconds": hist("index.append_seconds"),
+    "lower_bound_seconds": hist("index.search.lower_bound_seconds"),
+    "baseline": {
+        "candidates_total": 11748960,
+        "candidates_verified": 2548756,
+        "pruning_ratio": 0.878594771,
+        "verify_seconds_sum": 4.71945928,
+        "append_seconds_sum": 0.113234807,
+        "lower_bound_seconds_sum": 0.133257158,
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+
+base = out["baseline"]
+if out["candidates_verified"] and base["candidates_verified"]:
+    ratio = out["candidates_verified"] / base["candidates_verified"]
+    print(f"  candidates_verified: {out['candidates_verified']} "
+          f"({ratio:.2f}x of pre-cascade baseline)")
+vs = out["verify_seconds"].get("sum")
+if vs:
+    print(f"  verify_seconds sum: {vs:.3f} "
+          f"(baseline {base['verify_seconds_sum']:.3f})")
 print(f"wrote {out_path}")
 PY

@@ -26,13 +26,20 @@ if [[ "$FAST" == 1 ]]; then
   exit 0
 fi
 
-echo "== obs concurrency tests under ThreadSanitizer =="
+echo "== obs concurrency + index search/append tests under ThreadSanitizer =="
+# The index suites cover the racy surface added by the parallel search
+# core: concurrent per-item SearchItem fan-out, nested device launches,
+# the shared tightening tau, and the device stats counters.
 cmake -B build-tsan -S . \
   -DSMILER_ENABLE_TSAN=ON \
   -DSMILER_BUILD_BENCHMARKS=OFF \
   -DSMILER_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j --target obs_concurrency_test >/dev/null
-ctest --test-dir build-tsan -R 'ObsConcurrencyTest' --output-on-failure
+cmake --build build-tsan -j \
+  --target obs_concurrency_test index_equivalence_test index_stress_test \
+  >/dev/null
+ctest --test-dir build-tsan \
+  -R 'ObsConcurrencyTest|IndexEquivalenceTest|IndexStressTest' \
+  --output-on-failure
 
 echo "== la property tests under ASan+UBSan =="
 cmake -B build-asan -S . \

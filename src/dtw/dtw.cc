@@ -61,14 +61,24 @@ double EarlyAbandonDtw(const double* q, const double* c, std::size_t d,
   return BandedDtwImpl(q, c, d, rho, cutoff);
 }
 
-double CompressedDtw(const double* q, const double* c, std::size_t d, int rho,
-                     double* scratch) {
-  // Algorithm 2 (Appendix E): gamma is a ring buffer of m rows x 2 columns,
-  // m = 2*rho + 2; row index is (i % m), column index is (j % 2). The
-  // modulus reuses the space of cells that have left the band. This
-  // implementation splits the scratch by column parity and replaces the
-  // per-access modulus with wrapped ring cursors — same 2*(2*rho+2)
-  // footprint, branch-light inner loop.
+namespace {
+
+// Algorithm 2 (Appendix E): gamma is a ring buffer of m rows x 2 columns,
+// m = 2*rho + 2; row index is (i % m), column index is (j % 2). The
+// modulus reuses the space of cells that have left the band. This
+// implementation splits the scratch by column parity and replaces the
+// per-access modulus with wrapped ring cursors — same 2*(2*rho+2)
+// footprint, branch-light inner loop.
+//
+// kAbandon additionally tracks each column's band minimum: any warping
+// path to gamma(n, n) crosses every column, and gamma is non-decreasing
+// along a path, so once a whole column exceeds the cutoff the result is
+// guaranteed to as well. The per-cell arithmetic is untouched, so a run
+// that reaches the final cell returns a value bitwise-identical to the
+// non-abandoning kernel.
+template <bool kAbandon>
+double CompressedDtwImpl(const double* q, const double* c, std::size_t d,
+                         int rho, double cutoff, double* scratch) {
   const long n = static_cast<long>(d);
   const long w = std::max<long>(rho, 0);
   const long m = 2 * w + 2;
@@ -97,6 +107,7 @@ double CompressedDtw(const double* q, const double* c, std::size_t d, int rho,
     long im = Mod(lo, m);          // ring index of i
     long pm = im == 0 ? m - 1 : im - 1;  // ring index of i - 1
     double left = cur[pm];         // gamma(i-1, j), updated as we go
+    double col_min = kInf;
     for (long i = lo; i <= hi; ++i) {
       const double up = prev[im];    // gamma(i, j-1)
       const double diag = prev[pm];  // gamma(i-1, j-1)
@@ -105,17 +116,32 @@ double CompressedDtw(const double* q, const double* c, std::size_t d, int rho,
       const double dq = q[i - 1] - qj;
       left = dq * dq + best;  // becomes gamma(i, j) = next cell's left
       cur[im] = left;
+      if (kAbandon && left < col_min) col_min = left;
       pm = im;
       im = im + 1 == m ? 0 : im + 1;
     }
+    if (kAbandon && col_min > cutoff) return kInf;
   }
   return col[n & 1][Mod(n, m)];
+}
+
+}  // namespace
+
+double CompressedDtw(const double* q, const double* c, std::size_t d, int rho,
+                     double* scratch) {
+  return CompressedDtwImpl<false>(q, c, d, rho, kInf, scratch);
 }
 
 double CompressedDtw(const double* q, const double* c, std::size_t d,
                      int rho) {
   std::vector<double> scratch(CompressedDtwScratchSize(rho));
   return CompressedDtw(q, c, d, rho, scratch.data());
+}
+
+double CompressedDtwEarlyAbandon(const double* q, const double* c,
+                                 std::size_t d, int rho, double cutoff,
+                                 double* scratch) {
+  return CompressedDtwImpl<true>(q, c, d, rho, cutoff, scratch);
 }
 
 }  // namespace dtw

@@ -42,6 +42,21 @@ double CompressedDtw(const double* q, const double* c, std::size_t d, int rho,
 /// \brief Convenience overload that owns its scratch buffer.
 double CompressedDtw(const double* q, const double* c, std::size_t d, int rho);
 
+/// \brief CompressedDtw with early abandoning against \p cutoff: tracks the
+/// running minimum of each warping-matrix column inside the band and
+/// returns +infinity as soon as that minimum exceeds \p cutoff (every path
+/// to gamma(d, d) passes through each column, so the final distance can no
+/// longer beat the threshold).
+///
+/// Exactness contract (relied on by the index's verification phase):
+/// whenever the true distance is <= \p cutoff this performs exactly the
+/// same arithmetic as CompressedDtw and returns a bitwise-identical result;
+/// otherwise the return value is >= \p cutoff (the exact distance or
+/// +infinity). \p scratch as in CompressedDtw.
+double CompressedDtwEarlyAbandon(const double* q, const double* c,
+                                 std::size_t d, int rho, double cutoff,
+                                 double* scratch);
+
 }  // namespace dtw
 }  // namespace smiler
 

@@ -43,9 +43,18 @@ struct SuffixKnnResult {
 struct SearchStats {
   /// \brief Candidate segments considered across all item queries.
   std::uint64_t candidates_total = 0;
-  /// \brief Candidates whose lower bound did not exceed the threshold and
-  /// were verified with a full DTW computation.
+  /// \brief Candidates whose lower bound did not exceed the threshold at
+  /// filtering time and therefore paid a (possibly early-abandoned) DTW
+  /// computation.
   std::uint64_t candidates_verified = 0;
+  /// \brief Subset of candidates_verified whose DTW was cut short by the
+  /// early-abandon cascade (their distance provably exceeded the running
+  /// threshold tau before the warping matrix completed).
+  std::uint64_t candidates_abandoned = 0;
+  /// \brief Candidates that survived the static filter but were skipped
+  /// without any DTW work because tau had tightened below their lower
+  /// bound by the time the verify kernel reached them.
+  std::uint64_t candidates_pruned_late = 0;
   /// \brief Wall seconds spent computing lower bounds (index path: group
   /// level).
   double lower_bound_seconds = 0.0;
@@ -67,6 +76,8 @@ struct SearchStats {
   void Add(const SearchStats& other) {
     candidates_total += other.candidates_total;
     candidates_verified += other.candidates_verified;
+    candidates_abandoned += other.candidates_abandoned;
+    candidates_pruned_late += other.candidates_pruned_late;
     lower_bound_seconds += other.lower_bound_seconds;
     verify_seconds += other.verify_seconds;
     select_seconds += other.select_seconds;
@@ -81,6 +92,10 @@ struct SearchStats {
     static obs::Counter& total = reg.GetCounter("index.candidates_total");
     static obs::Counter& verified =
         reg.GetCounter("index.candidates_verified");
+    static obs::Counter& abandoned =
+        reg.GetCounter("index.verify.early_abandoned");
+    static obs::Counter& pruned_late =
+        reg.GetCounter("index.verify.pruned_late");
     static obs::Histogram& lb =
         reg.GetHistogram("index.search.lower_bound_seconds");
     static obs::Histogram& verify =
@@ -88,12 +103,18 @@ struct SearchStats {
     static obs::Histogram& select =
         reg.GetHistogram("index.search.select_seconds");
     static obs::Gauge& pruning = reg.GetGauge("index.pruning_ratio");
+    static obs::Gauge& search_pruning = reg.GetGauge("search.pruning_ratio");
     total.Increment(candidates_total);
     verified.Increment(candidates_verified);
+    abandoned.Increment(candidates_abandoned);
+    pruned_late.Increment(candidates_pruned_late);
     lb.Observe(lower_bound_seconds);
     verify.Observe(verify_seconds);
     select.Observe(select_seconds);
-    if (candidates_total > 0) pruning.Set(PruningRatio());
+    if (candidates_total > 0) {
+      pruning.Set(PruningRatio());
+      search_pruning.Set(PruningRatio());
+    }
   }
 };
 

@@ -1,0 +1,93 @@
+#ifndef SMILER_INDEX_LB_ARENA_H_
+#define SMILER_INDEX_LB_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace smiler {
+namespace index {
+
+/// \brief Flat storage for the window-level posting lists.
+///
+/// The LBEQ and LBEC tables are logically [S][R] matrices (one row per
+/// physical sliding window, one column per disjoint window). Storing them
+/// as vector<vector<double>> puts every row behind its own allocation, so
+/// the group-level shift-sum — which walks rows column-by-column — chases
+/// a pointer per element. The arena packs both tables into one contiguous
+/// buffer laid out row-major with a shared physical-row stride:
+///
+///   row b:  [ LBEQ(b, 0) .. LBEQ(b, stride-1) | LBEC(b, 0) .. ]
+///
+/// i.e. each physical row owns 2*stride doubles, LBEQ half first. Both
+/// halves of a row are adjacent, matching the access pattern of the
+/// shift-sum (which consumes LBEQ and LBEC of the same row in lock-step).
+///
+/// The stride is the column capacity, kept a multiple of the chunk size
+/// (the index passes omega) so that streaming appends — which add one
+/// column every omega observations — trigger a re-layout only once per
+/// chunk of columns, not per column.
+class LbArena {
+ public:
+  /// (Re)initializes for \p rows physical rows and \p cols columns.
+  /// \p chunk is the column-capacity granularity (>= 1).
+  void Init(int rows, long cols, long chunk) {
+    rows_ = rows;
+    cols_ = 0;
+    chunk_ = std::max<long>(1, chunk);
+    stride_ = 0;
+    data_.clear();
+    EnsureCols(cols);
+  }
+
+  /// Grows the column capacity to hold \p cols columns, preserving the
+  /// existing entries. New entries are zero-initialized.
+  void EnsureCols(long cols) {
+    if (cols <= cols_) return;
+    if (cols > stride_) {
+      const long new_stride = (cols + chunk_ - 1) / chunk_ * chunk_;
+      std::vector<double> grown(static_cast<std::size_t>(rows_) * 2 *
+                                    new_stride,
+                                0.0);
+      for (int b = 0; b < rows_; ++b) {
+        const double* src = data_.data() +
+                            static_cast<std::size_t>(b) * 2 * stride_;
+        double* dst =
+            grown.data() + static_cast<std::size_t>(b) * 2 * new_stride;
+        std::copy(src, src + cols_, dst);
+        std::copy(src + stride_, src + stride_ + cols_, dst + new_stride);
+      }
+      data_.swap(grown);
+      stride_ = new_stride;
+    }
+    cols_ = cols;
+  }
+
+  double* EqRow(int phys) {
+    return data_.data() + static_cast<std::size_t>(phys) * 2 * stride_;
+  }
+  const double* EqRow(int phys) const {
+    return data_.data() + static_cast<std::size_t>(phys) * 2 * stride_;
+  }
+  double* EcRow(int phys) { return EqRow(phys) + stride_; }
+  const double* EcRow(int phys) const { return EqRow(phys) + stride_; }
+
+  int rows() const { return rows_; }
+  long cols() const { return cols_; }
+  long stride() const { return stride_; }
+
+  /// Bytes backing the arena (device-memory accounting).
+  std::size_t AllocatedBytes() const { return data_.size() * sizeof(double); }
+
+ private:
+  int rows_ = 0;
+  long cols_ = 0;
+  long stride_ = 0;
+  long chunk_ = 1;
+  std::vector<double> data_;
+};
+
+}  // namespace index
+}  // namespace smiler
+
+#endif  // SMILER_INDEX_LB_ARENA_H_

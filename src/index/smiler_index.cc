@@ -1,11 +1,15 @@
 #include "index/smiler_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <numeric>
 #include <optional>
+#include <queue>
+#include <vector>
 
 #include "common/math_utils.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "dtw/dtw.h"
 #include "dtw/lower_bounds.h"
@@ -15,6 +19,19 @@
 
 namespace smiler {
 namespace index {
+
+namespace {
+
+/// Lock-free monotone tightening of a shared double threshold.
+inline void AtomicMinDouble(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 const char* LowerBoundModeName(LowerBoundMode mode) {
   switch (mode) {
@@ -53,8 +70,7 @@ Result<SmilerIndex> SmilerIndex::Build(simgpu::Device* device,
   idx.env_c_ = dtw::ComputeEnvelope(idx.series_.data(), idx.series_.size(),
                                     config.rho);
   idx.RefreshMqEnvelope();
-  idx.lbeq_.assign(idx.S_, std::vector<double>(idx.R_, 0.0));
-  idx.lbec_.assign(idx.S_, std::vector<double>(idx.R_, 0.0));
+  idx.lb_.Init(idx.S_, idx.R_, config.omega);
   idx.prev_knn_.assign(config.elv.size(), {});
 
   // Window-level build: one block per sliding window computes that
@@ -93,8 +109,7 @@ SmilerIndex& SmilerIndex::operator=(SmilerIndex&& other) noexcept {
     S_ = other.S_;
     R_ = other.R_;
     head_ = other.head_;
-    lbeq_ = std::move(other.lbeq_);
-    lbec_ = std::move(other.lbec_);
+    lb_ = std::move(other.lb_);
     prev_knn_ = std::move(other.prev_knn_);
     accounted_bytes_ = other.accounted_bytes_;
     other.device_ = nullptr;
@@ -107,15 +122,31 @@ void SmilerIndex::RefreshMqEnvelope() {
   env_mq_ = dtw::ComputeEnvelope(MqData(), d_max_, cfg_.rho);
 }
 
+void SmilerIndex::ShiftMqEnvelope() {
+  // The master query window slid one step: new MQ position p covers the
+  // same absolute series values as old position p + 1 whenever neither
+  // band end clamps differently, i.e. for p in [rho, d_max - 2 - rho].
+  // Those entries shift verbatim; only the clamped head and the tail the
+  // new observation perturbs need recomputation.
+  const std::size_t d = static_cast<std::size_t>(d_max_);
+  const std::size_t rho = static_cast<std::size_t>(cfg_.rho);
+  double* up = env_mq_.upper.data();
+  double* lo = env_mq_.lower.data();
+  std::memmove(up, up + 1, (d - 1) * sizeof(double));
+  std::memmove(lo, lo + 1, (d - 1) * sizeof(double));
+  const std::size_t head_end = std::min(d, rho + 1);
+  dtw::UpdateEnvelopeRange(MqData(), d, cfg_.rho, 0, head_end, &env_mq_);
+  const std::size_t tail_begin = d > rho + 1 ? d - rho - 1 : 0;
+  dtw::UpdateEnvelopeRange(MqData(), d, cfg_.rho, tail_begin, d, &env_mq_);
+}
+
 void SmilerIndex::ComputeRow(int logical_b, bool eq_only) {
   const int omega = cfg_.omega;
   const int phys = PhysicalRow(logical_b);
   const std::size_t mq_begin =
       static_cast<std::size_t>(SlidingWindowBegin(d_max_, omega, logical_b));
-  std::vector<double>& eq_row = lbeq_[phys];
-  std::vector<double>& ec_row = lbec_[phys];
-  eq_row.resize(R_);
-  if (!eq_only) ec_row.resize(R_);
+  double* eq_row = lb_.EqRow(phys);
+  double* ec_row = lb_.EcRow(phys);
   for (long r = 0; r < R_; ++r) {
     const std::size_t c_begin = static_cast<std::size_t>(r) * omega;
     eq_row[r] = dtw::LbKeoghAligned(env_mq_, mq_begin, series_.data(),
@@ -127,31 +158,18 @@ void SmilerIndex::ComputeRow(int logical_b, bool eq_only) {
   }
 }
 
-void SmilerIndex::RecomputeLbecColumn(long r) {
+void SmilerIndex::ComputeColumnEntry(int logical_b, long r, bool both) {
   const int omega = cfg_.omega;
   const std::size_t c_begin = static_cast<std::size_t>(r) * omega;
-  for (int b = 0; b < S_; ++b) {
-    const std::size_t mq_begin =
-        static_cast<std::size_t>(SlidingWindowBegin(d_max_, omega, b));
-    lbec_[PhysicalRow(b)][r] =
-        dtw::LbKeoghAligned(env_c_, c_begin, MqData(), mq_begin, omega);
+  const std::size_t mq_begin =
+      static_cast<std::size_t>(SlidingWindowBegin(d_max_, omega, logical_b));
+  const int phys = PhysicalRow(logical_b);
+  if (both) {
+    lb_.EqRow(phys)[r] = dtw::LbKeoghAligned(env_mq_, mq_begin,
+                                             series_.data(), c_begin, omega);
   }
-}
-
-void SmilerIndex::ComputeNewColumn(long r) {
-  const int omega = cfg_.omega;
-  const std::size_t c_begin = static_cast<std::size_t>(r) * omega;
-  for (int b = 0; b < S_; ++b) {
-    const std::size_t mq_begin =
-        static_cast<std::size_t>(SlidingWindowBegin(d_max_, omega, b));
-    const int phys = PhysicalRow(b);
-    lbeq_[phys].resize(R_);
-    lbec_[phys].resize(R_);
-    lbeq_[phys][r] = dtw::LbKeoghAligned(env_mq_, mq_begin, series_.data(),
-                                         c_begin, omega);
-    lbec_[phys][r] =
-        dtw::LbKeoghAligned(env_c_, c_begin, MqData(), mq_begin, omega);
-  }
+  lb_.EcRow(phys)[r] =
+      dtw::LbKeoghAligned(env_c_, c_begin, MqData(), mq_begin, omega);
 }
 
 Status SmilerIndex::Append(double value) {
@@ -173,7 +191,7 @@ Status SmilerIndex::Append(double value) {
   dtw::UpdateEnvelopeRange(series_.data(), series_.size(), rho, env_begin,
                            series_.size(), &env_c_);
 
-  RefreshMqEnvelope();
+  ShiftMqEnvelope();
 
   // Remark 1: the new sliding window takes over the physical row of the
   // retired oldest window; every logical label shifts by one.
@@ -183,23 +201,39 @@ Status SmilerIndex::Append(double value) {
   const long new_r = (n % omega == 0) ? (n / omega - 1) : -1;
   if (new_r >= 0) {
     R_ = n / omega;
-    ComputeNewColumn(new_r);
+    lb_.EnsureCols(R_);
   }
 
-  // Candidate-envelope entries of trailing disjoint windows changed with
-  // env_c_; refresh those columns (validity, not just tightness: stale
-  // entries could overestimate once segments extend past the old tail).
-  const long first_changed_dw = env_begin / omega;
-  for (long r = first_changed_dw; r < R_; ++r) {
-    if (r == new_r) continue;  // already computed above
-    RecomputeLbecColumn(r);
+  // Column maintenance: candidate-envelope entries of trailing disjoint
+  // windows changed with env_c_ (validity, not just tightness: stale
+  // entries could overestimate once segments extend past the old tail),
+  // and the new column needs both halves. Every column is an independent
+  // block; logical row 0 is skipped here because the row launch below
+  // recomputes it in full with the same envelopes.
+  const long first_changed_dw = static_cast<long>(env_begin) / omega;
+  if (S_ > 1 && first_changed_dw < R_) {
+    SmilerIndex* self = this;
+    SMILER_RETURN_NOT_OK(device_->Launch(
+        "index.append_columns", static_cast<int>(R_ - first_changed_dw),
+        omega,
+        [self, first_changed_dw, new_r](simgpu::BlockContext& ctx) {
+          const long r = first_changed_dw + ctx.block_id;
+          for (int b = 1; b < self->S_; ++b) {
+            self->ComputeColumnEntry(b, r, /*both=*/r == new_r);
+          }
+        }));
   }
 
-  // New row 0 (both halves) plus the rho rows whose master-query envelope
-  // entries widened (LBEQ half only) — the Remark-1 refresh.
-  ComputeRow(0, /*eq_only=*/false);
+  // Row maintenance: the new row 0 (both halves) plus the rho rows whose
+  // master-query envelope entries widened (LBEQ half only) — the Remark-1
+  // refresh. Rows are disjoint writes, one block each.
   const int refresh = std::min(rho, S_ - 1);
-  for (int b = 1; b <= refresh; ++b) ComputeRow(b, /*eq_only=*/true);
+  SmilerIndex* self = this;
+  SMILER_RETURN_NOT_OK(device_->Launch(
+      "index.append_rows", refresh + 1, omega,
+      [self](simgpu::BlockContext& ctx) {
+        self->ComputeRow(ctx.block_id, /*eq_only=*/ctx.block_id != 0);
+      }));
 
   Status st = UpdateMemoryAccounting();
   append_seconds.Observe(append_timer.ElapsedSeconds());
@@ -213,7 +247,8 @@ long SmilerIndex::NumCandidates(std::size_t elv_index,
   return std::max<long>(0, n - d - reserve_horizon + 1);
 }
 
-LowerBoundTable SmilerIndex::GroupLowerBounds(int reserve_horizon) const {
+Result<LowerBoundTable> SmilerIndex::GroupLowerBounds(
+    int reserve_horizon) const {
   const int omega = cfg_.omega;
   const std::size_t n_items = cfg_.elv.size();
   LowerBoundTable table;
@@ -249,45 +284,63 @@ LowerBoundTable SmilerIndex::GroupLowerBounds(int reserve_horizon) const {
               [](const Emit& a, const Emit& bb) { return a.m < bb.m; });
   }
 
-  // Group-level kernel (Algorithm 1): one block per CSG; the shift-sum
-  // over each CSG's posting lists yields every item query's bound in one
-  // pass (Remark 2). Blocks write disjoint t ranges ((t + d_i) % omega ==
-  // b), so the table needs no synchronization.
+  // Group-level kernel (Algorithm 1): one block per CSG. The shift-sum is
+  // restructured as per-row accumulation — acc[r] carries
+  // sum_{jj<=j} row_jj[r-jj]; folding posting-list row j is one linear
+  // walk over the arena row and the accumulator, which vectorizes. After
+  // row j is folded, the bounds of every item query whose CSG holds j+1
+  // windows are emitted (Remark 2). Blocks write disjoint t ranges
+  // ((t + d_i) % omega == b), so the table needs no synchronization.
   const SmilerIndex* self = this;
   LowerBoundTable* out = &table;
   const std::vector<long>* limits = &t_limit;
   const std::vector<std::vector<Emit>>* emit_ptr = &emits;
-  device_->Launch("index.group_lower_bound", omega, omega,
-                  [self, out, limits, emit_ptr,
-                   omega](simgpu::BlockContext& ctx) {
-    const int b = ctx.block_id;
-    const std::vector<Emit>& todo = (*emit_ptr)[b];
-    if (todo.empty()) return;
-    const int max_m = todo.back().m;
-    for (long r = 0; r < self->R_; ++r) {
-      double sum_eq = 0.0;
-      double sum_ec = 0.0;
-      std::size_t ptr = 0;
-      for (int j = 0; j < max_m && r - j >= 0; ++j) {
-        const int row = self->PhysicalRow(b + j * omega);
-        sum_eq += self->lbeq_[row][r - j];
-        sum_ec += self->lbec_[row][r - j];
-        while (ptr < todo.size() && todo[ptr].m == j + 1) {
-          const Emit& e = todo[ptr];
-          const long t = (r - j) * static_cast<long>(omega) - e.offset;
-          if (t >= 0 && t <= (*limits)[e.item]) {
-            out->lb_eq[e.item][t] = sum_eq;
-            out->lb_ec[e.item][t] = sum_ec;
+  // The kernel is bound to a named variable first: a `#pragma` cannot
+  // appear inside a macro argument.
+  const simgpu::Kernel group_kernel =
+      [self, out, limits, emit_ptr, omega](simgpu::BlockContext& ctx) {
+        const int b = ctx.block_id;
+        const std::vector<Emit>& todo = (*emit_ptr)[b];
+        if (todo.empty()) return;
+        const int max_m = todo.back().m;
+        const long R = self->R_;
+        std::vector<double> acc_eq(static_cast<std::size_t>(R), 0.0);
+        std::vector<double> acc_ec(static_cast<std::size_t>(R), 0.0);
+        std::size_t ptr = 0;
+        for (int j = 0; j < max_m; ++j) {
+          const int row = self->PhysicalRow(b + j * omega);
+          const double* eq = self->lb_.EqRow(row);
+          const double* ec = self->lb_.EcRow(row);
+          double* aeq = acc_eq.data();
+          double* aec = acc_ec.data();
+#pragma omp simd
+          for (long r = j; r < R; ++r) {
+            aeq[r] += eq[r - j];
+            aec[r] += ec[r - j];
           }
-          ++ptr;
+          while (ptr < todo.size() && todo[ptr].m == j + 1) {
+            const Emit& e = todo[ptr];
+            const long limit = (*limits)[e.item];
+            double* out_eq = out->lb_eq[e.item].data();
+            double* out_ec = out->lb_ec[e.item].data();
+            for (long r = j; r < R; ++r) {
+              const long t = (r - j) * static_cast<long>(omega) - e.offset;
+              if (t >= 0 && t <= limit) {
+                out_eq[t] = aeq[r];
+                out_ec[t] = aec[r];
+              }
+            }
+            ++ptr;
+          }
         }
-      }
-    }
-  });
+      };
+  SMILER_RETURN_NOT_OK(
+      device_->Launch("index.group_lower_bound", omega, omega, group_kernel));
   return table;
 }
 
-LowerBoundTable SmilerIndex::DirectLowerBounds(int reserve_horizon) const {
+Result<LowerBoundTable> SmilerIndex::DirectLowerBounds(
+    int reserve_horizon) const {
   const std::size_t n_items = cfg_.elv.size();
   LowerBoundTable table;
   table.lb_eq.resize(n_items);
@@ -295,25 +348,208 @@ LowerBoundTable SmilerIndex::DirectLowerBounds(int reserve_horizon) const {
   const SmilerIndex* self = this;
   LowerBoundTable* out = &table;
   const int h = reserve_horizon;
-  device_->Launch("index.direct_lower_bound", static_cast<int>(n_items),
-                  cfg_.omega, [self, out, h](simgpu::BlockContext& ctx) {
-                    const std::size_t i = ctx.block_id;
-                    const int d = self->cfg_.elv[i];
-                    const long t_count = self->NumCandidates(i, h);
-                    auto& eq = out->lb_eq[i];
-                    auto& ec = out->lb_ec[i];
-                    eq.assign(std::max<long>(0, t_count), 0.0);
-                    ec.assign(std::max<long>(0, t_count), 0.0);
-                    const double* q =
-                        self->series_.data() + self->series_.size() - d;
-                    const dtw::Envelope env_q =
-                        dtw::ComputeEnvelope(q, d, self->cfg_.rho);
-                    for (long t = 0; t < t_count; ++t) {
-                      eq[t] = dtw::LbKeogh(env_q, self->series_.data() + t, d);
-                      ec[t] = dtw::LbKeoghAligned(self->env_c_, t, q, 0, d);
-                    }
-                  });
+  SMILER_RETURN_NOT_OK(device_->Launch(
+      "index.direct_lower_bound", static_cast<int>(n_items), cfg_.omega,
+      [self, out, h](simgpu::BlockContext& ctx) {
+        const std::size_t i = ctx.block_id;
+        const int d = self->cfg_.elv[i];
+        const long t_count = self->NumCandidates(i, h);
+        auto& eq = out->lb_eq[i];
+        auto& ec = out->lb_ec[i];
+        eq.assign(std::max<long>(0, t_count), 0.0);
+        ec.assign(std::max<long>(0, t_count), 0.0);
+        const double* q = self->series_.data() + self->series_.size() - d;
+        const dtw::Envelope env_q =
+            dtw::ComputeEnvelope(q, d, self->cfg_.rho);
+        for (long t = 0; t < t_count; ++t) {
+          eq[t] = dtw::LbKeogh(env_q, self->series_.data() + t, d);
+          ec[t] = dtw::LbKeoghAligned(self->env_c_, t, q, 0, d);
+        }
+      }));
   return table;
+}
+
+Status SmilerIndex::SearchItem(std::size_t item, const LowerBoundTable& table,
+                               const SuffixSearchOptions& options,
+                               ItemQueryResult* out,
+                               SearchStats* item_stats) {
+  const int d = cfg_.elv[item];
+  const int k = options.k;
+  const long t_count = NumCandidates(item, options.reserve_horizon);
+  out->d = d;
+  if (t_count <= 0) return Status::OK();
+  item_stats->candidates_total += static_cast<std::uint64_t>(t_count);
+
+  const double* q = series_.data() + series_.size() - d;
+
+  // Covers threshold seeding, filtering and exact-DTW verification —
+  // the region charged to verify_seconds below.
+  std::optional<obs::ScopedSpan> verify_span;
+  verify_span.emplace("search.verify");
+  WallTimer timer;
+
+  // --- Threshold seeding (Section 4.3.3, Filtering) ---
+  // Continuous query: re-verify the previous step's kNN. When fewer than
+  // k previous neighbors survive the t < t_count cut (and on the initial
+  // query, where there are none), top the seeds up with the candidates of
+  // smallest lower bound. Either way tau is the k-th smallest verified
+  // distance, a true upper bound on the k-th NN distance, so filtering
+  // stays exact — without the top-up a shrunken seed set would leave tau
+  // silently looser than the k-th distance.
+  std::vector<Neighbor> seeds;
+  std::vector<char> is_seed(t_count, 0);
+  if (options.reuse_previous_threshold && !prev_knn_[item].empty()) {
+    seeds.reserve(prev_knn_[item].size());
+    for (const Neighbor& nb : prev_knn_[item]) {
+      if (nb.t < t_count && !is_seed[nb.t]) {
+        is_seed[nb.t] = 1;
+        seeds.push_back(Neighbor{nb.t, 0.0});
+      }
+    }
+  }
+  if (static_cast<long>(seeds.size()) < std::min<long>(k, t_count)) {
+    std::vector<Neighbor> by_bound;
+    by_bound.reserve(t_count);
+    for (long t = 0; t < t_count; ++t) {
+      if (is_seed[t]) continue;
+      by_bound.push_back(Neighbor{
+          t, table.Bound(options.bound, item, static_cast<std::size_t>(t))});
+    }
+    for (const Neighbor& nb :
+         KSelectSmallest(std::move(by_bound),
+                         k - static_cast<int>(seeds.size()))) {
+      is_seed[nb.t] = 1;
+      seeds.push_back(Neighbor{nb.t, 0.0});
+    }
+  }
+  // Verify seed distances exactly.
+  {
+    std::vector<double> scratch(dtw::CompressedDtwScratchSize(cfg_.rho));
+    for (Neighbor& s : seeds) {
+      s.dist = dtw::CompressedDtw(q, series_.data() + s.t, d, cfg_.rho,
+                                  scratch.data());
+    }
+  }
+  double tau = kInf;
+  std::vector<double> seed_dists;
+  seed_dists.reserve(seeds.size());
+  for (const Neighbor& s : seeds) seed_dists.push_back(s.dist);
+  if (static_cast<int>(seeds.size()) >= k) {
+    std::vector<double> dists = seed_dists;
+    std::nth_element(dists.begin(), dists.begin() + k - 1, dists.end());
+    tau = dists[k - 1];
+  }
+
+  // --- Filtering ---
+  struct Cand {
+    long t;
+    double lb;
+  };
+  std::vector<Cand> cand;
+  for (long t = 0; t < t_count; ++t) {
+    if (is_seed[t]) continue;
+    const double lb =
+        table.Bound(options.bound, item, static_cast<std::size_t>(t));
+    if (lb <= tau) cand.push_back(Cand{t, lb});
+  }
+  // Ascending by lower bound: the most promising candidates are verified
+  // first, so tau tightens as early as possible and the tail of the list
+  // is abandoned or skipped outright.
+  std::sort(cand.begin(), cand.end(), [](const Cand& a, const Cand& b) {
+    if (a.lb != b.lb) return a.lb < b.lb;
+    return a.t < b.t;
+  });
+
+  // --- Verification: compressed-warping-matrix banded DTW on device,
+  // cascade-pruned against a monotonically tightening tau ---
+  std::vector<double> cand_dist(cand.size(), kInf);
+  std::atomic<double> shared_tau{tau};
+  std::atomic<std::uint64_t> abandoned{0};
+  std::atomic<std::uint64_t> pruned_late{0};
+  const int n_blocks =
+      static_cast<int>(std::min<std::size_t>(cand.size(), 64));
+  const SmilerIndex* self = this;
+  const std::vector<Cand>* cand_ptr = &cand;
+  std::vector<double>* dist_ptr = &cand_dist;
+  const std::vector<double>* seed_dists_ptr = &seed_dists;
+  std::atomic<double>* tau_ptr = &shared_tau;
+  std::atomic<std::uint64_t>* abandoned_ptr = &abandoned;
+  std::atomic<std::uint64_t>* pruned_ptr = &pruned_late;
+  if (!cand.empty()) {
+    SMILER_RETURN_NOT_OK(device_->Launch(
+        "index.verify_dtw", n_blocks, cfg_.omega,
+        [self, cand_ptr, dist_ptr, seed_dists_ptr, tau_ptr, abandoned_ptr,
+         pruned_ptr, q, d, k](simgpu::BlockContext& ctx) {
+          // The query and the compressed warping matrix live in shared
+          // memory (Appendix E / Algorithm 2).
+          double* shq = ctx.shared->Alloc<double>(d);
+          std::memcpy(shq, q, sizeof(double) * d);
+          double* scratch = ctx.shared->Alloc<double>(
+              dtw::CompressedDtwScratchSize(self->cfg_.rho));
+          // Block-local top-k of true distances (seeds plus what this
+          // block verified). Its k-th smallest is the k-th best of a
+          // subset of real candidates, hence a valid upper bound on the
+          // k-th NN distance — each block can therefore tighten the
+          // shared tau with a plain atomic min, no coordination needed.
+          std::priority_queue<double> topk(seed_dists_ptr->begin(),
+                                           seed_dists_ptr->end());
+          for (std::size_t idx = ctx.block_id; idx < cand_ptr->size();
+               idx += ctx.grid_dim) {
+            const Cand& c = (*cand_ptr)[idx];
+            const double tau_now =
+                tau_ptr->load(std::memory_order_relaxed);
+            if (c.lb > tau_now) {
+              // tau tightened below this candidate's bound after the
+              // static filter ran: its distance can no longer make the
+              // top k, skip the DTW entirely.
+              pruned_ptr->fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            const double dist = dtw::CompressedDtwEarlyAbandon(
+                shq, self->series_.data() + c.t, d, self->cfg_.rho, tau_now,
+                scratch);
+            if (dist == kInf) {
+              abandoned_ptr->fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            (*dist_ptr)[idx] = dist;
+            if (static_cast<int>(topk.size()) < k) {
+              topk.push(dist);
+            } else if (dist < topk.top()) {
+              topk.pop();
+              topk.push(dist);
+            }
+            if (static_cast<int>(topk.size()) >= k) {
+              AtomicMinDouble(tau_ptr, topk.top());
+            }
+          }
+        }));
+  }
+  const std::uint64_t n_pruned_late =
+      pruned_late.load(std::memory_order_relaxed);
+  item_stats->candidates_verified +=
+      static_cast<std::uint64_t>(cand.size() + seeds.size()) - n_pruned_late;
+  item_stats->candidates_abandoned +=
+      abandoned.load(std::memory_order_relaxed);
+  item_stats->candidates_pruned_late += n_pruned_late;
+  item_stats->verify_seconds += timer.ElapsedSeconds();
+  verify_span.reset();
+
+  // --- Selection: distributive-partitioning k-selection ---
+  // Abandoned or late-pruned candidates carry dist = +inf: both provably
+  // exceed the final k-th distance, so they can never displace a true
+  // neighbor (KSelectSmallest handles infinities).
+  timer.Reset();
+  SMILER_TRACE_SPAN("search.select");
+  std::vector<Neighbor> all = std::move(seeds);
+  all.reserve(all.size() + cand.size());
+  for (std::size_t idx = 0; idx < cand.size(); ++idx) {
+    all.push_back(Neighbor{cand[idx].t, cand_dist[idx]});
+  }
+  out->neighbors = KSelectSmallest(std::move(all), k);
+  prev_knn_[item] = out->neighbors;
+  item_stats->select_seconds += timer.ElapsedSeconds();
+  return Status::OK();
 }
 
 Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
@@ -331,7 +567,7 @@ Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
   LowerBoundTable table;
   {
     SMILER_TRACE_SPAN("search.lower_bound");
-    table = GroupLowerBounds(options.reserve_horizon);
+    SMILER_ASSIGN_OR_RETURN(table, GroupLowerBounds(options.reserve_horizon));
   }
   local_stats.lower_bound_seconds = timer.ElapsedSeconds();
 
@@ -339,111 +575,20 @@ Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
   SuffixKnnResult result;
   result.items.resize(n_items);
 
+  // Item queries are independent (disjoint result slots, disjoint
+  // prev_knn_ entries, read-only index state): fan them out over the
+  // pool and merge their stats afterwards. Device launches issued from
+  // inside a pool worker degrade to sequential block execution, so the
+  // nested verify kernels stay deadlock-free.
+  std::vector<SearchStats> item_stats(n_items);
+  std::vector<Status> item_status(n_items);
+  ThreadPool::Default().ParallelFor(n_items, [&](std::size_t i) {
+    item_status[i] =
+        SearchItem(i, table, options, &result.items[i], &item_stats[i]);
+  });
   for (std::size_t i = 0; i < n_items; ++i) {
-    const int d = cfg_.elv[i];
-    const long t_count = NumCandidates(i, options.reserve_horizon);
-    result.items[i].d = d;
-    if (t_count <= 0) continue;
-    local_stats.candidates_total += static_cast<std::uint64_t>(t_count);
-
-    const double* q = series_.data() + series_.size() - d;
-
-    // Covers threshold seeding, filtering and exact-DTW verification —
-    // the region charged to verify_seconds below.
-    std::optional<obs::ScopedSpan> verify_span;
-    verify_span.emplace("search.verify");
-
-    // --- Threshold seeding (Section 4.3.3, Filtering) ---
-    // Initial query: verify the k candidates with the smallest lower
-    // bounds. Continuous query: re-verify the previous step's kNN. Either
-    // way tau is the k-th smallest verified distance, a true upper bound
-    // on the k-th NN distance, so filtering stays exact.
-    std::vector<Neighbor> seeds;
-    timer.Reset();
-    if (options.reuse_previous_threshold && !prev_knn_[i].empty()) {
-      seeds.reserve(prev_knn_[i].size());
-      for (const Neighbor& nb : prev_knn_[i]) {
-        if (nb.t < t_count) seeds.push_back(Neighbor{nb.t, 0.0});
-      }
-    } else {
-      std::vector<Neighbor> by_bound;
-      by_bound.reserve(t_count);
-      for (long t = 0; t < t_count; ++t) {
-        by_bound.push_back(Neighbor{
-            t, table.Bound(options.bound, i, static_cast<std::size_t>(t))});
-      }
-      seeds = KSelectSmallest(std::move(by_bound), options.k);
-    }
-    // Verify seed distances exactly.
-    {
-      std::vector<double> scratch(dtw::CompressedDtwScratchSize(cfg_.rho));
-      for (Neighbor& s : seeds) {
-        s.dist = dtw::CompressedDtw(q, series_.data() + s.t, d, cfg_.rho,
-                                    scratch.data());
-      }
-    }
-    double tau = kInf;
-    if (static_cast<int>(seeds.size()) >= options.k) {
-      std::vector<double> dists;
-      dists.reserve(seeds.size());
-      for (const Neighbor& s : seeds) dists.push_back(s.dist);
-      std::nth_element(dists.begin(), dists.begin() + options.k - 1,
-                       dists.end());
-      tau = dists[options.k - 1];
-    }
-
-    // --- Filtering ---
-    std::vector<char> is_seed(t_count, 0);
-    for (const Neighbor& s : seeds) is_seed[s.t] = 1;
-    std::vector<long> cand;
-    for (long t = 0; t < t_count; ++t) {
-      if (is_seed[t]) continue;
-      if (table.Bound(options.bound, i, static_cast<std::size_t>(t)) <= tau) {
-        cand.push_back(t);
-      }
-    }
-    local_stats.candidates_verified +=
-        static_cast<std::uint64_t>(cand.size() + seeds.size());
-
-    // --- Verification: compressed-warping-matrix banded DTW on device ---
-    std::vector<double> cand_dist(cand.size(), 0.0);
-    const int n_blocks =
-        static_cast<int>(std::min<std::size_t>(cand.size(), 64));
-    const SmilerIndex* self = this;
-    const std::vector<long>* cand_ptr = &cand;
-    std::vector<double>* dist_ptr = &cand_dist;
-    if (!cand.empty()) {
-      device_->Launch(
-          "index.verify_dtw", n_blocks, cfg_.omega,
-          [self, cand_ptr, dist_ptr, q, d](simgpu::BlockContext& ctx) {
-            // The query and the compressed warping matrix live in shared
-            // memory (Appendix E / Algorithm 2).
-            double* shq = ctx.shared->Alloc<double>(d);
-            std::memcpy(shq, q, sizeof(double) * d);
-            double* scratch = ctx.shared->Alloc<double>(
-                dtw::CompressedDtwScratchSize(self->cfg_.rho));
-            for (std::size_t idx = ctx.block_id; idx < cand_ptr->size();
-                 idx += ctx.grid_dim) {
-              (*dist_ptr)[idx] = dtw::CompressedDtw(
-                  shq, self->series_.data() + (*cand_ptr)[idx], d,
-                  self->cfg_.rho, scratch);
-            }
-          });
-    }
-    local_stats.verify_seconds += timer.ElapsedSeconds();
-    verify_span.reset();
-
-    // --- Selection: distributive-partitioning k-selection ---
-    timer.Reset();
-    SMILER_TRACE_SPAN("search.select");
-    std::vector<Neighbor> all = std::move(seeds);
-    all.reserve(all.size() + cand.size());
-    for (std::size_t idx = 0; idx < cand.size(); ++idx) {
-      all.push_back(Neighbor{cand[idx], cand_dist[idx]});
-    }
-    result.items[i].neighbors = KSelectSmallest(std::move(all), options.k);
-    prev_knn_[i] = result.items[i].neighbors;
-    local_stats.select_seconds += timer.ElapsedSeconds();
+    SMILER_RETURN_NOT_OK(item_status[i]);
+    local_stats.Add(item_stats[i]);
   }
 
   local_stats.Publish();
@@ -455,8 +600,7 @@ Status SmilerIndex::UpdateMemoryAccounting() {
   std::size_t bytes = series_.size() * sizeof(double);
   bytes += (env_c_.upper.size() + env_c_.lower.size()) * sizeof(double);
   bytes += (env_mq_.upper.size() + env_mq_.lower.size()) * sizeof(double);
-  bytes += static_cast<std::size_t>(S_) * static_cast<std::size_t>(R_) * 2 *
-           sizeof(double);
+  bytes += lb_.AllocatedBytes();
   if (bytes > accounted_bytes_) {
     SMILER_RETURN_NOT_OK(device_->AllocateBytes(bytes - accounted_bytes_));
   } else {

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "dtw/envelope.h"
 #include "index/knn_result.h"
+#include "index/lb_arena.h"
 #include "simgpu/device.h"
 #include "ts/series.h"
 
@@ -110,12 +111,14 @@ class SmilerIndex {
 
   /// \brief Group-level pass alone: lower bounds for every item query and
   /// candidate via the two-level index (the "SMiLer-Idx" side of Fig 8).
-  LowerBoundTable GroupLowerBounds(int reserve_horizon) const;
+  /// Fails when the device rejects the kernel launch (a failure here must
+  /// surface instead of silently yielding all-zero bounds).
+  Result<LowerBoundTable> GroupLowerBounds(int reserve_horizon) const;
 
   /// \brief The strawman of Fig 8 ("SMiLer-Dir"): computes
   /// LBen(IQ_i, C_{t,d_i}) directly from full-length envelopes for every
   /// item query and candidate, without the window-level index.
-  LowerBoundTable DirectLowerBounds(int reserve_horizon) const;
+  Result<LowerBoundTable> DirectLowerBounds(int reserve_horizon) const;
 
   /// Number of valid candidate segments for ELV entry \p i under
   /// \p reserve_horizon (0 when the history is too short).
@@ -150,13 +153,21 @@ class SmilerIndex {
   /// \p eq_only skips the LBEC half (used by the Remark-1 refresh where
   /// only the query envelope changed).
   void ComputeRow(int logical_b, bool eq_only);
-  /// Recomputes column \p r of every row's LBEC half (candidate-envelope
-  /// entries change when appends perturb the tail of env_c_).
-  void RecomputeLbecColumn(long r);
-  /// Computes both halves of column \p r for every row (new DW).
-  void ComputeNewColumn(long r);
-  /// Refreshes env_mq_ from the current master query.
+  /// Recomputes column \p r of row \p logical_b's LBEC half
+  /// (candidate-envelope entries change when appends perturb the tail of
+  /// env_c_). \p both also refreshes the LBEQ half (new DW columns).
+  void ComputeColumnEntry(int logical_b, long r, bool both);
+  /// Recomputes env_mq_ from the current master query from scratch.
   void RefreshMqEnvelope();
+  /// Shifts env_mq_ one step after an append and repairs only the
+  /// boundary-clamped head and the new-point tail (interior entries of the
+  /// shifted window cover identical series values, so they move verbatim).
+  void ShiftMqEnvelope();
+  /// Filter -> sorted verify -> select for one ELV entry (the body of the
+  /// per-item parallel loop in Search).
+  Status SearchItem(std::size_t item, const LowerBoundTable& table,
+                    const SuffixSearchOptions& options,
+                    ItemQueryResult* out, SearchStats* item_stats);
   /// Re-charges the device with the current footprint delta.
   Status UpdateMemoryAccounting();
 
@@ -169,9 +180,9 @@ class SmilerIndex {
   int S_ = 0;   // sliding windows per master query
   long R_ = 0;  // complete disjoint windows
   int head_ = 0;  // physical row of logical SW_0
-  // Posting lists: [physical row][disjoint window r].
-  std::vector<std::vector<double>> lbeq_;
-  std::vector<std::vector<double>> lbec_;
+  // Posting lists: one flat row-major arena holding both the LBEQ and
+  // LBEC halves, indexed by physical row.
+  LbArena lb_;
   // Previous step's kNN per item query (threshold reuse).
   std::vector<std::vector<Neighbor>> prev_knn_;
   std::size_t accounted_bytes_ = 0;

@@ -81,10 +81,12 @@ struct BlockContext {
 /// A kernel is invoked once per block.
 using Kernel = std::function<void(BlockContext&)>;
 
-/// \brief Counters describing the work a Device has executed.
+/// \brief Counters describing the work a Device has executed. Atomic
+/// because independent host threads may Launch concurrently (e.g. the
+/// per-item-query fan-out in SmilerIndex::Search).
 struct DeviceStats {
-  std::uint64_t kernels_launched = 0;
-  std::uint64_t blocks_executed = 0;
+  std::atomic<std::uint64_t> kernels_launched{0};
+  std::atomic<std::uint64_t> blocks_executed{0};
 };
 
 /// \brief Simulated GPU device: launches grids of blocks over a CPU thread
@@ -137,7 +139,10 @@ class Device {
   std::size_t shared_memory_bytes() const { return shared_bytes_; }
 
   const DeviceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DeviceStats{}; }
+  void ResetStats() {
+    stats_.kernels_launched.store(0);
+    stats_.blocks_executed.store(0);
+  }
 
  private:
   std::size_t budget_;

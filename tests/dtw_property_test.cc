@@ -144,6 +144,44 @@ TEST(DtwPropertyTest, EarlyAbandonMonotoneInCutoff) {
   }
 }
 
+TEST(DtwPropertyTest, CompressedEarlyAbandonExactnessContract) {
+  // The cutoff-taking CompressedDtw variant used by the verify kernel
+  // promises: whenever the true distance is <= cutoff it returns a value
+  // bitwise-identical to the non-abandoning kernel, and whenever it
+  // abandons it returns +inf and the true distance provably exceeds the
+  // cutoff. Sweep random series, band widths and cutoffs on both sides of
+  // the exact distance.
+  Rng rng(306);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 8 + static_cast<int>(rng.UniformInt(90));
+    const int rho = static_cast<int>(rng.UniformInt(12));
+    std::vector<double> q(n);
+    std::vector<double> c(n);
+    for (int i = 0; i < n; ++i) {
+      q[i] = rng.Normal();
+      c[i] = std::sin(2 * M_PI * i / 16.0) + 0.5 * rng.Normal();
+    }
+    std::vector<double> scratch(CompressedDtwScratchSize(rho));
+    const double exact = CompressedDtw(q.data(), c.data(), n, rho);
+    for (double f : {0.0, 0.3, 0.7, 0.999, 1.0, 1.001, 1.5, 3.0}) {
+      const double cutoff = exact * f;
+      const double got = CompressedDtwEarlyAbandon(q.data(), c.data(), n,
+                                                   rho, cutoff,
+                                                   scratch.data());
+      if (exact <= cutoff) {
+        // Must complete and agree bit-for-bit with the full kernel.
+        ASSERT_EQ(got, exact) << "n=" << n << " rho=" << rho << " f=" << f;
+      } else {
+        // Either it completed (same value) or abandoned (+inf); in both
+        // cases the returned value is >= the true distance > cutoff.
+        ASSERT_TRUE(got == exact || got == kInf)
+            << "n=" << n << " rho=" << rho << " f=" << f << " got=" << got;
+        ASSERT_GT(got, cutoff);
+      }
+    }
+  }
+}
+
 TEST(DtwPropertyTest, ConstantSeriesDistanceIsScaledOffset) {
   // Two constant series: every alignment costs the same; DTW = d * diff^2.
   std::vector<double> a(40, 1.0);

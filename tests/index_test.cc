@@ -232,7 +232,9 @@ TEST(SmilerIndexTest, GroupBoundsAreValidLowerBounds) {
   auto idx = SmilerIndex::Build(&device, s, cfg);
   ASSERT_TRUE(idx.ok());
   const int h = 1;
-  LowerBoundTable table = idx->GroupLowerBounds(h);
+  auto table_or = idx->GroupLowerBounds(h);
+  ASSERT_TRUE(table_or.ok());
+  LowerBoundTable table = std::move(*table_or);
   const std::vector<double>& series = idx->series();
   for (std::size_t i = 0; i < cfg.elv.size(); ++i) {
     const int d = cfg.elv[i];
@@ -258,7 +260,9 @@ TEST(SmilerIndexTest, GroupBoundsStayValidAcrossAppends) {
   ASSERT_TRUE(idx.ok());
   for (int step = 0; step < 40; ++step) {
     ASSERT_TRUE(idx->Append(rng.Normal()).ok());
-    LowerBoundTable table = idx->GroupLowerBounds(1);
+    auto table_or = idx->GroupLowerBounds(1);
+    ASSERT_TRUE(table_or.ok());
+    LowerBoundTable table = std::move(*table_or);
     const std::vector<double>& series = idx->series();
     for (std::size_t i = 0; i < cfg.elv.size(); ++i) {
       const int d = cfg.elv[i];
@@ -281,8 +285,12 @@ TEST(SmilerIndexTest, DirectBoundsAreValidAndTighterOrEqual) {
   ts::TimeSeries s("t", RandomWalk(&rng, 400));
   auto idx = SmilerIndex::Build(&device, s, cfg);
   ASSERT_TRUE(idx.ok());
-  LowerBoundTable direct = idx->DirectLowerBounds(1);
-  LowerBoundTable grouped = idx->GroupLowerBounds(1);
+  auto direct_or = idx->DirectLowerBounds(1);
+  auto grouped_or = idx->GroupLowerBounds(1);
+  ASSERT_TRUE(direct_or.ok());
+  ASSERT_TRUE(grouped_or.ok());
+  LowerBoundTable direct = std::move(*direct_or);
+  LowerBoundTable grouped = std::move(*grouped_or);
   const std::vector<double>& series = idx->series();
   for (std::size_t i = 0; i < cfg.elv.size(); ++i) {
     const int d = cfg.elv[i];
@@ -467,7 +475,9 @@ TEST(SmilerIndexTest, GroupBoundsMatchManualShiftSum) {
   ts::TimeSeries s("t", RandomWalk(&rng, 350));
   auto idx = SmilerIndex::Build(&device, s, cfg);
   ASSERT_TRUE(idx.ok());
-  LowerBoundTable table = idx->GroupLowerBounds(1);
+  auto table_or = idx->GroupLowerBounds(1);
+  ASSERT_TRUE(table_or.ok());
+  LowerBoundTable table = std::move(*table_or);
 
   const std::vector<double>& series = idx->series();
   const int omega = cfg.omega;
