@@ -1,0 +1,169 @@
+// Serving-layer throughput/latency on the Fig-12 continuous-prediction
+// workload: every sensor takes one Predict + one Observe per step.
+//
+// Two phases over identical data and engine configuration:
+//   baseline  the pre-serve driving loop — a single caller thread stepping
+//             MultiSensorManager::PredictAll / ObserveAll
+//   serve     the sharded PredictionServer under closed-loop clients
+//             (one blocking Predict+Observe stream per client)
+//
+// Emits a JSON report (throughput plus p50/p99 request latency from the
+// serve.latency_seconds histogram) to --out <path>, or stdout when the
+// flag is absent. scripts/bench_regression.sh distils this into
+// BENCH_serve.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smiler;
+  using namespace smiler::bench;
+  InitObsFlags(argc, argv);
+  std::string out_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+
+  const BenchScale scale = GetScale();
+  const SmilerConfig cfg = PaperConfig();
+  const int warmup = scale.points - scale.predict_steps - 32;
+  const int steps = scale.predict_steps;
+  auto sensors = MakeBenchDataset(ts::DatasetKind::kMall, scale);
+
+  auto make_manager = [&]() {
+    std::vector<ts::TimeSeries> histories;
+    for (const auto& s : sensors) {
+      histories.emplace_back(
+          s.sensor_id(),
+          std::vector<double>(s.values().begin(), s.values().begin() + warmup));
+    }
+    static simgpu::Device device;  // engines of both phases charge here
+    return core::MultiSensorManager::Create(&device, histories, cfg,
+                                            core::PredictorKind::kAr);
+  };
+
+  PrintHeader("serve: Fig-12 workload, SMiLer-AR");
+  std::printf("sensors=%d warmup=%d steps=%d\n", scale.sensors, warmup, steps);
+
+  // ---- baseline: single caller thread over the manager fan-out ----
+  auto baseline_manager = make_manager();
+  if (!baseline_manager.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 baseline_manager.status().ToString().c_str());
+    return 1;
+  }
+  const auto base_t0 = Clock::now();
+  std::vector<predictors::Prediction> preds;
+  for (int step = 0; step < steps; ++step) {
+    if (!baseline_manager->PredictAll(&preds).ok()) return 1;
+    std::vector<double> values(sensors.size());
+    for (std::size_t s = 0; s < sensors.size(); ++s) {
+      values[s] = sensors[s].values()[warmup + step];
+    }
+    if (!baseline_manager->ObserveAll(values).ok()) return 1;
+  }
+  const double base_seconds = SecondsSince(base_t0);
+  const double base_requests =
+      2.0 * static_cast<double>(steps) * static_cast<double>(sensors.size());
+  std::printf("baseline  %8.0f req/s  (%.3fs, single caller thread)\n",
+              base_requests / base_seconds, base_seconds);
+
+  // ---- serve: sharded server under closed-loop clients ----
+  auto serve_manager = make_manager();
+  if (!serve_manager.ok()) return 1;
+  serve::ServerOptions options;
+  options.num_shards = 4;
+  options.queue_capacity = 1024;
+  auto server =
+      serve::PredictionServer::Create(std::move(*serve_manager), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server create failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  obs::Registry::Global().ResetAll();  // isolate the serve measurement
+
+  const int num_clients =
+      static_cast<int>(std::min<std::size_t>(4, sensors.size()));
+  const auto serve_t0 = Clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int step = 0; step < steps; ++step) {
+        for (std::size_t s = c; s < sensors.size();
+             s += static_cast<std::size_t>(num_clients)) {
+          if (!(*server)->Predict(s).ok()) return;
+          if (!(*server)->Observe(s, sensors[s].values()[warmup + step]).ok())
+            return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double serve_seconds = SecondsSince(serve_t0);
+  (*server)->Shutdown();
+
+  const auto lat =
+      obs::Registry::Global().GetHistogram("serve.latency_seconds").Snap();
+  const double serve_requests = static_cast<double>(lat.count);
+  std::printf(
+      "serve     %8.0f req/s  (%.3fs, %d shards, %d clients)  "
+      "p50=%.1fus p99=%.1fus\n",
+      serve_requests / serve_seconds, serve_seconds, (*server)->num_shards(),
+      num_clients, lat.p50 * 1e6, lat.p99 * 1e6);
+
+  const std::string json =
+      std::string("{\n") +
+      "  \"workload\": \"bench_serve fig12 SMiLer-AR\",\n" +
+      "  \"sensors\": " + std::to_string(scale.sensors) + ",\n" +
+      "  \"steps\": " + std::to_string(steps) + ",\n" +
+      "  \"serve\": {\n" +
+      "    \"num_shards\": " + std::to_string((*server)->num_shards()) +
+      ",\n" +
+      "    \"clients\": " + std::to_string(num_clients) + ",\n" +
+      "    \"requests\": " + std::to_string(lat.count) + ",\n" +
+      "    \"throughput_req_per_s\": " +
+      std::to_string(serve_requests / serve_seconds) + ",\n" +
+      "    \"latency_p50_seconds\": " + std::to_string(lat.p50) + ",\n" +
+      "    \"latency_p99_seconds\": " + std::to_string(lat.p99) + "\n" +
+      "  },\n" +
+      "  \"baseline_single_thread_manager_loop\": {\n" +
+      "    \"requests\": " +
+      std::to_string(static_cast<long>(base_requests)) + ",\n" +
+      "    \"throughput_req_per_s\": " +
+      std::to_string(base_requests / base_seconds) + "\n" +
+      "  }\n" +
+      "}\n";
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Multi-tenant prediction service with warm restart.
+//
+// Phase 1: a PredictionServer shards a fleet of sensors across workers
+// while closed-loop client threads drive mixed Predict/Observe traffic
+// with per-request deadlines. Mid-run, the fleet is checkpointed to disk
+// without stopping the clients.
+//
+// Phase 2: the server is torn down ("crash") and a new one is restored
+// from the checkpoint — it resumes predicting immediately, no re-indexing
+// and no history replay.
+//
+//   ./examples/smiler_serve [num_sensors] [steps_per_client]
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/smiler.h"
+#include "obs/metrics.h"
+#include "serve/checkpoint.h"
+#include "serve/server.h"
+
+int main(int argc, char** argv) {
+  using namespace smiler;
+  const int num_sensors = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int steps = argc > 2 ? std::atoi(argv[2]) : 60;
+  const std::string ckpt_path = "/tmp/smiler_serve_example.ckpt";
+
+  auto dataset = ts::MakeDataset({ts::DatasetKind::kRoad, num_sensors,
+                                  /*points_per_sensor=*/4000,
+                                  /*samples_per_day=*/96, /*seed=*/7,
+                                  /*znormalize=*/true});
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::size_t warmup = (*dataset)[0].size() - steps;
+  std::vector<ts::TimeSeries> histories;
+  for (const auto& s : *dataset) {
+    histories.emplace_back(s.sensor_id(),
+                           std::vector<double>(s.values().begin(),
+                                               s.values().begin() + warmup));
+  }
+
+  simgpu::Device device;
+  SmilerConfig config;
+  auto manager = core::MultiSensorManager::Create(
+      &device, histories, config, core::PredictorKind::kAr);
+  if (!manager.ok()) {
+    std::fprintf(stderr, "manager: %s\n", manager.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServerOptions options;
+  options.num_shards = 4;
+  options.queue_capacity = 256;
+  auto server = serve::PredictionServer::Create(std::move(*manager), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %d sensors on %d shards\n", num_sensors,
+              (*server)->num_shards());
+
+  // ---- phase 1: closed-loop clients, checkpoint taken mid-run ----
+  const int num_clients = 4;
+  std::atomic<long> ok{0}, rejected{0}, shed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int step = 0; step < steps; ++step) {
+        for (std::size_t s = c; s < static_cast<std::size_t>(num_sensors);
+             s += num_clients) {
+          const auto deadline = serve::Clock::now() +
+                                std::chrono::milliseconds(250);
+          auto pred = (*server)->Predict(s, deadline);
+          if (pred.ok()) {
+            ok.fetch_add(1);
+          } else if (pred.status().code() == StatusCode::kResourceExhausted) {
+            rejected.fetch_add(1);
+          } else if (pred.status().code() == StatusCode::kDeadlineExceeded) {
+            shed.fetch_add(1);
+          }
+          const double truth = (*dataset)[s].values()[warmup + step];
+          if ((*server)->Observe(s, truth, deadline).ok()) ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Checkpoint while traffic is flowing: shards quiesce one at a time at
+  // batch boundaries, serialization runs off the shard workers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Status saved = (*server)->SaveCheckpoint(ckpt_path);
+  std::printf("mid-run checkpoint: %s\n", saved.ToString().c_str());
+  for (auto& t : clients) t.join();
+  std::printf("traffic done: ok=%ld rejected=%ld deadline_shed=%ld\n",
+              ok.load(), rejected.load(), shed.load());
+
+  const auto lat =
+      obs::Registry::Global().GetHistogram("serve.latency_seconds").Snap();
+  std::printf("latency p50=%.1fus p99=%.1fus over %llu requests\n",
+              lat.p50 * 1e6, lat.p99 * 1e6,
+              static_cast<unsigned long long>(lat.count));
+  (*server)->Shutdown();  // "crash"
+
+  // ---- phase 2: warm restart from the checkpoint ----
+  if (!saved.ok()) return 1;
+  auto snapshots = serve::Checkpoint::Load(ckpt_path);
+  if (!snapshots.ok()) {
+    std::fprintf(stderr, "load: %s\n",
+                 snapshots.status().ToString().c_str());
+    return 1;
+  }
+  simgpu::Device device2;
+  std::vector<core::SensorEngine> engines;
+  for (const auto& snap : *snapshots) {
+    auto engine = core::SensorEngine::Restore(&device2, snap);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "restore: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    engines.push_back(std::move(*engine));
+  }
+  auto restored = core::MultiSensorManager::Adopt(std::move(engines));
+  if (!restored.ok()) return 1;
+  auto server2 =
+      serve::PredictionServer::Create(std::move(*restored), options);
+  if (!server2.ok()) return 1;
+  std::printf("restored %zu engines from %s — predictions resume:\n",
+              snapshots->size(), ckpt_path.c_str());
+  for (std::size_t s = 0; s < 3 && s < (*server2)->num_sensors(); ++s) {
+    auto pred = (*server2)->Predict(s);
+    if (pred.ok()) {
+      std::printf("  sensor %zu: mean=%+.3f var=%.3f\n", s, pred->mean,
+                  pred->variance);
+    }
+  }
+  std::remove(ckpt_path.c_str());
+  return 0;
+}

@@ -15,7 +15,13 @@
 # verify/append wall time, and the early-abandon/late-prune split of the
 # cascade (counts are deterministic; wall times are machine-dependent).
 #
-#   scripts/bench_regression.sh            # writes ./BENCH_{la,index}.json
+# Stage 3 (serving layer): runs the Fig-12 continuous-prediction workload
+# through the sharded PredictionServer under closed-loop clients and
+# writes BENCH_serve.json — throughput and p50/p99 request latency, with
+# the pre-serve single-caller manager loop re-measured in the same run as
+# the embedded baseline.
+#
+#   scripts/bench_regression.sh            # writes ./BENCH_{la,index,serve}.json
 #   scripts/bench_regression.sh /tmp/out   # writes them under /tmp/out
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,7 +32,7 @@ trap 'rm -rf "$WORK"' EXIT
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_micro_kernels bench_table4_running_time \
-  bench_fig07_knn_search >/dev/null
+  bench_fig07_knn_search bench_serve >/dev/null
 
 echo "== micro kernels (paired vs la::reference) =="
 ./build/bench/bench_micro_kernels \
@@ -162,3 +168,10 @@ if vs:
           f"(baseline {base['verify_seconds_sum']:.3f})")
 print(f"wrote {out_path}")
 PY
+
+echo "== serving layer (Fig-12 workload through PredictionServer) =="
+# bench_serve measures the sharded server under closed-loop clients and
+# re-measures the pre-serve single-caller manager loop in the same run as
+# the embedded baseline, then writes the JSON itself.
+SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" \
+  ./build/bench/bench_serve --out "$OUT_DIR/BENCH_serve.json"

@@ -41,6 +41,13 @@ ctest --test-dir build-tsan \
   -R 'ObsConcurrencyTest|IndexEquivalenceTest|IndexStressTest' \
   --output-on-failure
 
+echo "== serve soak under ThreadSanitizer =="
+# The serving layer's racy surface: concurrent clients against the
+# bounded shard queues, admission-control rejections under flood, the
+# mid-run snapshot barrier, and checkpoint IO on the shared thread pool.
+cmake --build build-tsan -j --target serve_soak_test >/dev/null
+ctest --test-dir build-tsan -R 'ServeSoakTest' --output-on-failure
+
 echo "== la property tests under ASan+UBSan =="
 cmake -B build-asan -S . \
   -DSMILER_ENABLE_ASAN=ON \

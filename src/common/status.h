@@ -23,6 +23,7 @@ enum class StatusCode {
   kResourceExhausted,
   kNotImplemented,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a human readable name for a status code ("OK",
@@ -70,6 +71,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -81,6 +81,17 @@ struct ForState {
 
 }  // namespace
 
+void ThreadPool::Submit(std::function<void()> task) {
+  static obs::Counter& submitted =
+      obs::Registry::Global().GetCounter("threadpool.submitted");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  submitted.Increment();
+  cv_.notify_one();
+}
+
 void ThreadPool::ParallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;

@@ -34,6 +34,15 @@ class ThreadPool {
   /// Must not be called re-entrantly from inside a pool task.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Fire-and-forget task submission (serve-layer background work:
+  /// checkpoint serialization, deferred IO). The task runs on some worker
+  /// at an unspecified time; Submit never blocks on task execution and is
+  /// safe to call concurrently with ParallelFor (both feed the same
+  /// queue). Shutdown drains: every task submitted before the destructor
+  /// runs is executed before the workers join. Submitting from inside a
+  /// pool task is allowed (the task is simply enqueued).
+  void Submit(std::function<void()> task);
+
   /// Returns the process-wide default pool (hardware concurrency workers).
   static ThreadPool& Default();
 

@@ -49,6 +49,61 @@ Result<SensorEngine> SensorEngine::Create(simgpu::Device* device,
   return SensorEngine(std::move(cfg), kind, std::move(index));
 }
 
+EngineSnapshot SensorEngine::Snapshot() const {
+  EngineSnapshot snap;
+  snap.config = cfg_;
+  snap.kind = kind_;
+  snap.index = index_.Snapshot();
+  snap.ensemble = ensemble_.ExportState();
+  snap.gp_kernels.reserve(gp_cells_.size());
+  for (const predictors::GpCellPredictor& cell : gp_cells_) {
+    if (cell.kernel().has_value()) {
+      snap.gp_kernels.push_back(cell.kernel()->log_params());
+    } else {
+      snap.gp_kernels.push_back(std::nullopt);
+    }
+  }
+  snap.pending.reserve(pending_.size());
+  for (const PendingForecast& p : pending_) {
+    snap.pending.push_back(
+        EngineSnapshot::PendingForecast{p.target_time, p.grid, p.raw});
+  }
+  return snap;
+}
+
+Result<SensorEngine> SensorEngine::Restore(simgpu::Device* device,
+                                           const EngineSnapshot& snapshot) {
+  const SmilerConfig& cfg = snapshot.config;
+  if (!cfg.use_ensemble && (cfg.ekv.size() > 1 || cfg.elv.size() > 1)) {
+    return Status::InvalidArgument(
+        "use_ensemble == false requires singleton EKV and ELV");
+  }
+  SMILER_ASSIGN_OR_RETURN(
+      index::SmilerIndex index,
+      index::SmilerIndex::Restore(device, cfg, snapshot.index));
+  SensorEngine engine(cfg, snapshot.kind, std::move(index));
+  SMILER_RETURN_NOT_OK(engine.ensemble_.RestoreState(snapshot.ensemble));
+  if (snapshot.gp_kernels.size() != engine.gp_cells_.size()) {
+    return Status::InvalidArgument("snapshot GP cell count mismatch");
+  }
+  for (std::size_t i = 0; i < snapshot.gp_kernels.size(); ++i) {
+    if (snapshot.gp_kernels[i].has_value()) {
+      engine.gp_cells_[i].RestoreKernel(gp::SeKernel(
+          (*snapshot.gp_kernels[i])[0], (*snapshot.gp_kernels[i])[1],
+          (*snapshot.gp_kernels[i])[2]));
+    }
+  }
+  const int rows = static_cast<int>(cfg.ekv.size());
+  const int cols = static_cast<int>(cfg.elv.size());
+  for (const EngineSnapshot::PendingForecast& p : snapshot.pending) {
+    if (p.grid.rows != rows || p.grid.cols != cols) {
+      return Status::InvalidArgument("snapshot pending-grid shape mismatch");
+    }
+    engine.pending_.push_back(PendingForecast{p.target_time, p.grid, p.raw});
+  }
+  return engine;
+}
+
 Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
   SMILER_TRACE_SPAN("engine.predict");
   static obs::Counter& predictions =

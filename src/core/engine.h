@@ -1,7 +1,9 @@
 #ifndef SMILER_CORE_ENGINE_H_
 #define SMILER_CORE_ENGINE_H_
 
+#include <array>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "common/config.h"
@@ -43,6 +45,32 @@ struct EngineStats {
   }
 };
 
+/// \brief Complete serializable state of one SensorEngine — everything a
+/// restarted process needs to resume continuous prediction without
+/// replaying history or re-indexing.
+///
+/// Captures the configuration, the full index state (ring buffer,
+/// envelopes, posting-list arena, threshold seeds), the ensemble's
+/// adaptive weights, every GP cell's warm-start kernel, and the pending
+/// (unresolved) forecasts. `serve::Checkpoint` serializes this struct to
+/// the versioned on-disk format; a SensorEngine restored from it predicts
+/// bitwise-identically to one that never restarted.
+struct EngineSnapshot {
+  SmilerConfig config;
+  PredictorKind kind = PredictorKind::kGp;
+  index::IndexSnapshot index;
+  predictors::Ensemble::State ensemble;
+  /// Warm-start kernel log-hyperparameters per ensemble cell (row-major
+  /// |EKV| x |ELV|); nullopt = the cell has not trained yet.
+  std::vector<std::optional<std::array<double, 3>>> gp_kernels;
+  struct PendingForecast {
+    long target_time = 0;
+    predictors::PredictionGrid grid;
+    predictors::Prediction raw;
+  };
+  std::vector<PendingForecast> pending;
+};
+
 /// \brief The end-to-end SMiLer pipeline for one sensor (Section 3.4):
 /// Search Step (Continuous Suffix kNN Search on the SMiLer Index) followed
 /// by Prediction Step (ensemble of semi-lazy predictors with the adaptive
@@ -69,6 +97,17 @@ class SensorEngine {
   /// forecast targeting that time against the ensemble's self-adaptive
   /// weight update, then appends the value to the index (Remark 1 path).
   Status Observe(double value);
+
+  /// Exports the engine's complete state for checkpointing (warm-restart
+  /// snapshots). The engine must be quiescent (no concurrent Predict /
+  /// Observe); serve-layer shards call this at batch boundaries.
+  EngineSnapshot Snapshot() const;
+
+  /// Rebuilds an engine from a snapshot without re-indexing. The restored
+  /// engine's subsequent Predict/Observe sequence is bitwise-identical to
+  /// the snapshotted engine's. Device memory is charged to \p device.
+  static Result<SensorEngine> Restore(simgpu::Device* device,
+                                      const EngineSnapshot& snapshot);
 
   /// Timestamp of the latest observation.
   long now() const { return index_.now(); }

@@ -36,41 +36,65 @@ Result<MultiSensorManager> MultiSensorManager::Create(
   return MultiSensorManager(std::move(engines));
 }
 
+Result<MultiSensorManager> MultiSensorManager::Adopt(
+    std::vector<SensorEngine> engines) {
+  if (engines.empty()) {
+    return Status::InvalidArgument("at least one engine required");
+  }
+  return MultiSensorManager(std::move(engines));
+}
+
+namespace {
+
+/// The fleet-level summary of per-sensor outcomes: OK when all sensors
+/// succeeded, else the first error in sensor order (deterministic
+/// regardless of the parallel execution order above it).
+Status Summarize(const std::vector<Status>& per_sensor) {
+  for (const Status& st : per_sensor) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status MultiSensorManager::PredictAll(std::vector<predictors::Prediction>* out,
-                                      EngineStats* stats) {
+                                      EngineStats* stats,
+                                      std::vector<Status>* statuses) {
   out->assign(engines_.size(), predictors::Prediction{});
+  std::vector<Status> per_sensor(engines_.size());
   std::mutex mu;
-  Status first_error;
   EngineStats total;
   ThreadPool::Default().ParallelFor(engines_.size(), [&](std::size_t i) {
     EngineStats local;
     auto pred = engines_[i].Predict(&local);
-    std::lock_guard<std::mutex> lock(mu);
     if (pred.ok()) {
       (*out)[i] = *pred;
+      std::lock_guard<std::mutex> lock(mu);
       total.Add(local);
-    } else if (first_error.ok()) {
-      first_error = pred.status();
+    } else {
+      per_sensor[i] = pred.status();
     }
   });
   if (stats != nullptr) stats->Add(total);
-  return first_error;
+  Status summary = Summarize(per_sensor);
+  if (statuses != nullptr) *statuses = std::move(per_sensor);
+  return summary;
 }
 
-Status MultiSensorManager::ObserveAll(const std::vector<double>& values) {
+Status MultiSensorManager::ObserveAll(const std::vector<double>& values,
+                                      std::vector<Status>* statuses) {
   if (values.size() != engines_.size()) {
+    if (statuses != nullptr) statuses->clear();
     return Status::InvalidArgument("values size must match sensor count");
   }
-  std::mutex mu;
-  Status first_error;
+  std::vector<Status> per_sensor(engines_.size());
   ThreadPool::Default().ParallelFor(engines_.size(), [&](std::size_t i) {
-    Status st = engines_[i].Observe(values[i]);
-    if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(mu);
-      if (first_error.ok()) first_error = st;
-    }
+    per_sensor[i] = engines_[i].Observe(values[i]);
   });
-  return first_error;
+  Status summary = Summarize(per_sensor);
+  if (statuses != nullptr) *statuses = std::move(per_sensor);
+  return summary;
 }
 
 }  // namespace core

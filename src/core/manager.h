@@ -33,14 +33,30 @@ class MultiSensorManager {
       const std::vector<ts::TimeSeries>& sensors, const SmilerConfig& config,
       PredictorKind kind);
 
+  /// Adopts pre-built engines (the checkpoint warm-restart path:
+  /// serve::Checkpoint loads EngineSnapshots, SensorEngine::Restore
+  /// rebuilds each, and the manager then drives the restored fleet).
+  static Result<MultiSensorManager> Adopt(std::vector<SensorEngine> engines);
+
   /// Runs Predict on every sensor. \p out receives one prediction per
-  /// sensor (same order as construction). Per-sensor failures abort with
-  /// the first error. \p stats, when non-null, aggregates timings.
+  /// sensor (same order as construction). Per-sensor failures are
+  /// isolated: every sensor is always attempted, successful sensors keep
+  /// their predictions, and \p statuses (when non-null) receives one
+  /// Status per sensor so callers can tell exactly which failed — one bad
+  /// sensor never takes down the rest of the fleet. The returned
+  /// fleet-level summary is OK when every sensor succeeded, else the
+  /// first error in sensor order. \p stats, when non-null, aggregates
+  /// timings of the successful sensors.
   Status PredictAll(std::vector<predictors::Prediction>* out,
-                    EngineStats* stats = nullptr);
+                    EngineStats* stats = nullptr,
+                    std::vector<Status>* statuses = nullptr);
 
   /// Feeds each sensor its next observed value (size must equal sensors).
-  Status ObserveAll(const std::vector<double>& values);
+  /// Same isolation contract as PredictAll: all sensors are attempted,
+  /// \p statuses (when non-null) receives the per-sensor outcomes, and
+  /// the return value summarizes (OK or first error in sensor order).
+  Status ObserveAll(const std::vector<double>& values,
+                    std::vector<Status>* statuses = nullptr);
 
   std::size_t num_sensors() const { return engines_.size(); }
   SensorEngine& engine(std::size_t i) { return engines_[i]; }

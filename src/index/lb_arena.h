@@ -79,6 +79,31 @@ class LbArena {
   /// Bytes backing the arena (device-memory accounting).
   std::size_t AllocatedBytes() const { return data_.size() * sizeof(double); }
 
+  /// The flat backing buffer (rows * 2 * stride doubles), exposed for
+  /// checkpointing: a restored arena must be bitwise-identical to the
+  /// snapshotted one, so the raw layout round-trips as-is.
+  const std::vector<double>& raw() const { return data_; }
+
+  /// Re-adopts a previously exported layout verbatim. Returns false when
+  /// the dimensions are inconsistent (stride not a positive multiple of
+  /// \p chunk covering \p cols, or \p data not rows * 2 * stride doubles).
+  bool Restore(int rows, long cols, long stride, long chunk,
+               std::vector<double> data) {
+    if (rows < 0 || cols < 0 || chunk < 1 || stride < cols ||
+        stride % chunk != 0) {
+      return false;
+    }
+    if (data.size() != static_cast<std::size_t>(rows) * 2 * stride) {
+      return false;
+    }
+    rows_ = rows;
+    cols_ = cols;
+    chunk_ = chunk;
+    stride_ = stride;
+    data_ = std::move(data);
+    return true;
+  }
+
  private:
   int rows_ = 0;
   long cols_ = 0;

@@ -85,6 +85,85 @@ Result<SmilerIndex> SmilerIndex::Build(simgpu::Device* device,
   return idx;
 }
 
+IndexSnapshot SmilerIndex::Snapshot() const {
+  IndexSnapshot snap;
+  snap.series = series_;
+  snap.env_c_upper = env_c_.upper;
+  snap.env_c_lower = env_c_.lower;
+  snap.env_mq_upper = env_mq_.upper;
+  snap.env_mq_lower = env_mq_.lower;
+  snap.head = head_;
+  snap.cols = R_;
+  snap.arena_stride = lb_.stride();
+  snap.arena = lb_.raw();
+  snap.prev_knn = prev_knn_;
+  return snap;
+}
+
+Result<SmilerIndex> SmilerIndex::Restore(simgpu::Device* device,
+                                         const SmilerConfig& config,
+                                         IndexSnapshot snapshot) {
+  if (device == nullptr) {
+    return Status::InvalidArgument("device must not be null");
+  }
+  SMILER_RETURN_NOT_OK(config.Validate());
+  const int d_max = config.MasterQueryLength();
+  const long n = static_cast<long>(snapshot.series.size());
+  if (n < d_max + config.omega) {
+    return Status::InvalidArgument(
+        "snapshot series too short for the configuration");
+  }
+  const int S = NumSlidingWindows(d_max, config.omega);
+  const std::size_t un = static_cast<std::size_t>(n);
+  if (snapshot.env_c_upper.size() != un || snapshot.env_c_lower.size() != un) {
+    return Status::InvalidArgument("snapshot history envelope size mismatch");
+  }
+  if (snapshot.env_mq_upper.size() != static_cast<std::size_t>(d_max) ||
+      snapshot.env_mq_lower.size() != static_cast<std::size_t>(d_max)) {
+    return Status::InvalidArgument(
+        "snapshot master-query envelope size mismatch");
+  }
+  if (snapshot.head < 0 || snapshot.head >= S) {
+    return Status::InvalidArgument("snapshot ring head out of range");
+  }
+  if (snapshot.cols != n / config.omega) {
+    return Status::InvalidArgument(
+        "snapshot disjoint-window count inconsistent with series length");
+  }
+  if (snapshot.prev_knn.size() != config.elv.size()) {
+    return Status::InvalidArgument("snapshot prev-kNN arity mismatch");
+  }
+  for (std::size_t i = 0; i < snapshot.prev_knn.size(); ++i) {
+    for (const Neighbor& nb : snapshot.prev_knn[i]) {
+      if (nb.t < 0 || nb.t + config.elv[i] > n) {
+        return Status::InvalidArgument("snapshot prev-kNN neighbor t out of "
+                                       "range");
+      }
+    }
+  }
+
+  SmilerIndex idx;
+  idx.cfg_ = config;
+  idx.device_ = device;
+  idx.series_ = std::move(snapshot.series);
+  idx.d_max_ = d_max;
+  idx.S_ = S;
+  idx.R_ = snapshot.cols;
+  idx.head_ = snapshot.head;
+  idx.env_c_.upper = std::move(snapshot.env_c_upper);
+  idx.env_c_.lower = std::move(snapshot.env_c_lower);
+  idx.env_mq_.upper = std::move(snapshot.env_mq_upper);
+  idx.env_mq_.lower = std::move(snapshot.env_mq_lower);
+  if (!idx.lb_.Restore(S, snapshot.cols, snapshot.arena_stride, config.omega,
+                       std::move(snapshot.arena))) {
+    return Status::InvalidArgument("snapshot posting-list arena dimensions "
+                                   "inconsistent");
+  }
+  idx.prev_knn_ = std::move(snapshot.prev_knn);
+  SMILER_RETURN_NOT_OK(idx.UpdateMemoryAccounting());
+  return idx;
+}
+
 SmilerIndex::~SmilerIndex() {
   if (device_ != nullptr && accounted_bytes_ > 0) {
     device_->FreeBytes(accounted_bytes_);

@@ -64,6 +64,26 @@ struct LowerBoundTable {
   }
 };
 
+/// \brief Complete serializable state of a SmilerIndex.
+///
+/// Everything the incremental-maintenance paths (Remark 1) have built up:
+/// the history, both envelopes, the ring-buffer head, the posting-list
+/// arena (raw layout, so a restore is a straight buffer adoption), and the
+/// previous step's kNN threshold seeds. Restoring from a snapshot skips
+/// the window-level build entirely and — because incremental state is
+/// adopted verbatim rather than recomputed — subsequent searches are
+/// bitwise-identical to an index that never restarted.
+struct IndexSnapshot {
+  std::vector<double> series;
+  std::vector<double> env_c_upper, env_c_lower;    ///< history envelope
+  std::vector<double> env_mq_upper, env_mq_lower;  ///< master-query envelope
+  int head = 0;           ///< physical ring row of logical SW_0
+  long cols = 0;          ///< complete disjoint windows R
+  long arena_stride = 0;  ///< physical-row stride of the posting arena
+  std::vector<double> arena;  ///< S * 2 * arena_stride doubles
+  std::vector<std::vector<Neighbor>> prev_knn;  ///< per-ELV threshold seeds
+};
+
 /// \brief The SMiLer Index (Section 4.3): a per-sensor two-level
 /// inverted-like index over (simulated) GPU memory answering Continuous
 /// Suffix kNN Searches under banded DTW.
@@ -96,6 +116,20 @@ class SmilerIndex {
   SmilerIndex& operator=(SmilerIndex&& other) noexcept;
   SmilerIndex(const SmilerIndex&) = delete;
   SmilerIndex& operator=(const SmilerIndex&) = delete;
+
+  /// Exports the complete mutable state for checkpointing (see
+  /// IndexSnapshot). O(state size) copies; no device work.
+  IndexSnapshot Snapshot() const;
+
+  /// Reconstructs an index from \p snapshot without re-indexing: the
+  /// posting-list arena and envelopes are adopted verbatim instead of
+  /// being recomputed, so the restored index is bitwise-identical to the
+  /// snapshotted one. \p config must be the configuration the snapshot
+  /// was taken under (dimension mismatches fail with InvalidArgument).
+  /// Device memory for the restored state is charged to \p device.
+  static Result<SmilerIndex> Restore(simgpu::Device* device,
+                                     const SmilerConfig& config,
+                                     IndexSnapshot snapshot);
 
   /// Ingests a newly observed value: appends to the history, shifts the
   /// master query one step, and incrementally maintains the window level

@@ -33,6 +33,16 @@ class Gauge {
  public:
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
 
+  /// Adds \p delta (may be negative) atomically. Used for level-style
+  /// gauges maintained from concurrent producers, e.g. the serve-layer
+  /// queue depths (+1 on admit, -1 on completion).
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
   /// Raises the gauge to \p v if it is larger (high-water-mark semantics).
   void SetMax(double v) {
     double cur = value_.load(std::memory_order_relaxed);

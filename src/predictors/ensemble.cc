@@ -15,6 +15,32 @@ Ensemble::Ensemble(const Options& options) : options_(options) {
   for (CellState& c : cells_) c.weight = 1.0 / n;
 }
 
+Ensemble::State Ensemble::ExportState() const {
+  State state;
+  state.cells.reserve(cells_.size());
+  for (const CellState& c : cells_) {
+    state.cells.push_back(State::Cell{c.weight, c.awake, c.counter,
+                                      c.remaining, c.just_recovered});
+  }
+  state.z_ewma = z_ewma_;
+  state.vif = vif_;
+  return state;
+}
+
+Status Ensemble::RestoreState(const State& state) {
+  if (state.cells.size() != cells_.size()) {
+    return Status::InvalidArgument("ensemble state cell count mismatch");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const State::Cell& c = state.cells[i];
+    cells_[i] = CellState{c.weight, c.awake, c.counter, c.remaining,
+                          c.just_recovered};
+  }
+  z_ewma_ = state.z_ewma;
+  vif_ = state.vif;
+  return Status::OK();
+}
+
 int Ensemble::NumAwake() const {
   int n = 0;
   for (const CellState& c : cells_) n += c.awake ? 1 : 0;

@@ -47,10 +47,33 @@ class Ensemble {
     bool sleep_and_recovery = true;
   };
 
+  /// \brief The complete adaptive state (checkpointing): mixture weights,
+  /// sleep & recovery bookkeeping, and the variance-calibration EWMA. A
+  /// restored ensemble combines and adapts bitwise-identically to the
+  /// snapshotted one.
+  struct State {
+    struct Cell {
+      double weight = 0.0;
+      bool awake = true;
+      int counter = 1;
+      int remaining = 0;
+      bool just_recovered = false;
+    };
+    std::vector<Cell> cells;  ///< row-major rows x cols
+    double z_ewma = 1.0;
+    double vif = 1.0;
+  };
+
   explicit Ensemble(const Options& options);
 
   int rows() const { return options_.rows; }
   int cols() const { return options_.cols; }
+
+  /// Exports the adaptive state for checkpointing.
+  State ExportState() const;
+  /// Adopts a previously exported state. Fails with InvalidArgument when
+  /// the cell count does not match this ensemble's rows x cols.
+  Status RestoreState(const State& state);
 
   /// Whether predictor (i, j) should compute a prediction this step.
   bool IsAwake(int i, int j) const { return Cell(i, j).awake; }

@@ -39,6 +39,11 @@ class GpCellPredictor {
   /// after long gaps).
   void Reset() { kernel_.reset(); }
 
+  /// Re-installs a warm-start kernel (checkpoint restore): the next
+  /// Predict continues online training from \p kernel exactly as if the
+  /// cell had never restarted.
+  void RestoreKernel(const gp::SeKernel& kernel) { kernel_ = kernel; }
+
   /// The current warm-start kernel, if any.
   const std::optional<gp::SeKernel>& kernel() const { return kernel_; }
 

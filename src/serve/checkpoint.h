@@ -1,0 +1,54 @@
+#ifndef SMILER_SERVE_CHECKPOINT_H_
+#define SMILER_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace smiler {
+namespace serve {
+
+/// \brief Warm-restart snapshots: serializes a fleet of EngineSnapshots to
+/// a versioned binary file and back.
+///
+/// A restarted server loads the file, rebuilds each engine with
+/// `core::SensorEngine::Restore`, and resumes continuous prediction
+/// without replaying history or re-indexing — subsequent predictions are
+/// bitwise-identical to a server that never restarted (the snapshot
+/// carries the incremental index state verbatim, see
+/// `index::IndexSnapshot`).
+///
+/// File layout (all integers little-endian, doubles raw IEEE-754):
+///
+///   magic "SMLRCKPT" | u32 format version | u32 engine count
+///   per engine: u64 payload bytes | u64 FNV-1a of payload | payload
+///
+/// Version policy (docs/architecture.md): the version is bumped whenever
+/// the payload layout changes; Load rejects files whose version does not
+/// match kFormatVersion (warm restarts never guess at stale layouts —
+/// a rejected checkpoint means the server falls back to a cold build).
+/// Corruption (bad magic, truncation, checksum mismatch) fails with
+/// InvalidArgument; a version mismatch fails with FailedPrecondition.
+class Checkpoint {
+ public:
+  /// Current payload layout version.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Serializes \p engines to \p path. The write is atomic: the payload
+  /// lands in "<path>.tmp" and is renamed over \p path only once fully
+  /// flushed, so a crash mid-save never clobbers the previous checkpoint.
+  static Status Save(const std::string& path,
+                     const std::vector<core::EngineSnapshot>& engines);
+
+  /// Loads and validates a checkpoint written by Save.
+  static Result<std::vector<core::EngineSnapshot>> Load(
+      const std::string& path);
+};
+
+}  // namespace serve
+}  // namespace smiler
+
+#endif  // SMILER_SERVE_CHECKPOINT_H_

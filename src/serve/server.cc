@@ -1,0 +1,309 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "serve/checkpoint.h"
+
+namespace smiler {
+namespace serve {
+
+namespace {
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+obs::Counter& RequestsCounter() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter("serve.requests");
+  return c;
+}
+obs::Counter& RejectedCounter() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter("serve.rejected");
+  return c;
+}
+obs::Counter& DeadlineExpiredCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("serve.deadline_expired");
+  return c;
+}
+obs::Counter& BatchesCounter() {
+  static obs::Counter& c = obs::Registry::Global().GetCounter("serve.batches");
+  return c;
+}
+obs::Counter& CoalescedCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("serve.batch.coalesced_predicts");
+  return c;
+}
+obs::Histogram& BatchSizeHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("serve.batch_size");
+  return h;
+}
+obs::Histogram& LatencyHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::Global().GetHistogram("serve.latency_seconds");
+  return h;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PredictionServer>> PredictionServer::Create(
+    core::MultiSensorManager manager, const ServerOptions& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  ServerOptions opts = options;
+  opts.num_shards = static_cast<int>(
+      std::min<std::size_t>(opts.num_shards, manager.num_sensors()));
+  return std::unique_ptr<PredictionServer>(
+      new PredictionServer(std::move(manager), opts));
+}
+
+PredictionServer::PredictionServer(core::MultiSensorManager manager,
+                                   const ServerOptions& options)
+    : manager_(std::move(manager)), options_(options) {
+  shards_.reserve(options_.num_shards);
+  for (int s = 0; s < options_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    const std::string prefix = "serve.shard" + std::to_string(s);
+    shard->queue_depth =
+        &obs::Registry::Global().GetGauge(prefix + ".queue_depth");
+    shard->latency =
+        &obs::Registry::Global().GetHistogram(prefix + ".latency_seconds");
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t i = 0; i < manager_.num_sensors(); ++i) {
+    shards_[i % shards_.size()]->sensors.push_back(i);
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { ShardLoop(s); });
+  }
+}
+
+PredictionServer::~PredictionServer() { Shutdown(); }
+
+std::future<Response> PredictionServer::Enqueue(Request req) {
+  req.enqueued_at = Clock::now();
+  std::future<Response> future = req.promise.get_future();
+  if (req.sensor >= manager_.num_sensors()) {
+    req.promise.set_value(
+        {Status::InvalidArgument("unknown sensor"), predictors::Prediction{}});
+    return future;
+  }
+  Shard& shard = *shards_[req.sensor % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.stop || !running_.load(std::memory_order_acquire)) {
+      req.promise.set_value({Status::FailedPrecondition("server is shut down"),
+                             predictors::Prediction{}});
+      return future;
+    }
+    // Admission control: a full queue rejects immediately rather than
+    // blocking the client or buffering without bound. Snapshot requests
+    // bypass the capacity check — they are rare control-plane barriers
+    // and must not be starved by data-plane load.
+    if (req.kind != Request::Kind::kSnapshot &&
+        shard.queue.size() >= options_.queue_capacity) {
+      RejectedCounter().Increment();
+      req.promise.set_value(
+          {Status::ResourceExhausted("request queue is full"),
+           predictors::Prediction{}});
+      return future;
+    }
+    shard.queue.push_back(std::move(req));
+    shard.queue_depth->Add(1.0);
+    RequestsCounter().Increment();
+  }
+  shard.cv.notify_one();
+  return future;
+}
+
+std::future<Response> PredictionServer::AsyncPredict(std::size_t sensor,
+                                                     Deadline deadline) {
+  Request req;
+  req.kind = Request::Kind::kPredict;
+  req.sensor = sensor;
+  req.deadline = deadline;
+  return Enqueue(std::move(req));
+}
+
+std::future<Response> PredictionServer::AsyncObserve(std::size_t sensor,
+                                                     double value,
+                                                     Deadline deadline) {
+  Request req;
+  req.kind = Request::Kind::kObserve;
+  req.sensor = sensor;
+  req.value = value;
+  req.deadline = deadline;
+  return Enqueue(std::move(req));
+}
+
+Result<predictors::Prediction> PredictionServer::Predict(std::size_t sensor,
+                                                         Deadline deadline) {
+  Response r = AsyncPredict(sensor, deadline).get();
+  SMILER_RETURN_NOT_OK(r.status);
+  return r.prediction;
+}
+
+Status PredictionServer::Observe(std::size_t sensor, double value,
+                                 Deadline deadline) {
+  return AsyncObserve(sensor, value, deadline).get().status;
+}
+
+void PredictionServer::ShardLoop(Shard* shard) {
+  std::vector<Request> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->cv.wait(lock,
+                     [shard] { return shard->stop || !shard->queue.empty(); });
+      if (shard->queue.empty()) return;  // stop && drained
+      // Micro-batch: claim the whole queue in one critical section so
+      // co-resident requests can coalesce and clients keep enqueueing
+      // while the batch runs.
+      batch.clear();
+      batch.reserve(shard->queue.size());
+      while (!shard->queue.empty()) {
+        batch.push_back(std::move(shard->queue.front()));
+        shard->queue.pop_front();
+      }
+    }
+    BatchesCounter().Increment();
+    BatchSizeHistogram().Observe(static_cast<double>(batch.size()));
+    ProcessBatch(shard, &batch);
+  }
+}
+
+void PredictionServer::ProcessBatch(Shard* shard, std::vector<Request>* batch) {
+  // Coalescing cache: sensor -> response of the batch's previous Predict
+  // of that sensor. Valid only while the engine state is unchanged, so an
+  // Observe for the sensor invalidates its entry. Besides saving simgpu
+  // work, this keeps back-to-back Predicts from pushing duplicate pending
+  // forecasts into the engine (which would double the ensemble's weight
+  // update when the target observation arrives).
+  std::unordered_map<std::size_t, Response> predict_cache;
+  for (Request& req : *batch) {
+    if (req.kind == Request::Kind::kSnapshot) {
+      std::vector<std::pair<std::size_t, core::EngineSnapshot>> snaps;
+      snaps.reserve(shard->sensors.size());
+      for (std::size_t sensor : shard->sensors) {
+        snaps.emplace_back(sensor, manager_.engine(sensor).Snapshot());
+      }
+      if (req.snapshot_promise) req.snapshot_promise->set_value(std::move(snaps));
+      Respond(shard, &req, {Status::OK(), predictors::Prediction{}});
+      continue;
+    }
+    // Shed expired requests before paying for any search work.
+    if (req.deadline != kNoDeadline && Clock::now() > req.deadline) {
+      DeadlineExpiredCounter().Increment();
+      Respond(shard, &req,
+              {Status::DeadlineExceeded("deadline expired before execution"),
+               predictors::Prediction{}});
+      continue;
+    }
+    if (req.kind == Request::Kind::kPredict) {
+      if (options_.coalesce_predicts) {
+        auto it = predict_cache.find(req.sensor);
+        if (it != predict_cache.end()) {
+          CoalescedCounter().Increment();
+          Respond(shard, &req, it->second);
+          continue;
+        }
+      }
+      Response response;
+      auto pred = manager_.engine(req.sensor).Predict();
+      if (pred.ok()) {
+        response = {Status::OK(), *pred};
+      } else {
+        response = {pred.status(), predictors::Prediction{}};
+      }
+      if (options_.coalesce_predicts) predict_cache[req.sensor] = response;
+      Respond(shard, &req, response);
+    } else {
+      predict_cache.erase(req.sensor);
+      Status st = manager_.engine(req.sensor).Observe(req.value);
+      Respond(shard, &req, {std::move(st), predictors::Prediction{}});
+    }
+  }
+}
+
+void PredictionServer::Respond(Shard* shard, Request* req, Response response) {
+  const double latency = Seconds(Clock::now() - req->enqueued_at);
+  shard->latency->Observe(latency);
+  LatencyHistogram().Observe(latency);
+  shard->queue_depth->Add(-1.0);
+  req->promise.set_value(std::move(response));
+}
+
+Result<std::vector<core::EngineSnapshot>> PredictionServer::Snapshot() {
+  using ShardSnaps = std::vector<std::pair<std::size_t, core::EngineSnapshot>>;
+  std::vector<std::future<ShardSnaps>> futures;
+  std::vector<std::future<Response>> acks;
+  futures.reserve(shards_.size());
+  acks.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    Request req;
+    req.kind = Request::Kind::kSnapshot;
+    // Address the snapshot to the shard's first sensor so Enqueue routes
+    // it there; the worker snapshots every engine the shard owns.
+    req.sensor = shard->sensors.front();
+    req.snapshot_promise = std::make_shared<std::promise<ShardSnaps>>();
+    futures.push_back(req.snapshot_promise->get_future());
+    acks.push_back(Enqueue(std::move(req)));
+  }
+  std::vector<core::EngineSnapshot> merged(manager_.num_sensors());
+  for (std::size_t s = 0; s < futures.size(); ++s) {
+    Response ack = acks[s].get();
+    if (!ack.status.ok()) return ack.status;  // e.g. server shut down
+    for (auto& [sensor, snap] : futures[s].get()) {
+      merged[sensor] = std::move(snap);
+    }
+  }
+  return merged;
+}
+
+std::future<Status> PredictionServer::AsyncSaveCheckpoint(std::string path) {
+  auto promise = std::make_shared<std::promise<Status>>();
+  std::future<Status> future = promise->get_future();
+  auto snaps = Snapshot();
+  if (!snaps.ok()) {
+    promise->set_value(snaps.status());
+    return future;
+  }
+  // The quiescing part is done; serialization and file IO happen off the
+  // shard workers so serving resumes while bytes hit disk.
+  ThreadPool::Default().Submit(
+      [promise, path = std::move(path), snaps = std::move(*snaps)] {
+        promise->set_value(Checkpoint::Save(path, snaps));
+      });
+  return future;
+}
+
+Status PredictionServer::SaveCheckpoint(const std::string& path) {
+  return AsyncSaveCheckpoint(path).get();
+}
+
+void PredictionServer::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+}  // namespace serve
+}  // namespace smiler

@@ -1,0 +1,176 @@
+#ifndef SMILER_SERVE_SERVER_H_
+#define SMILER_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/manager.h"
+#include "obs/metrics.h"
+#include "predictors/predictor.h"
+
+namespace smiler {
+namespace serve {
+
+/// Wall clock of the serving layer (deadlines, latency accounting).
+using Clock = std::chrono::steady_clock;
+/// Absolute per-request deadline; kNoDeadline = never expires.
+using Deadline = Clock::time_point;
+inline constexpr Deadline kNoDeadline = Deadline::max();
+
+/// \brief Sizing of a PredictionServer.
+struct ServerOptions {
+  /// Worker shards. Each shard is single-threaded over the engines it
+  /// owns (sensors assigned round-robin), so engine code stays lock-free.
+  int num_shards = 2;
+  /// Bounded per-shard request queue. Enqueueing into a full queue is
+  /// rejected immediately with kResourceExhausted (admission control) —
+  /// the server sheds load instead of buffering unboundedly or blocking.
+  std::size_t queue_capacity = 256;
+  /// Micro-batching: when a shard drains its queue, Predict requests for
+  /// a sensor whose engine state has not changed since the batch's
+  /// previous Predict of that sensor share one engine pass (one set of
+  /// simgpu launches serves every co-resident client).
+  bool coalesce_predicts = true;
+};
+
+/// \brief Outcome of one request. `prediction` is meaningful only for
+/// Predict requests whose `status` is OK.
+struct Response {
+  Status status;
+  predictors::Prediction prediction;
+};
+
+/// \brief Multi-tenant prediction front-end over a fleet of SensorEngines
+/// (the ROADMAP's "serve heavy traffic" layer; per-sensor engines are
+/// naturally shardable — Section 4.4 "invoke more blocks").
+///
+/// Architecture: sensors are sharded round-robin across worker shards.
+/// Each shard owns a bounded MPSC queue and a single worker thread that
+/// drains the queue in batches, so per-engine execution is serial (no
+/// locks in engine code) while shards run concurrently. Admission control
+/// rejects when a queue is full; expired deadlines are shed at dequeue
+/// time, before any search work is paid for. `Snapshot` quiesces each
+/// shard at a batch boundary and exports every engine's state for
+/// `serve::Checkpoint` warm restarts.
+///
+/// Thread safety: all public methods are safe to call from any number of
+/// client threads. Every accepted request is eventually answered exactly
+/// once (shutdown drains the queues first), so closed-loop clients never
+/// hang on a lost response.
+class PredictionServer {
+ public:
+  /// Takes ownership of \p manager's engine fleet and starts the shard
+  /// workers. num_shards is clamped to the sensor count.
+  static Result<std::unique_ptr<PredictionServer>> Create(
+      core::MultiSensorManager manager, const ServerOptions& options = {});
+
+  /// Shuts down (drains queues, joins workers) if still running.
+  ~PredictionServer();
+
+  PredictionServer(const PredictionServer&) = delete;
+  PredictionServer& operator=(const PredictionServer&) = delete;
+
+  /// Enqueues a forecast request for \p sensor. The future is satisfied
+  /// with the prediction, or with kResourceExhausted (queue full — set
+  /// before this returns), kDeadlineExceeded (shed after \p deadline
+  /// passed), kInvalidArgument (unknown sensor), or kFailedPrecondition
+  /// (server shut down).
+  std::future<Response> AsyncPredict(std::size_t sensor,
+                                     Deadline deadline = kNoDeadline);
+
+  /// Enqueues ingestion of \p sensor's next observed value. Same failure
+  /// modes as AsyncPredict; `prediction` in the response is unused.
+  std::future<Response> AsyncObserve(std::size_t sensor, double value,
+                                     Deadline deadline = kNoDeadline);
+
+  /// Blocking conveniences over the async calls.
+  Result<predictors::Prediction> Predict(std::size_t sensor,
+                                         Deadline deadline = kNoDeadline);
+  Status Observe(std::size_t sensor, double value,
+                 Deadline deadline = kNoDeadline);
+
+  /// Exports every engine's state, one snapshot per sensor in sensor
+  /// order. Each shard snapshots its engines at a batch boundary, so
+  /// every per-engine snapshot is consistent (no mid-request state);
+  /// across shards the cut is not a single global instant. Concurrent
+  /// traffic keeps flowing on other shards while one shard snapshots.
+  Result<std::vector<core::EngineSnapshot>> Snapshot();
+
+  /// Snapshot() + Checkpoint::Save. The quiescing snapshot runs inline;
+  /// serialization and file IO are offloaded to the process thread pool
+  /// (ThreadPool::Submit), so shards resume serving while bytes hit disk.
+  std::future<Status> AsyncSaveCheckpoint(std::string path);
+  /// Blocking AsyncSaveCheckpoint.
+  Status SaveCheckpoint(const std::string& path);
+
+  /// Stops accepting new requests, answers everything already queued,
+  /// and joins the shard workers. Idempotent.
+  void Shutdown();
+
+  std::size_t num_sensors() const { return manager_.num_sensors(); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Direct engine access for tests and post-shutdown inspection. Only
+  /// safe while no shard worker is running requests for this engine
+  /// (i.e. after Shutdown, or for engines receiving no traffic).
+  const core::SensorEngine& engine(std::size_t i) const {
+    return manager_.engine(i);
+  }
+
+ private:
+  struct Request {
+    enum class Kind { kPredict, kObserve, kSnapshot };
+    Kind kind = Kind::kPredict;
+    std::size_t sensor = 0;
+    double value = 0.0;
+    Deadline deadline = kNoDeadline;
+    Clock::time_point enqueued_at;
+    std::promise<Response> promise;
+    /// Set only for kSnapshot: receives (sensor, snapshot) pairs of the
+    /// shard's engines.
+    std::shared_ptr<
+        std::promise<std::vector<std::pair<std::size_t, core::EngineSnapshot>>>>
+        snapshot_promise;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Request> queue;
+    bool stop = false;
+    std::vector<std::size_t> sensors;  ///< engine indices owned
+    std::thread worker;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+
+  PredictionServer(core::MultiSensorManager manager,
+                   const ServerOptions& options);
+
+  std::future<Response> Enqueue(Request req);
+  void ShardLoop(Shard* shard);
+  void ProcessBatch(Shard* shard, std::vector<Request>* batch);
+  void Respond(Shard* shard, Request* req, Response response);
+
+  core::MultiSensorManager manager_;
+  ServerOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> running_{true};
+};
+
+}  // namespace serve
+}  // namespace smiler
+
+#endif  // SMILER_SERVE_SERVER_H_

@@ -19,19 +19,34 @@ std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
   return fields;
 }
 
-Result<double> ParseNumber(const std::string& field, std::size_t line_no) {
+Result<double> ParseNumber(const std::string& field, std::size_t line_no,
+                           std::size_t column) {
   const char* begin = field.c_str();
-  char* end = nullptr;
-  const double value = std::strtod(begin, &end);
-  // Require the whole (trimmed) field to be consumed.
+  char* num_end = nullptr;
+  const double value = std::strtod(begin, &num_end);
+  // strtod consumed nothing = no number at all (a whitespace-only field
+  // must stay an error even though the trim below would walk past it).
+  const bool consumed = num_end != nullptr && num_end != begin;
+  // Require the whole (trimmed) field to be consumed; strtod already
+  // skips leading whitespace, so fields padded on either side parse.
+  const char* end = num_end;
   while (end != nullptr && (*end == ' ' || *end == '\t' || *end == '\r')) {
     ++end;
   }
-  if (end == begin || end == nullptr || *end != '\0') {
-    return Status::InvalidArgument("non-numeric value '" + field +
-                                   "' on line " + std::to_string(line_no));
+  if (!consumed || *end != '\0') {
+    const bool empty = field.find_first_not_of(" \t\r") == std::string::npos;
+    return Status::InvalidArgument(
+        std::string(empty ? "empty cell" : "non-numeric value '") +
+        (empty ? "" : field + "'") + " at line " + std::to_string(line_no) +
+        ", column " + std::to_string(column + 1));
   }
   return value;
+}
+
+/// True when \p line holds nothing but whitespace (server-side feeds pad
+/// and terminate files inconsistently; such lines carry no row).
+bool IsBlank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
 }
 
 }  // namespace
@@ -44,19 +59,28 @@ Result<std::vector<TimeSeries>> ParseCsv(const std::string& text,
 
   std::vector<std::string> names;
   std::vector<std::vector<double>> rows;
+  bool saw_header = false;
   while (std::getline(stream, line)) {
     ++line_no;
+    // CRLF (and stray CR) tolerance: exports from Windows-side loggers
+    // terminate lines with \r\n.
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
+    // Strip a UTF-8 byte-order mark from the first line.
+    if (line_no == 1 && line.rfind("\xEF\xBB\xBF", 0) == 0) line.erase(0, 3);
+    // Blank and whitespace-only lines (trailing newlines, padding between
+    // blocks) carry no row.
+    if (IsBlank(line)) continue;
     std::vector<std::string> fields = SplitLine(line, options.delimiter);
-    if (line_no == 1 && options.has_header) {
+    if (options.has_header && !saw_header) {
+      saw_header = true;
       names = fields;
       continue;
     }
     std::vector<double> row;
     row.reserve(fields.size());
-    for (const std::string& f : fields) {
-      SMILER_ASSIGN_OR_RETURN(double v, ParseNumber(f, line_no));
+    for (std::size_t col = 0; col < fields.size(); ++col) {
+      SMILER_ASSIGN_OR_RETURN(double v,
+                              ParseNumber(fields[col], line_no, col));
       row.push_back(v);
     }
     if (!rows.empty() && row.size() != rows.front().size()) {

@@ -22,10 +22,13 @@ struct CsvOptions {
 };
 
 /// \brief Reads sensor time series from a CSV file. Sensor ids come from
-/// the header when present, else "sensor-<i>". Empty cells and
-/// non-numeric values fail with InvalidArgument (no silent NaNs: gaps
-/// should be re-interpolated upstream, cf. the paper's fixed-rate
-/// assumption, Section 3.1).
+/// the header when present, else "sensor-<i>". Tolerant of the formatting
+/// noise real server-side feeds carry — CRLF line endings, a UTF-8 BOM,
+/// whitespace padding around cells, and blank / whitespace-only lines —
+/// but *strict* about content: empty cells, non-numeric values, and
+/// ragged rows fail with InvalidArgument naming the line and column (no
+/// silent NaNs: gaps should be re-interpolated upstream, cf. the paper's
+/// fixed-rate assumption, Section 3.1).
 Result<std::vector<TimeSeries>> ReadCsv(const std::string& path,
                                         const CsvOptions& options = {});
 

@@ -184,6 +184,58 @@ TEST(ThreadPoolTest, ManyIterationsBalance) {
   EXPECT_EQ(sum.load(), 100000L * 99999L / 2);
 }
 
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran += 1; });
+    }
+    // Destructor drains the queue before joining the workers.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitFromInsideWorkerIsAllowed) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.Submit([&] { pool.Submit([&ran] { ran += 1; }); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// Regression: the serve layer mixes fire-and-forget Submit (checkpoint IO)
+// with engine ParallelFor fan-out on the same pool. Both must interleave
+// without deadlock and without losing work.
+TEST(ThreadPoolTest, SubmitAndParallelForInterleave) {
+  constexpr int kSubmissions = 500;
+  // Declared before the pool: queued Submit tasks may still be running
+  // while the pool destructor drains, so the counters must outlive it.
+  std::atomic<int> submitted_ran{0};
+  std::atomic<long> sum{0};
+  {
+    ThreadPool pool(4);
+    std::thread submitter([&] {
+      for (int i = 0; i < kSubmissions; ++i) {
+        pool.Submit([&submitted_ran] { submitted_ran += 1; });
+      }
+    });
+    for (int round = 0; round < 50; ++round) {
+      sum.store(0);
+      pool.ParallelFor(1000, [&](std::size_t i) {
+        sum += static_cast<long>(i);
+      });
+      ASSERT_EQ(sum.load(), 1000L * 999L / 2) << "round " << round;
+    }
+    submitter.join();
+    // Pool destruction drains whatever Submit work is still queued.
+  }
+  EXPECT_EQ(submitted_ran.load(), kSubmissions);
+}
+
 // ---------------------------------------------------------------- Config
 
 TEST(ConfigTest, DefaultsMatchPaperTable2) {

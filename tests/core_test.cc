@@ -257,6 +257,80 @@ TEST(MultiSensorManagerTest, CapacityOverflowSurfacesResourceExhausted) {
   EXPECT_EQ(manager.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(MultiSensorManagerTest, PerSensorFailureIsIsolated) {
+  auto data = ts::MakeDataset({ts::DatasetKind::kNet, 2, 700, 64, 23, true});
+  ASSERT_TRUE(data.ok());
+
+  // Probe one sensor's footprint so we can size a device that fits the
+  // engine at build time but runs out as its index grows online.
+  std::size_t footprint = 0;
+  {
+    simgpu::Device probe;
+    auto engine = SensorEngine::Create(&probe, (*data)[1], TestConfig(),
+                                       PredictorKind::kAr);
+    ASSERT_TRUE(engine.ok());
+    footprint = probe.memory_used();
+  }
+
+  simgpu::Device roomy;
+  simgpu::Device cramped(footprint + 256);
+  auto manager = MultiSensorManager::Create({&roomy, &cramped}, *data,
+                                            TestConfig(), PredictorKind::kAr);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+
+  // Stream observations until sensor 1 blows its device budget. The fleet
+  // call must keep serving sensor 0 (isolation), surface the per-sensor
+  // codes, and summarize with the first error in sensor order.
+  std::vector<Status> statuses;
+  bool saw_failure = false;
+  for (int step = 0; step < 2000 && !saw_failure; ++step) {
+    Status summary = manager->ObserveAll({0.1, 0.2}, &statuses);
+    ASSERT_EQ(statuses.size(), 2u);
+    ASSERT_TRUE(statuses[0].ok()) << statuses[0].ToString();
+    if (!statuses[1].ok()) {
+      saw_failure = true;
+      EXPECT_EQ(statuses[1].code(), StatusCode::kResourceExhausted);
+      EXPECT_EQ(summary, statuses[1]);
+    } else {
+      EXPECT_TRUE(summary.ok());
+    }
+  }
+  ASSERT_TRUE(saw_failure) << "cramped device never ran out of budget";
+
+  // The healthy sensor still predicts after its neighbor failed.
+  std::vector<predictors::Prediction> preds;
+  Status summary = manager->PredictAll(&preds, nullptr, &statuses);
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_TRUE(statuses[0].ok()) << statuses[0].ToString();
+  EXPECT_TRUE(std::isfinite(preds[0].mean));
+  if (!statuses[1].ok()) {
+    EXPECT_EQ(summary, statuses[1]);
+  } else {
+    EXPECT_TRUE(summary.ok());
+  }
+}
+
+TEST(MultiSensorManagerTest, AdoptRestoredEngines) {
+  simgpu::Device device;
+  auto data = ts::MakeDataset({ts::DatasetKind::kMall, 2, 700, 64, 29, true});
+  ASSERT_TRUE(data.ok());
+  std::vector<SensorEngine> engines;
+  for (const auto& sensor : *data) {
+    auto engine = SensorEngine::Create(&device, sensor, TestConfig(),
+                                       PredictorKind::kAr);
+    ASSERT_TRUE(engine.ok());
+    engines.push_back(std::move(*engine));
+  }
+  auto manager = MultiSensorManager::Adopt(std::move(engines));
+  ASSERT_TRUE(manager.ok());
+  EXPECT_EQ(manager->num_sensors(), 2u);
+  std::vector<predictors::Prediction> preds;
+  EXPECT_TRUE(manager->PredictAll(&preds).ok());
+  EXPECT_EQ(preds.size(), 2u);
+
+  EXPECT_FALSE(MultiSensorManager::Adopt({}).ok());
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace smiler

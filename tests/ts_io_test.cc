@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "ts/io.h"
 
@@ -99,6 +101,87 @@ TEST(CsvTest, WriteRejectsRaggedOrEmpty) {
   ragged.emplace_back("a", std::vector<double>{1, 2});
   ragged.emplace_back("b", std::vector<double>{1});
   EXPECT_FALSE(WriteCsv("/tmp/x.csv", ragged).ok());
+}
+
+TEST(CsvTest, ToleratesBomPaddingAndBlankLines) {
+  // Formatting noise real feeds carry: a UTF-8 BOM, whitespace-padded
+  // cells, blank / whitespace-only separator lines, and a CRLF mix.
+  const std::string text =
+      "\xEF\xBB\xBF"
+      "a, b\r\n"
+      "\r\n"
+      " 1.0 ,\t2.0\n"
+      "   \t  \n"
+      "3.0, 4.0 \r\n"
+      "\n";
+  auto result = ParseCsv(text);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].sensor_id(), "a");
+  EXPECT_EQ((*result)[0].values(), (std::vector<double>{1, 3}));
+  EXPECT_EQ((*result)[1].values(), (std::vector<double>{2, 4}));
+}
+
+TEST(CsvTest, ErrorsNameLineAndColumn) {
+  auto bad_cell = ParseCsv("a,b\n1.0,2.0\n3.0,oops\n");
+  ASSERT_FALSE(bad_cell.ok());
+  EXPECT_EQ(bad_cell.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_cell.status().message().find("line 3"), std::string::npos)
+      << bad_cell.status().ToString();
+  EXPECT_NE(bad_cell.status().message().find("column 2"), std::string::npos)
+      << bad_cell.status().ToString();
+
+  auto empty_cell = ParseCsv("a,b\n,2.0\n");
+  ASSERT_FALSE(empty_cell.ok());
+  EXPECT_NE(empty_cell.status().message().find("empty cell"),
+            std::string::npos)
+      << empty_cell.status().ToString();
+}
+
+TEST(CsvTest, WhitespaceOnlyCellIsStillEmpty) {
+  // Padding tolerance must not soften the content checks: a cell of pure
+  // whitespace is an empty cell, not a zero.
+  EXPECT_FALSE(ParseCsv("a,b\n1.0,   \n").ok());
+}
+
+// Property: write -> read is the identity on awkward but valid doubles
+// (denormals, huge magnitudes, many digits), across both layouts and a
+// deterministic LCG-driven grid of shapes.
+TEST(CsvTest, RoundTripPropertyOverAwkwardValues) {
+  std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 11;
+  };
+  const double specials[] = {0.0,     -0.0,   1e-308,       -1e-308, 1e308,
+                             -1e308,  0.1,    1.0 / 3.0,    -2.5e-7, 12345.678901234567,
+                             -1e-15,  42.0};
+  for (int sensors = 1; sensors <= 3; ++sensors) {
+    for (int points : {1, 7, 33}) {
+      std::vector<TimeSeries> series;
+      for (int s = 0; s < sensors; ++s) {
+        std::vector<double> values(points);
+        for (int t = 0; t < points; ++t) {
+          values[t] = specials[next() % (sizeof(specials) / sizeof(double))];
+        }
+        series.emplace_back("sensor-" + std::to_string(s), std::move(values));
+      }
+      const std::string path =
+          ::testing::TempDir() + "/smiler_io_prop_" +
+          std::to_string(sensors) + "_" + std::to_string(points) + ".csv";
+      ASSERT_TRUE(WriteCsv(path, series).ok());
+      auto back = ReadCsv(path);
+      ASSERT_TRUE(back.ok()) << back.status().ToString();
+      ASSERT_EQ(back->size(), series.size());
+      for (int s = 0; s < sensors; ++s) {
+        // Bitwise round-trip: WriteCsv emits 17 significant digits, which
+        // is lossless for IEEE-754 doubles.
+        EXPECT_EQ((*back)[s].values(), series[s].values())
+            << "sensors=" << sensors << " points=" << points << " s=" << s;
+      }
+      std::remove(path.c_str());
+    }
+  }
 }
 
 }  // namespace
