@@ -2,26 +2,86 @@
 # Repo gate: tier-1 build + tests, then the obs concurrency tests under
 # ThreadSanitizer.
 #
-#   scripts/check.sh          # full gate
-#   scripts/check.sh --fast   # tier-1 label only, skip the TSan pass
+#   scripts/check.sh             # full gate
+#   scripts/check.sh --fast      # tier-1 label only, skip the TSan pass
+#   scripts/check.sh --chaos     # fault-injection build: chaos seed sweep
+#                                # under ThreadSanitizer (docs/testing.md)
+#   scripts/check.sh --coverage  # gcovr line coverage for src/serve +
+#                                # src/index (skipped if gcovr is absent)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FAST=0
-if [[ "${1:-}" == "--fast" ]]; then FAST=1; fi
+MODE="full"
+case "${1:-}" in
+  --fast) MODE="fast" ;;
+  --chaos) MODE="chaos" ;;
+  --coverage) MODE="coverage" ;;
+esac
+
+if [[ "$MODE" == "chaos" ]]; then
+  echo "== chaos build (SMILER_ENABLE_CHAOS + TSan) =="
+  cmake -B build-chaos-tsan -S . \
+    -DSMILER_ENABLE_CHAOS=ON \
+    -DSMILER_ENABLE_TSAN=ON \
+    -DSMILER_BUILD_BENCHMARKS=OFF \
+    -DSMILER_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-chaos-tsan -j \
+    --target chaos_test chaos_soak_test >/dev/null
+  echo "== chaos seed sweep under ThreadSanitizer =="
+  # Every cataloged fault point live at its default probability; any
+  # invariant violation prints a SMILER_CHAOS_SEED=<seed> repro line.
+  ctest --test-dir build-chaos-tsan -R 'ChaosTest|ChaosSoakTest' \
+    --output-on-failure
+  echo "== chaos checks passed =="
+  exit 0
+fi
+
+if [[ "$MODE" == "coverage" ]]; then
+  if ! command -v gcovr >/dev/null 2>&1; then
+    echo "== gcovr not installed; skipping coverage stage =="
+    exit 0
+  fi
+  echo "== coverage build (SMILER_ENABLE_COVERAGE) =="
+  cmake -B build-cov -S . \
+    -DSMILER_ENABLE_COVERAGE=ON \
+    -DSMILER_BUILD_BENCHMARKS=OFF \
+    -DSMILER_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-cov -j >/dev/null
+  ctest --test-dir build-cov --output-on-failure -j "$(nproc)" >/dev/null
+  echo "== line coverage: src/serve + src/index =="
+  gcovr --root . \
+    --filter 'src/serve/.*' --filter 'src/index/.*' \
+    --object-directory build-cov \
+    --print-summary
+  exit 0
+fi
 
 echo "== tier-1 build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 
+echo "== test registration audit =="
+# Belt (CMake FATAL_ERRORs on unregistered tests/*_test.cc at configure
+# time) and suspenders: every discovered ctest entry must carry a tier
+# label, so `ctest -L tier1` + `-L tier2` together cover the whole suite.
+TOTAL=$(ctest --test-dir build -N | sed -n 's/^Total Tests: //p')
+TIER1=$(ctest --test-dir build -N -L tier1 | sed -n 's/^Total Tests: //p')
+TIER2=$(ctest --test-dir build -N -L tier2 | sed -n 's/^Total Tests: //p')
+if [[ "$TOTAL" -ne $((TIER1 + TIER2)) ]]; then
+  echo "registration audit FAILED: $TOTAL tests discovered but only" \
+       "$TIER1 tier1 + $TIER2 tier2 are labeled" >&2
+  exit 1
+fi
+echo "   $TOTAL tests, all labeled ($TIER1 tier1 + $TIER2 tier2)"
+
 echo "== tier-1 tests =="
-if [[ "$FAST" == 1 ]]; then
+if [[ "$MODE" == "fast" ]]; then
   ctest --test-dir build -L tier1 --output-on-failure -j "$(nproc)"
 else
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 fi
 
-if [[ "$FAST" == 1 ]]; then
+if [[ "$MODE" == "fast" ]]; then
   echo "== skipping TSan pass (--fast) =="
   exit 0
 fi

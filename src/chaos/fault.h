@@ -1,0 +1,166 @@
+#ifndef SMILER_CHAOS_FAULT_H_
+#define SMILER_CHAOS_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smiler {
+namespace chaos {
+
+/// \brief How often one named fault point fires.
+struct FaultSpec {
+  /// Chance that an individual hit fires, in [0, 1].
+  double probability = 0.0;
+  /// Hits consumed before firing is even considered (lets a schedule skip
+  /// the warm-up traffic and target steady state).
+  std::uint64_t skip_first = 0;
+  /// Cap on the number of hits that fire over the schedule's lifetime.
+  std::uint64_t max_triggers = UINT64_MAX;
+};
+
+/// \brief A complete, replayable fault configuration: one PRNG seed plus a
+/// per-point spec. Any run driven by the same (seed, schedule) sees the
+/// same set of (point, hit-index) firings — the decision for hit i of a
+/// point is a pure function of the seed, the point name, and i.
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  std::map<std::string, FaultSpec> points;
+};
+
+/// \brief One firing: hit index \p hit of fault point \p point fired.
+struct TriggerRecord {
+  std::string point;
+  std::uint64_t hit = 0;
+};
+
+/// \brief Process-wide registry of named fault points.
+///
+/// Instrumented code asks `ShouldFire("simgpu.launch")` at each seam (via
+/// the SMILER_FAULT_TRIGGERED / SMILER_INJECT_FAULT macros below, which
+/// compile to nothing unless SMILER_ENABLE_CHAOS is defined). While a
+/// schedule is armed, each call consumes one per-point hit index and fires
+/// iff SplitMix64(seed ^ fnv1a(point), hit) maps below the point's
+/// probability. Because the decision depends only on (seed, point, hit)
+/// — never on wall clock or thread identity — the SET of firing hit
+/// indices is bit-reproducible even when hits are consumed from racing
+/// threads, and a single-threaded closed-loop driver replays the exact
+/// firing sequence.
+///
+/// Thread safety: all methods are safe from any thread. Disarmed cost is
+/// one relaxed atomic load per instrumented call site.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Global();
+
+  /// Arms \p schedule, clearing all previous hit counters and the trigger
+  /// log. Probabilities are clamped to [0, 1].
+  void Configure(FaultSchedule schedule);
+
+  /// Disarms and clears all state (points, counters, log).
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+  /// Consumes one hit of \p point and returns whether it fires. Always
+  /// false when disarmed, paused, or the point is not in the schedule
+  /// (none of which consume a hit index).
+  bool ShouldFire(const char* point);
+
+  /// Pause/Resume (nestable): while paused, ShouldFire returns false
+  /// WITHOUT consuming hit indices. Harness code (invariant checks,
+  /// checkpoint round-trips) wraps itself in a ScopedPause so its own
+  /// engine traffic does not shift the scenario's fault stream.
+  void Pause() { paused_.fetch_add(1, std::memory_order_acq_rel); }
+  void Resume() { paused_.fetch_sub(1, std::memory_order_acq_rel); }
+  bool paused() const { return paused_.load(std::memory_order_acquire) > 0; }
+
+  /// Hits consumed / fired so far for \p point under the current schedule.
+  std::uint64_t HitCount(const std::string& point) const;
+  std::uint64_t TriggerCount(const std::string& point) const;
+  /// Total firings across all points.
+  std::uint64_t TotalTriggers() const;
+
+  /// The firings so far, in append order. The append ORDER may vary when
+  /// hits race across threads; the multiset of records does not — compare
+  /// runs via Fingerprint(), which sorts first.
+  std::vector<TriggerRecord> TriggerLog() const;
+
+  /// Order-independent FNV-1a hash of the trigger log (sorted by
+  /// (point, hit)). Two runs of the same (seed, schedule, workload) must
+  /// produce equal fingerprints.
+  std::uint64_t Fingerprint() const;
+
+  /// The pure decision function, exposed for determinism tests: does hit
+  /// \p hit of \p point fire under \p seed with \p probability?
+  static bool Decide(std::uint64_t seed, const char* point,
+                     std::uint64_t hit, double probability);
+
+ private:
+  FaultRegistry() = default;
+
+  struct PointState {
+    FaultSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  std::atomic<int> paused_{0};
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 0;
+  std::map<std::string, PointState> points_;
+  std::vector<TriggerRecord> log_;
+};
+
+/// RAII Pause/Resume of the global registry.
+class ScopedPause {
+ public:
+  ScopedPause() { FaultRegistry::Global().Pause(); }
+  ~ScopedPause() { FaultRegistry::Global().Resume(); }
+  ScopedPause(const ScopedPause&) = delete;
+  ScopedPause& operator=(const ScopedPause&) = delete;
+};
+
+/// \brief One entry of the fault-point catalog (docs/testing.md mirrors
+/// this table; tests assert the names stay unique).
+struct FaultPointInfo {
+  const char* name;
+  const char* layer;
+  const char* effect;
+};
+
+/// Every fault point instrumented across the tree, plus the driver-side
+/// `ts.anomaly` point the ScenarioRunner consumes directly.
+const std::vector<FaultPointInfo>& KnownFaultPoints();
+
+}  // namespace chaos
+}  // namespace smiler
+
+// --- Instrumentation macros -------------------------------------------
+//
+// SMILER_FAULT_TRIGGERED(point): expression, true iff the armed schedule
+// fires this hit. Compiles to the constant `false` (the registry call and
+// the point name disappear entirely) unless SMILER_ENABLE_CHAOS is
+// defined, so release builds pay nothing.
+//
+// SMILER_INJECT_FAULT(point, status_expr): statement; returns status_expr
+// from the enclosing function when the point fires.
+#if defined(SMILER_ENABLE_CHAOS)
+#define SMILER_FAULT_TRIGGERED(point) \
+  (::smiler::chaos::FaultRegistry::Global().ShouldFire(point))
+#else
+#define SMILER_FAULT_TRIGGERED(point) (false)
+#endif
+
+#define SMILER_INJECT_FAULT(point, status_expr) \
+  do {                                          \
+    if (SMILER_FAULT_TRIGGERED(point)) {        \
+      return (status_expr);                     \
+    }                                           \
+  } while (false)
+
+#endif  // SMILER_CHAOS_FAULT_H_

@@ -220,6 +220,10 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
 
 Status SensorEngine::Observe(double value) {
   SMILER_TRACE_SPAN("engine.observe");
+  // Reject non-finite samples before ANY state is touched: the pending
+  // queue, the ensemble weights, and the index must stay exactly as they
+  // were so a client can drop the bad sample and continue.
+  SMILER_RETURN_NOT_OK(ts::ValidateObservation(value));
   static obs::Counter& observations =
       obs::Registry::Global().GetCounter("engine.observations");
   observations.Increment();

@@ -45,7 +45,8 @@ ItemQueryResult GpuScanOneItem(simgpu::Device* device,
   device->Launch("index.scan_dtw", n_blocks, cfg.omega,
                  [&](simgpu::BlockContext& ctx) {
     double* shq = ctx.shared->Alloc<double>(d);
-    std::memcpy(shq, q, sizeof(double) * d);
+    if (shq != nullptr) std::memcpy(shq, q, sizeof(double) * d);
+    const double* qv = shq != nullptr ? shq : q;  // same values either way
     const int rho = banded ? cfg.rho : d;
     double* scratch =
         ctx.shared->Alloc<double>(dtw::CompressedDtwScratchSize(rho));
@@ -57,7 +58,7 @@ ItemQueryResult GpuScanOneItem(simgpu::Device* device,
       scratch = heap_scratch.data();
     }
     for (long t = ctx.block_id; t < t_count; t += ctx.grid_dim) {
-      dist[t] = dtw::CompressedDtw(shq, series.data() + t, d, rho, scratch);
+      dist[t] = dtw::CompressedDtw(qv, series.data() + t, d, rho, scratch);
     }
   });
   if (stats != nullptr) {

@@ -560,11 +560,20 @@ Status SmilerIndex::SearchItem(std::size_t item, const LowerBoundTable& table,
         [self, cand_ptr, dist_ptr, seed_dists_ptr, tau_ptr, abandoned_ptr,
          pruned_ptr, q, d, k](simgpu::BlockContext& ctx) {
           // The query and the compressed warping matrix live in shared
-          // memory (Appendix E / Algorithm 2).
+          // memory (Appendix E / Algorithm 2). Either allocation can fail
+          // (arena exhausted, or chaos-injected); the fallbacks — reading
+          // the query from global memory, heap scratch — consume the very
+          // same values, so results stay bitwise-identical either way.
           double* shq = ctx.shared->Alloc<double>(d);
-          std::memcpy(shq, q, sizeof(double) * d);
+          if (shq != nullptr) std::memcpy(shq, q, sizeof(double) * d);
+          const double* qv = shq != nullptr ? shq : q;
           double* scratch = ctx.shared->Alloc<double>(
               dtw::CompressedDtwScratchSize(self->cfg_.rho));
+          std::vector<double> heap_scratch;
+          if (scratch == nullptr) {
+            heap_scratch.resize(dtw::CompressedDtwScratchSize(self->cfg_.rho));
+            scratch = heap_scratch.data();
+          }
           // Block-local top-k of true distances (seeds plus what this
           // block verified). Its k-th smallest is the k-th best of a
           // subset of real candidates, hence a valid upper bound on the
@@ -585,7 +594,7 @@ Status SmilerIndex::SearchItem(std::size_t item, const LowerBoundTable& table,
               continue;
             }
             const double dist = dtw::CompressedDtwEarlyAbandon(
-                shq, self->series_.data() + c.t, d, self->cfg_.rho, tau_now,
+                qv, self->series_.data() + c.t, d, self->cfg_.rho, tau_now,
                 scratch);
             if (dist == kInf) {
               abandoned_ptr->fetch_add(1, std::memory_order_relaxed);

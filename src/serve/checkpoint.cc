@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "chaos/fault.h"
+
 namespace smiler {
 namespace serve {
 
@@ -276,12 +278,23 @@ Status Checkpoint::Save(const std::string& path,
     if (!file) {
       return Status::Internal("cannot open '" + tmp + "' for writing");
     }
+    if (SMILER_FAULT_TRIGGERED("ckpt.write")) {
+      // Torn write: half the blob reaches the .tmp file, the write fails,
+      // and — crucially — the previous checkpoint at `path` is untouched,
+      // exactly like a crash mid-write under the atomic-rename protocol.
+      file.write(blob.data(), static_cast<std::streamsize>(blob.size() / 2));
+      file.flush();
+      return Status::Internal("write to '" + tmp + "' failed");
+    }
     file.write(blob.data(), static_cast<std::streamsize>(blob.size()));
     file.flush();
     if (!file.good()) {
       return Status::Internal("write to '" + tmp + "' failed");
     }
   }
+  SMILER_INJECT_FAULT("ckpt.rename", Status::Internal("rename '" + tmp +
+                                                      "' -> '" + path +
+                                                      "' failed"));
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::Internal("rename '" + tmp + "' -> '" + path + "' failed");
   }
@@ -296,6 +309,11 @@ Result<std::vector<core::EngineSnapshot>> Checkpoint::Load(
   }
   std::string blob((std::istreambuf_iterator<char>(file)),
                    std::istreambuf_iterator<char>());
+  if (SMILER_FAULT_TRIGGERED("ckpt.read_short") && !blob.empty()) {
+    // Short read: the parser below must turn the truncation into a
+    // Status error — never an OK result carrying a partial fleet.
+    blob.resize(blob.size() / 2);
+  }
   Cursor c{blob.data(), blob.data() + blob.size()};
   char magic[sizeof(kMagic)];
   for (char& ch : magic) ch = c.Get<char>();

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "chaos/fault.h"
 #include "common/thread_pool.h"
 #include "serve/checkpoint.h"
 
@@ -19,6 +20,11 @@ double Seconds(Clock::duration d) {
 
 obs::Counter& RequestsCounter() {
   static obs::Counter& c = obs::Registry::Global().GetCounter("serve.requests");
+  return c;
+}
+obs::Counter& CompletedCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("serve.completed");
   return c;
 }
 obs::Counter& RejectedCounter() {
@@ -109,9 +115,12 @@ std::future<Response> PredictionServer::Enqueue(Request req) {
     // Admission control: a full queue rejects immediately rather than
     // blocking the client or buffering without bound. Snapshot requests
     // bypass the capacity check — they are rare control-plane barriers
-    // and must not be starved by data-plane load.
+    // and must not be starved by data-plane load. The chaos point shares
+    // this branch so an injected rejection is indistinguishable from a
+    // real full-queue one (same status, same counter).
     if (req.kind != Request::Kind::kSnapshot &&
-        shard.queue.size() >= options_.queue_capacity) {
+        (shard.queue.size() >= options_.queue_capacity ||
+         SMILER_FAULT_TRIGGERED("serve.enqueue"))) {
       RejectedCounter().Increment();
       req.promise.set_value(
           {Status::ResourceExhausted("request queue is full"),
@@ -240,6 +249,10 @@ void PredictionServer::Respond(Shard* shard, Request* req, Response response) {
   shard->latency->Observe(latency);
   LatencyHistogram().Observe(latency);
   shard->queue_depth->Add(-1.0);
+  // Every admitted request passes through here exactly once (success,
+  // engine error, or deadline shed alike), so after a drain the counters
+  // conserve: serve.requests == serve.completed.
+  CompletedCounter().Increment();
   req->promise.set_value(std::move(response));
 }
 

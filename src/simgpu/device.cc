@@ -14,6 +14,9 @@ Status Device::Launch(const char* name, int grid_dim, int block_dim,
     return Status::InvalidArgument("grid_dim must be >= 0, block_dim > 0");
   }
   if (grid_dim == 0) return Status::OK();
+  SMILER_INJECT_FAULT(
+      "simgpu.launch",
+      Status::Internal(std::string("injected launch failure: ") + name));
 
   stats_.kernels_launched += 1;
   stats_.blocks_executed += static_cast<std::uint64_t>(grid_dim);
@@ -53,6 +56,10 @@ Status Device::Launch(const char* name, int grid_dim, int block_dim,
 }
 
 Status Device::AllocateBytes(std::size_t bytes) {
+  SMILER_INJECT_FAULT(
+      "simgpu.alloc",
+      Status::ResourceExhausted("injected device allocation failure: request=" +
+                                std::to_string(bytes)));
   std::size_t current = used_.load();
   for (;;) {
     if (current + bytes > budget_) {

@@ -5,8 +5,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <vector>
 
+#include "chaos/fault.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 
@@ -26,14 +28,23 @@ class SharedMemory {
 
   /// Bump-allocates \p count elements of T. Returns nullptr when the
   /// request exceeds the remaining capacity (kernel authors must treat
-  /// this like exceeding CUDA shared memory: restructure the kernel).
+  /// this like exceeding CUDA shared memory: restructure the kernel or
+  /// fall back to global/heap memory).
   template <typename T>
   T* Alloc(std::size_t count) {
+    if (SMILER_FAULT_TRIGGERED("shared_mem.alloc")) return nullptr;
     const std::size_t align = alignof(T);
-    std::size_t offset = (used_ + align - 1) / align * align;
-    const std::size_t bytes = count * sizeof(T);
-    if (offset + bytes > data_.size()) return nullptr;
-    used_ = offset + bytes;
+    // Align the absolute address, not just the offset: the arena base is
+    // only guaranteed new-aligned, so an over-aligned T must shift its
+    // first allocation relative to the base.
+    const auto base = reinterpret_cast<std::uintptr_t>(data_.data());
+    const std::uintptr_t aligned = (base + used_ + align - 1) / align * align;
+    const std::size_t offset = static_cast<std::size_t>(aligned - base);
+    if (offset > data_.size()) return nullptr;
+    // Divide instead of multiplying: `count * sizeof(T)` can wrap, which
+    // would hand out a pointer into a too-small arena.
+    if (count > (data_.size() - offset) / sizeof(T)) return nullptr;
+    used_ = offset + count * sizeof(T);
     if (used_ > high_water_) high_water_ = used_;
     return reinterpret_cast<T*>(data_.data() + offset);
   }
@@ -195,15 +206,26 @@ class DeviceBuffer {
 
   /// Grows or shrinks the buffer, adjusting the device budget. Fails when
   /// growth exceeds the budget (existing contents preserved on failure).
+  /// Budget accounting stays exact on every path: a charge is refunded if
+  /// the host-side resize throws, and a shrink only releases budget after
+  /// the (non-throwing) resize has happened.
   Status Resize(std::size_t n) {
     if (device_ == nullptr) return Status::FailedPrecondition("unallocated");
     if (n > data_.size()) {
-      SMILER_RETURN_NOT_OK(
-          device_->AllocateBytes((n - data_.size()) * sizeof(T)));
+      const std::size_t grow_bytes = (n - data_.size()) * sizeof(T);
+      SMILER_RETURN_NOT_OK(device_->AllocateBytes(grow_bytes));
+      try {
+        data_.resize(n);
+      } catch (const std::bad_alloc&) {
+        device_->FreeBytes(grow_bytes);
+        return Status::ResourceExhausted(
+            "host allocation failed while growing device buffer");
+      }
     } else {
-      device_->FreeBytes((data_.size() - n) * sizeof(T));
+      const std::size_t shrink_bytes = (data_.size() - n) * sizeof(T);
+      data_.resize(n);  // shrinking never allocates, hence never throws
+      device_->FreeBytes(shrink_bytes);
     }
-    data_.resize(n);
     return Status::OK();
   }
 

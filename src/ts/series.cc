@@ -7,6 +7,14 @@
 namespace smiler {
 namespace ts {
 
+Status ValidateObservation(double value) {
+  if (!std::isfinite(value)) {
+    return Status::InvalidArgument("observation must be finite, got " +
+                                   std::to_string(value));
+  }
+  return Status::OK();
+}
+
 std::pair<double, double> ZNormalize(std::vector<double>* values) {
   if (values->empty()) return {0.0, 1.0};
   const double mean = Mean(*values);

@@ -69,6 +69,13 @@ class TimeSeries {
   std::vector<double> values_;
 };
 
+/// \brief Validates a raw observation before it may mutate engine state:
+/// NaN and infinities are rejected with InvalidArgument. A non-finite
+/// value that slipped into a series would poison every envelope, lower
+/// bound, and DTW distance derived from it, so ingestion paths
+/// (SensorEngine::Observe) gate on this BEFORE touching any state.
+Status ValidateObservation(double value);
+
 /// \brief Z-normalizes \p values in place: subtracts the mean, divides by
 /// the standard deviation. A constant series becomes all zeros.
 /// Returns the (mean, stddev) used, enabling later de-normalization.

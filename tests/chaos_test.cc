@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "chaos/fault.h"
+#include "chaos/invariants.h"
+#include "chaos/scenario.h"
+#include "core/engine.h"
+#include "simgpu/device.h"
+#include "ts/datasets.h"
+
+namespace smiler {
+namespace chaos {
+namespace {
+
+FaultSchedule OnePoint(const std::string& point, double probability,
+                       std::uint64_t seed = 7) {
+  FaultSchedule schedule;
+  schedule.seed = seed;
+  FaultSpec spec;
+  spec.probability = probability;
+  schedule.points[point] = spec;
+  return schedule;
+}
+
+/// Registry state never leaks across tests.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().Disarm(); }
+};
+
+TEST_F(ChaosTest, DecideIsPureAndSeeded) {
+  // Same inputs, same verdict — the decision is a pure function.
+  for (std::uint64_t hit = 0; hit < 64; ++hit) {
+    EXPECT_EQ(FaultRegistry::Decide(42, "ckpt.write", hit, 0.3),
+              FaultRegistry::Decide(42, "ckpt.write", hit, 0.3));
+  }
+  // Degenerate probabilities are exact, not approximate.
+  for (std::uint64_t hit = 0; hit < 64; ++hit) {
+    EXPECT_FALSE(FaultRegistry::Decide(42, "ckpt.write", hit, 0.0));
+    EXPECT_TRUE(FaultRegistry::Decide(42, "ckpt.write", hit, 1.0));
+  }
+  // Seed and point both matter: verdict vectors must not be constant.
+  int diff_seed = 0, diff_point = 0;
+  for (std::uint64_t hit = 0; hit < 256; ++hit) {
+    diff_seed += FaultRegistry::Decide(1, "a", hit, 0.5) !=
+                 FaultRegistry::Decide(2, "a", hit, 0.5);
+    diff_point += FaultRegistry::Decide(1, "a", hit, 0.5) !=
+                  FaultRegistry::Decide(1, "b", hit, 0.5);
+  }
+  EXPECT_GT(diff_seed, 0);
+  EXPECT_GT(diff_point, 0);
+  // The firing rate tracks the probability (loose CLT bound).
+  int fired = 0;
+  for (std::uint64_t hit = 0; hit < 10000; ++hit) {
+    fired += FaultRegistry::Decide(9, "simgpu.launch", hit, 0.1);
+  }
+  EXPECT_NEAR(fired / 10000.0, 0.1, 0.02);
+}
+
+TEST_F(ChaosTest, ShouldFireReplaysExactlyAcrossReconfigure) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  const FaultSchedule schedule = OnePoint("ckpt.write", 0.25, 99);
+  std::vector<bool> first;
+  reg.Configure(schedule);
+  for (int i = 0; i < 200; ++i) first.push_back(reg.ShouldFire("ckpt.write"));
+  const std::vector<TriggerRecord> first_log = reg.TriggerLog();
+  const std::uint64_t first_fp = reg.Fingerprint();
+  ASSERT_FALSE(first_log.empty());
+
+  reg.Configure(schedule);  // replay: counters and log reset
+  std::vector<bool> second;
+  for (int i = 0; i < 200; ++i) second.push_back(reg.ShouldFire("ckpt.write"));
+  EXPECT_EQ(first, second);
+  ASSERT_EQ(first_log.size(), reg.TriggerLog().size());
+  for (std::size_t i = 0; i < first_log.size(); ++i) {
+    EXPECT_EQ(first_log[i].point, reg.TriggerLog()[i].point);
+    EXPECT_EQ(first_log[i].hit, reg.TriggerLog()[i].hit);
+  }
+  EXPECT_EQ(first_fp, reg.Fingerprint());
+}
+
+TEST_F(ChaosTest, DisarmedUnconfiguredAndPausedConsumeNoHits) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  // Disarmed: no consumption at all.
+  reg.Disarm();
+  EXPECT_FALSE(reg.ShouldFire("ckpt.write"));
+  reg.Configure(OnePoint("ckpt.write", 1.0));
+  EXPECT_EQ(reg.HitCount("ckpt.write"), 0u);
+  // Unconfigured point: armed registry still must not track it.
+  EXPECT_FALSE(reg.ShouldFire("ckpt.rename"));
+  EXPECT_EQ(reg.HitCount("ckpt.rename"), 0u);
+  // Paused: harness-internal traffic leaves the hit sequence untouched,
+  // so the post-pause firing pattern equals the uninterrupted one.
+  reg.Configure(OnePoint("ckpt.write", 0.5, 123));
+  std::vector<bool> uninterrupted;
+  for (int i = 0; i < 100; ++i) {
+    uninterrupted.push_back(reg.ShouldFire("ckpt.write"));
+  }
+  reg.Configure(OnePoint("ckpt.write", 0.5, 123));
+  std::vector<bool> with_pause;
+  for (int i = 0; i < 100; ++i) {
+    if (i == 50) {
+      ScopedPause pause;
+      for (int j = 0; j < 37; ++j) {
+        EXPECT_FALSE(reg.ShouldFire("ckpt.write"));
+      }
+    }
+    with_pause.push_back(reg.ShouldFire("ckpt.write"));
+  }
+  EXPECT_EQ(uninterrupted, with_pause);
+}
+
+TEST_F(ChaosTest, SkipFirstAndMaxTriggersShapeTheSchedule) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  FaultSchedule schedule;
+  schedule.seed = 5;
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.skip_first = 3;
+  spec.max_triggers = 2;
+  schedule.points["serve.enqueue"] = spec;
+  reg.Configure(schedule);
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) fired.push_back(reg.ShouldFire("serve.enqueue"));
+  const std::vector<bool> expect = {false, false, false, true, true,
+                                    false, false, false, false, false};
+  EXPECT_EQ(fired, expect);
+  EXPECT_EQ(reg.TriggerCount("serve.enqueue"), 2u);
+  EXPECT_EQ(reg.HitCount("serve.enqueue"), 10u);
+}
+
+TEST_F(ChaosTest, CatalogNamesAreUniqueAndDocumented) {
+  const std::vector<FaultPointInfo>& catalog = KnownFaultPoints();
+  EXPECT_GE(catalog.size(), 8u);
+  std::unordered_set<std::string> names;
+  for (const FaultPointInfo& info : catalog) {
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate fault point " << info.name;
+    EXPECT_GT(std::string(info.layer).size(), 0u) << info.name;
+    EXPECT_GT(std::string(info.effect).size(), 0u) << info.name;
+  }
+}
+
+TEST_F(ChaosTest, MacroCompilesToConfiguredBehavior) {
+  FaultRegistry::Global().Configure(OnePoint("simgpu.launch", 1.0));
+#if defined(SMILER_ENABLE_CHAOS)
+  EXPECT_TRUE(SMILER_FAULT_TRIGGERED("simgpu.launch"));
+#else
+  // Zero-overhead build: the macro is the literal `false`, whatever the
+  // registry says.
+  EXPECT_FALSE(SMILER_FAULT_TRIGGERED("simgpu.launch"));
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// InvariantChecker against a real engine.
+
+SmilerConfig SmallConfig() {
+  SmilerConfig cfg;
+  cfg.rho = 4;
+  cfg.omega = 8;
+  cfg.elv = {16, 24};
+  cfg.ekv = {4, 8};
+  return cfg;
+}
+
+core::SensorEngine StreamedEngine(simgpu::Device* device, int history_points,
+                                  int steps) {
+  auto data = ts::MakeDataset(
+      {ts::DatasetKind::kRoad, 1, history_points + steps, 64, 77, true});
+  const std::vector<double>& full = (*data)[0].values();
+  ts::TimeSeries history(
+      "s0", std::vector<double>(full.begin(), full.begin() + history_points));
+  auto engine =
+      core::SensorEngine::Create(device, history, SmallConfig(),
+                                 core::PredictorKind::kAr);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  for (int i = 0; i < steps; ++i) {
+    EXPECT_TRUE(engine->Predict(nullptr).ok());
+    EXPECT_TRUE(engine->Observe(full[history_points + i]).ok());
+  }
+  return std::move(*engine);
+}
+
+TEST_F(ChaosTest, HealthyStreamedEngineHasNoViolations) {
+  simgpu::Device device;
+  // Enough steps that the posting ring wraps and the head-region rows
+  // (stale-but-valid LBEQ underestimates) are exercised: the deep
+  // recompute check must accept them, not flag them.
+  core::SensorEngine engine = StreamedEngine(&device, 64, 30);
+  std::vector<std::string> violations;
+  InvariantChecker::CheckEngineSnapshot("healthy", engine.Snapshot(),
+                                        &violations);
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST_F(ChaosTest, CheckerDetectsCraftedCorruption) {
+  simgpu::Device device;
+  core::SensorEngine engine = StreamedEngine(&device, 64, 12);
+  const core::EngineSnapshot clean = engine.Snapshot();
+
+  {  // A silently corrupted posting entry (bound raised = candidates
+     // wrongly pruned) is exactly what the deep check exists to catch.
+    core::EngineSnapshot snap = clean;
+    snap.index.arena[snap.index.arena.size() / 2] += 1.0;
+    std::vector<std::string> v;
+    EXPECT_GT(InvariantChecker::CheckEngineSnapshot("arena", snap, &v), 0);
+  }
+  {  // Envelope drift away from the recompute.
+    core::EngineSnapshot snap = clean;
+    snap.index.env_c_upper[3] += 0.5;
+    std::vector<std::string> v;
+    EXPECT_GT(InvariantChecker::CheckEngineSnapshot("env", snap, &v), 0);
+  }
+  {  // Threshold seed pointing outside the series.
+    core::EngineSnapshot snap = clean;
+    ASSERT_FALSE(snap.index.prev_knn.empty());
+    ASSERT_FALSE(snap.index.prev_knn[0].empty());
+    snap.index.prev_knn[0][0].t =
+        static_cast<long>(snap.index.series.size());
+    std::vector<std::string> v;
+    EXPECT_GT(InvariantChecker::CheckEngineSnapshot("knn", snap, &v), 0);
+  }
+  {  // Pending forecast whose target is already in the past.
+    core::EngineSnapshot snap = clean;
+    snap.pending.resize(1);
+    snap.pending[0].target_time = 0;
+    snap.pending[0].grid = predictors::PredictionGrid(
+        static_cast<int>(snap.config.ekv.size()),
+        static_cast<int>(snap.config.elv.size()));
+    std::vector<std::string> v;
+    EXPECT_GT(InvariantChecker::CheckEngineSnapshot("pending", snap, &v), 0);
+  }
+  // And the clean snapshot still passes (the corruptions above were on
+  // copies).
+  std::vector<std::string> v;
+  EXPECT_EQ(InvariantChecker::CheckEngineSnapshot("clean", clean, &v), 0)
+      << v.front();
+}
+
+TEST_F(ChaosTest, CheckpointRoundTripIsByteStable) {
+  simgpu::Device device;
+  core::SensorEngine engine = StreamedEngine(&device, 64, 8);
+  std::vector<std::string> v;
+  EXPECT_EQ(InvariantChecker::CheckCheckpointRoundTrip(
+                {engine.Snapshot()}, testing::TempDir(), &v),
+            0)
+      << v.front();
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioRunner determinism.
+
+TEST_F(ChaosTest, ScenarioReplaysBitIdentically) {
+  ScenarioOptions options;
+  options.seed = 11;
+  options.num_sensors = 3;
+  options.history_points = 64;
+  options.steps = 10;
+  options.check_every = 5;
+  options.scratch_dir = testing::TempDir();
+  // In the default (chaos-off) build only the driver-side ts.anomaly
+  // point is live; give it a high rate so the anomaly path is exercised.
+  options.schedule = OnePoint("ts.anomaly", 0.3);
+  ScenarioResult a = ScenarioRunner(options).Run();
+  ScenarioResult b = ScenarioRunner(options).Run();
+
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  EXPECT_TRUE(a.violations.empty()) << a.violations.front();
+  EXPECT_GT(a.faults_fired, 0u);  // anomalies actually flowed
+  EXPECT_GT(a.status_counts["InvalidArgument"], 0u);  // NaN/inf rejected
+
+  // Bit-for-bit replay: fingerprint, trigger log, outcome histogram.
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.status_counts, b.status_counts);
+  ASSERT_EQ(a.trigger_log.size(), b.trigger_log.size());
+  for (std::size_t i = 0; i < a.trigger_log.size(); ++i) {
+    EXPECT_EQ(a.trigger_log[i].point, b.trigger_log[i].point);
+    EXPECT_EQ(a.trigger_log[i].hit, b.trigger_log[i].hit);
+  }
+  EXPECT_EQ(a.quarantined, b.quarantined);
+  EXPECT_EQ(a.ops, b.ops);
+}
+
+TEST_F(ChaosTest, ScenarioDifferentSeedsDiverge) {
+  ScenarioOptions options;
+  options.num_sensors = 2;
+  options.history_points = 64;
+  options.steps = 6;
+  options.check_every = 3;
+  options.schedule = OnePoint("ts.anomaly", 0.3);
+  options.seed = 21;
+  ScenarioResult a = ScenarioRunner(options).Run();
+  options.seed = 22;
+  ScenarioResult b = ScenarioRunner(options).Run();
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+}  // namespace
+}  // namespace chaos
+}  // namespace smiler

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "simgpu/device.h"
@@ -137,6 +140,114 @@ TEST(DeviceBufferTest, MoveTransfersOwnership) {
   DeviceBuffer<double> third;
   third = std::move(other);
   EXPECT_EQ(device.memory_used(), 128u);
+}
+
+TEST(SharedMemoryTest, OverflowingCountIsRejectedNotWrapped) {
+  SharedMemory shm(1024);
+  // count * sizeof(T) would wrap std::size_t; the capacity check must be
+  // phrased division-side so the request is rejected, not wrapped into a
+  // tiny "fitting" byte count.
+  const std::size_t wrap = std::numeric_limits<std::size_t>::max() / 8 + 2;
+  EXPECT_EQ(shm.Alloc<double>(wrap), nullptr);
+  EXPECT_EQ(shm.used(), 0u);  // failed allocs consume nothing
+  // Still usable afterwards.
+  EXPECT_NE(shm.Alloc<double>(8), nullptr);
+}
+
+TEST(SharedMemoryTest, OverAlignedTypesGetAbsoluteAlignment) {
+  struct alignas(64) CacheLine {
+    char bytes[64];
+  };
+  SharedMemory shm(1024);
+  ASSERT_NE(shm.Alloc<char>(3), nullptr);  // misalign the bump pointer
+  CacheLine* line = shm.Alloc<CacheLine>(2);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(line) % alignof(CacheLine), 0u);
+}
+
+TEST(SharedMemoryTest, AllocationPropertySweep) {
+  // Deterministic pseudo-random alloc sequences: every success must be
+  // aligned, inside the arena, and disjoint from every earlier block;
+  // every failure must leave used() untouched.
+  constexpr std::size_t kCapacity = 4096;
+  SharedMemory shm(kCapacity);
+  std::uint64_t rng = 0x2545F4914F6CDD1DULL;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int round = 0; round < 50; ++round) {
+    shm.Reset();
+    ASSERT_EQ(shm.used(), 0u);
+    std::vector<std::pair<uintptr_t, uintptr_t>> blocks;  // [begin, end)
+    for (int i = 0; i < 40; ++i) {
+      const std::size_t count = next() % 96 + 1;
+      const std::size_t before = shm.used();
+      uintptr_t begin = 0, end = 0;
+      std::size_t align = 0;
+      switch (next() % 3) {
+        case 0: {
+          char* p = shm.Alloc<char>(count);
+          if (p == nullptr) break;
+          begin = reinterpret_cast<uintptr_t>(p);
+          end = begin + count;
+          align = alignof(char);
+          break;
+        }
+        case 1: {
+          double* p = shm.Alloc<double>(count);
+          if (p == nullptr) break;
+          begin = reinterpret_cast<uintptr_t>(p);
+          end = begin + count * sizeof(double);
+          align = alignof(double);
+          break;
+        }
+        default: {
+          long* p = shm.Alloc<long>(count);
+          if (p == nullptr) break;
+          begin = reinterpret_cast<uintptr_t>(p);
+          end = begin + count * sizeof(long);
+          align = alignof(long);
+          break;
+        }
+      }
+      if (begin == 0) {
+        EXPECT_EQ(shm.used(), before);  // failure is side-effect free
+        continue;
+      }
+      EXPECT_EQ(begin % align, 0u);
+      EXPECT_GE(shm.used(), before);
+      EXPECT_LE(shm.used(), kCapacity);
+      for (const auto& [obegin, oend] : blocks) {
+        EXPECT_TRUE(end <= obegin || begin >= oend)
+            << "blocks overlap: [" << begin << ", " << end << ") vs ["
+            << obegin << ", " << oend << ")";
+      }
+      blocks.emplace_back(begin, end);
+    }
+  }
+}
+
+TEST(DeviceBufferTest, FailedGrowLeaksNoBudget) {
+  // Regression: a grow that fails admission must leave the accounting
+  // untouched, so a later shrink + regrow cycle still balances to zero.
+  Device device(/*memory_budget_bytes=*/4096);
+  auto buf = DeviceBuffer<double>::Create(&device, 512);  // exactly full
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(device.memory_used(), 4096u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(buf->Resize(513).code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(buf->size(), 512u);
+    EXPECT_EQ(device.memory_used(), 4096u);  // no leak per failed attempt
+  }
+  ASSERT_TRUE(buf->Resize(256).ok());
+  EXPECT_EQ(device.memory_used(), 2048u);
+  ASSERT_TRUE(buf->Resize(512).ok());  // the freed budget is really free
+  EXPECT_EQ(device.memory_used(), 4096u);
+  ASSERT_TRUE(buf->Resize(0).ok());
+  EXPECT_EQ(device.memory_used(), 0u);  // balanced after the whole dance
 }
 
 TEST(DeviceTest, ConcurrentBlocksShareGlobalMemorySafely) {
