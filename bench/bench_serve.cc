@@ -21,7 +21,8 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "obs/metrics.h"
+#include "common/thread_pool.h"
+#include "obs/obs.h"
 #include "serve/server.h"
 
 namespace {
@@ -56,7 +57,13 @@ int main(int argc, char** argv) {
           s.sensor_id(),
           std::vector<double>(s.values().begin(), s.values().begin() + warmup));
     }
-    static simgpu::Device device;  // engines of both phases charge here
+    // Engines of both phases charge one device. It gets a dedicated
+    // two-worker block pool (a device's execution resources are its own,
+    // not the host's), which also keeps the request fan-out crossing
+    // onto pool workers — and thus visible in the exemplar span trees —
+    // on single-core runners where the default pool has no helpers.
+    static ThreadPool device_pool(2);
+    static simgpu::Device device(6ULL << 30, 64ULL << 10, &device_pool);
     return core::MultiSensorManager::Create(&device, histories, cfg,
                                             core::PredictorKind::kAr);
   };
@@ -100,7 +107,12 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
-  obs::Registry::Global().ResetAll();  // isolate the serve measurement
+  // Isolate the serve measurement: reset the registry and drop the
+  // baseline phase's spans/exemplars so the attribution table and the
+  // exemplar trace describe only the sharded-server phase.
+  obs::Registry::Global().ResetAll();
+  obs::ExemplarReservoir::Global().Clear();
+  obs::Tracer::Global().Clear();
 
   const int num_clients =
       static_cast<int>(std::min<std::size_t>(4, sensors.size()));
@@ -131,11 +143,50 @@ int main(int argc, char** argv) {
       serve_requests / serve_seconds, serve_seconds, (*server)->num_shards(),
       num_clients, lat.p50 * 1e6, lat.p99 * 1e6);
 
+  // Per-stage attribution: global owner-clock totals (all 8 stages, even
+  // the ones this AR workload never touches — readers should see a 0, not
+  // a missing key) plus the per-shard breakdown from the serve gauges.
+  std::printf("%s", obs::AttributionTableText().c_str());
+  obs::Registry& reg = obs::Registry::Global();
+  std::string attribution = "  \"attribution\": {\n    \"stages_seconds_total\": {";
+  for (int s = 0; s < obs::kNumStages; ++s) {
+    const auto snap =
+        reg.GetHistogram(std::string("obs.request.stage.") +
+                         obs::StageName(static_cast<obs::Stage>(s)) +
+                         "_seconds")
+            .Snap();
+    attribution += std::string(s == 0 ? "" : ",") + "\n      \"" +
+                   obs::StageName(static_cast<obs::Stage>(s)) +
+                   "\": " + std::to_string(snap.sum);
+  }
+  attribution += "\n    },\n    \"unattributed_seconds_total\": " +
+                 std::to_string(
+                     reg.GetHistogram("obs.request.unattributed_seconds")
+                         .Snap()
+                         .sum) +
+                 ",\n    \"per_shard_seconds_total\": {";
+  for (int sh = 0; sh < (*server)->num_shards(); ++sh) {
+    attribution += std::string(sh == 0 ? "" : ",") + "\n      \"shard" +
+                   std::to_string(sh) + "\": {";
+    for (int s = 0; s < obs::kNumStages; ++s) {
+      const double v =
+          reg.GetGauge("serve.shard" + std::to_string(sh) + ".stage." +
+                       obs::StageName(static_cast<obs::Stage>(s)) +
+                       "_seconds_total")
+              .value();
+      attribution += std::string(s == 0 ? "" : ", ") + "\"" +
+                     obs::StageName(static_cast<obs::Stage>(s)) +
+                     "\": " + std::to_string(v);
+    }
+    attribution += "}";
+  }
+  attribution += "\n    }\n  },\n";
+
   const std::string json =
       std::string("{\n") +
       "  \"workload\": \"bench_serve fig12 SMiLer-AR\",\n" +
       "  \"sensors\": " + std::to_string(scale.sensors) + ",\n" +
-      "  \"steps\": " + std::to_string(steps) + ",\n" +
+      "  \"steps\": " + std::to_string(steps) + ",\n" + attribution +
       "  \"serve\": {\n" +
       "    \"num_shards\": " + std::to_string((*server)->num_shards()) +
       ",\n" +

@@ -17,6 +17,7 @@ namespace {
 std::string* g_metrics_json_path = nullptr;
 std::string* g_metrics_prom_path = nullptr;
 std::string* g_trace_path = nullptr;
+std::string* g_trace_exemplars_path = nullptr;
 
 void DumpObsAtExit() {
   if (g_metrics_json_path != nullptr) {
@@ -35,6 +36,10 @@ void DumpObsAtExit() {
   if (g_trace_path != nullptr) {
     obs::Tracer::Global().WriteChromeTrace(*g_trace_path);
   }
+  if (g_trace_exemplars_path != nullptr) {
+    obs::ExemplarReservoir::Global().WriteChromeTrace(
+        *g_trace_exemplars_path);
+  }
 }
 
 }  // namespace
@@ -52,9 +57,17 @@ void InitObsFlags(int argc, char** argv) {
       g_trace_path = new std::string(argv[i + 1]);
       obs::Tracer::Global().Start();
       any = true;
+    } else if (std::strcmp(argv[i], "--trace-exemplars") == 0) {
+      // Tail exemplars need the raw spans, so this also enables tracing;
+      // the export is filtered to the slowest requests' trace ids.
+      g_trace_exemplars_path = new std::string(argv[i + 1]);
+      obs::Tracer::Global().Start();
+      any = true;
     }
   }
   if (any) std::atexit(DumpObsAtExit);
+  // Benches are long-lived enough to poll: honor SMILER_STATS_PORT.
+  obs::StatsServer::StartFromEnvOnce();
 }
 
 BenchScale GetScale() {

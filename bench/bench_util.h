@@ -39,9 +39,15 @@ BenchScale GetScale();
 ///   --metrics-prom <path>   same registry, Prometheus text format
 ///   --trace <path>          enable span tracing and write a Chrome
 ///                           trace_event file on exit (open in Perfetto)
+///   --trace-exemplars <path> enable span tracing and write, on exit, a
+///                           Chrome trace holding only the span trees of
+///                           the slowest requests retained by the
+///                           ExemplarReservoir (serve-layer benches)
 /// Unknown flags are ignored (benches take no other arguments). The
 /// SMILER_METRICS / SMILER_TRACE environment variables keep working and
-/// the flags take precedence.
+/// the flags take precedence. SMILER_STATS_PORT additionally starts the
+/// live /metrics, /healthz, /attribution endpoint for the bench's
+/// lifetime.
 void InitObsFlags(int argc, char** argv);
 
 /// The three synthetic stand-ins for the paper's datasets.

@@ -9,7 +9,14 @@
 // from the checkpoint — it resumes predicting immediately, no re-indexing
 // and no history replay.
 //
-//   ./examples/smiler_serve [num_sensors] [steps_per_client]
+//   ./examples/smiler_serve [num_sensors] [steps_per_client] \
+//                           [--trace-exemplars <path>]
+//
+// Observability: SMILER_STATS_PORT=<n> serves live /metrics, /healthz and
+// /attribution for the process lifetime (PredictionServer::Create arms
+// it); --trace-exemplars writes the span trees of the slowest requests as
+// a Chrome/Perfetto trace on exit, and the per-stage attribution table is
+// printed after the traffic phase.
 
 #include <atomic>
 #include <chrono>
@@ -20,15 +27,31 @@
 #include <thread>
 #include <vector>
 
+#include <cstring>
+
 #include "core/smiler.h"
-#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "serve/checkpoint.h"
 #include "serve/server.h"
 
 int main(int argc, char** argv) {
   using namespace smiler;
-  const int num_sensors = argc > 1 ? std::atoi(argv[1]) : 8;
-  const int steps = argc > 2 ? std::atoi(argv[2]) : 60;
+  int num_sensors = 8;
+  int steps = 60;
+  std::string exemplars_path;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-exemplars") == 0 && i + 1 < argc) {
+      exemplars_path = argv[++i];
+      obs::Tracer::Global().Start();
+    } else if (positional == 0) {
+      num_sensors = std::atoi(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      steps = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
   const std::string ckpt_path = "/tmp/smiler_serve_example.ckpt";
 
   auto dataset = ts::MakeDataset({ts::DatasetKind::kRoad, num_sensors,
@@ -106,6 +129,11 @@ int main(int argc, char** argv) {
   std::printf("latency p50=%.1fus p99=%.1fus over %llu requests\n",
               lat.p50 * 1e6, lat.p99 * 1e6,
               static_cast<unsigned long long>(lat.count));
+  std::printf("%s", obs::AttributionTableText().c_str());
+  if (obs::StatsServer::Global().running()) {
+    std::printf("live stats on 127.0.0.1:%d (/metrics /healthz /attribution)\n",
+                obs::StatsServer::Global().port());
+  }
   (*server)->Shutdown();  // "crash"
 
   // ---- phase 2: warm restart from the checkpoint ----
@@ -140,6 +168,12 @@ int main(int argc, char** argv) {
       std::printf("  sensor %zu: mean=%+.3f var=%.3f\n", s, pred->mean,
                   pred->variance);
     }
+  }
+  if (!exemplars_path.empty() &&
+      obs::ExemplarReservoir::Global().WriteChromeTrace(exemplars_path)) {
+    std::printf("wrote tail-exemplar trace (%zu slowest requests) to %s\n",
+                obs::ExemplarReservoir::Global().size(),
+                exemplars_path.c_str());
   }
   std::remove(ckpt_path.c_str());
   return 0;

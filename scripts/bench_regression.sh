@@ -17,9 +17,12 @@
 #
 # Stage 3 (serving layer): runs the Fig-12 continuous-prediction workload
 # through the sharded PredictionServer under closed-loop clients and
-# writes BENCH_serve.json — throughput and p50/p99 request latency, with
-# the pre-serve single-caller manager loop re-measured in the same run as
-# the embedded baseline.
+# writes BENCH_serve.json — throughput, p50/p99 request latency, and the
+# per-stage attribution table (owner-clock seconds for each of the eight
+# taxonomy stages, globally and per shard) — with the pre-serve
+# single-caller manager loop re-measured in the same run as the embedded
+# baseline. BENCH_serve_exemplars.json rides along: a Chrome/Perfetto
+# trace holding the span trees of the slowest requests of the run.
 #
 #   scripts/bench_regression.sh            # writes ./BENCH_{la,index,serve}.json
 #   scripts/bench_regression.sh /tmp/out   # writes them under /tmp/out
@@ -172,6 +175,10 @@ PY
 echo "== serving layer (Fig-12 workload through PredictionServer) =="
 # bench_serve measures the sharded server under closed-loop clients and
 # re-measures the pre-serve single-caller manager loop in the same run as
-# the embedded baseline, then writes the JSON itself.
+# the embedded baseline, then writes the JSON itself — including the
+# per-stage attribution table (owner-clock seconds per taxonomy stage,
+# globally and per shard). --trace-exemplars additionally saves the span
+# trees of the slowest requests as a Chrome/Perfetto trace next to it.
 SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" \
-  ./build/bench/bench_serve --out "$OUT_DIR/BENCH_serve.json"
+  ./build/bench/bench_serve --out "$OUT_DIR/BENCH_serve.json" \
+  --trace-exemplars "$OUT_DIR/BENCH_serve_exemplars.json"

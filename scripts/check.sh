@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo gate: tier-1 build + tests, then the obs concurrency tests under
-# ThreadSanitizer.
+# Repo gate: tier-1 build + tests, the obs concurrency tests under
+# ThreadSanitizer, and the tracing-overhead gate (tracing-on must stay
+# within 3% of tracing-off on the smoke Fig-7 bench).
 #
 #   scripts/check.sh             # full gate
 #   scripts/check.sh --fast      # tier-1 label only, skip the TSan pass
@@ -107,6 +108,43 @@ echo "== serve soak under ThreadSanitizer =="
 # mid-run snapshot barrier, and checkpoint IO on the shared thread pool.
 cmake --build build-tsan -j --target serve_soak_test >/dev/null
 ctest --test-dir build-tsan -R 'ServeSoakTest' --output-on-failure
+
+echo "== tracing overhead gate (smoke Fig-7 bench, on vs off) =="
+# Request-scoped tracing must stay cheap enough to leave on in
+# production: with SMILER_TRACE enabled the smoke Fig-7 search bench may
+# run at most 3% slower than with tracing off (plus a small absolute
+# grace so sub-second runs don't fail on timer noise). min-of-2 on each
+# side after a shared warmup keeps the comparison stable.
+cmake --build build -j --target bench_fig07_knn_search >/dev/null
+python3 - <<'PY'
+import subprocess
+import sys
+import tempfile
+import time
+
+BENCH = "./build/bench/bench_fig07_knn_search"
+
+
+def run(env_extra):
+    import os
+    env = dict(os.environ, SMILER_BENCH_SCALE="smoke", **env_extra)
+    t0 = time.monotonic()
+    subprocess.run([BENCH], env=env, check=True,
+                   stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    return time.monotonic() - t0
+
+
+run({})  # warmup: page in the binary and the dataset generator
+with tempfile.NamedTemporaryFile(suffix=".json") as tf:
+    off = min(run({}) for _ in range(2))
+    on = min(run({"SMILER_TRACE": tf.name}) for _ in range(2))
+budget = off * 1.03 + 0.2  # 3% relative + absolute grace for timer noise
+verdict = "OK" if on <= budget else "FAIL"
+print(f"   tracing off {off:.3f}s  on {on:.3f}s  "
+      f"budget {budget:.3f}s  {verdict}")
+if on > budget:
+    sys.exit("tracing overhead gate FAILED: >3% slowdown with SMILER_TRACE")
+PY
 
 echo "== la property tests under ASan+UBSan =="
 cmake -B build-asan -S . \

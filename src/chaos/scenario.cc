@@ -10,6 +10,7 @@
 #include "chaos/invariants.h"
 #include "core/manager.h"
 #include "obs/metrics.h"
+#include "obs/stats_server.h"
 #include "serve/checkpoint.h"
 #include "serve/server.h"
 #include "simgpu/device.h"
@@ -159,6 +160,20 @@ ScenarioResult ScenarioRunner::Run() {
   serve::PredictionServer& server = **server_or;
   const CounterBaseline base = CounterBaseline::Read();
 
+  // Stats endpoint (scaffolding, started before arming): reuse the
+  // process server if it is already up, otherwise start it for the run.
+  int stats_port = -1;
+  bool stats_started_here = false;
+  if (opt_.stats_port >= 0) {
+    obs::StatsServer& stats = obs::StatsServer::Global();
+    if (stats.running()) {
+      stats_port = stats.port();
+    } else {
+      stats_port = stats.Start(opt_.stats_port);
+      stats_started_here = stats_port >= 0;
+    }
+  }
+
   // --- Arm. From here on every exit path must disarm, so the body below
   // has no early returns.
   FaultSchedule schedule = opt_.schedule;
@@ -196,6 +211,11 @@ ScenarioResult ScenarioRunner::Run() {
       ++result.quarantined;
       digest.MixStr("quarantine");
       digest.MixU64(static_cast<std::uint64_t>(sensor));
+      // Surface the drained sensor on /healthz (what an operator's probe
+      // would page on). Cleared in the teardown below; never fingerprinted.
+      obs::HealthRegistry::Global().Set(
+          "serve.sensor" + std::to_string(sensor), false,
+          std::string("quarantined: ") + StatusCodeName(status.code()));
     }
   };
 
@@ -306,6 +326,25 @@ ScenarioResult ScenarioRunner::Run() {
         }
       }
     }
+
+    // Poll the live endpoints mid-storm (faults stay armed: the obs layer
+    // has no fault points, so the probes consume no scheduled hits and
+    // replay determinism holds; probe outcomes are never fingerprinted).
+    if (stats_port >= 0) {
+      const std::string metrics =
+          obs::StatsServer::Get(stats_port, "/metrics");
+      const std::string health =
+          obs::StatsServer::Get(stats_port, "/healthz");
+      const std::string attribution =
+          obs::StatsServer::Get(stats_port, "/attribution");
+      if (metrics.find("smiler_serve_completed") != std::string::npos &&
+          attribution.find("stage") != std::string::npos && !health.empty()) {
+        result.stats_probe_ok = true;
+      }
+      if (health.find("503") != std::string::npos) {
+        result.healthz_degraded_observed = true;
+      }
+    }
   }
 
   server.Shutdown();
@@ -356,6 +395,14 @@ ScenarioResult ScenarioRunner::Run() {
     digest.MixU64(count);
   }
   result.fingerprint = digest.value();
+
+  // Stats teardown: drop the health components this run registered and
+  // stop the endpoint if this run started it (a server that was already
+  // up belongs to the surrounding process and is left alone).
+  for (int s = 0; s < opt_.num_sensors; ++s) {
+    obs::HealthRegistry::Global().Clear("serve.sensor" + std::to_string(s));
+  }
+  if (stats_started_here) obs::StatsServer::Global().Stop();
 
   registry.Disarm();
   return result;

@@ -53,6 +53,13 @@ struct ScenarioOptions {
   /// Directory for checkpoint traffic and round-trip scratch files.
   /// Empty disables all checkpoint exercising.
   std::string scratch_dir;
+  /// Live stats endpoint under fault load: -1 disables (default); >= 0
+  /// starts (or reuses) the process StatsServer on that port (0 =
+  /// ephemeral) and polls /metrics, /healthz and /attribution at every
+  /// invariant-sweep boundary, mid-fault-storm. Probe outcomes land in
+  /// ScenarioResult but stay OUT of the fingerprint — polling must not
+  /// perturb replay determinism.
+  int stats_port = -1;
 };
 
 /// \brief Everything observable about a finished scenario. Two runs with
@@ -81,6 +88,12 @@ struct ScenarioResult {
   /// from invariant sweeps, mirroring how an operator would drain a
   /// wedged shard).
   int quarantined = 0;
+  /// Stats-endpoint probes (stats_port >= 0 only; excluded from the
+  /// fingerprint): true when every polled endpoint answered at least once.
+  bool stats_probe_ok = false;
+  /// True when a /healthz poll returned 503 — i.e. the endpoint surfaced
+  /// a quarantined sensor while the storm was still running.
+  bool healthz_degraded_observed = false;
 
   bool ok() const { return status.ok() && violations.empty(); }
 };

@@ -6,6 +6,8 @@
 
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/trace.h"
 
 namespace smiler {
 
@@ -15,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -34,8 +36,12 @@ thread_local bool t_in_worker = false;
 
 bool ThreadPool::InWorker() { return t_in_worker; }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
   t_in_worker = true;
+  // Self-register with the trace collector so pool workers appear (with a
+  // name) in exported traces even when spawned after tracing startup.
+  obs::Tracer::Global().RegisterCurrentThread(
+      "pool-worker-" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> task;
     {
@@ -84,6 +90,14 @@ struct ForState {
 void ThreadPool::Submit(std::function<void()> task) {
   static obs::Counter& submitted =
       obs::Registry::Global().GetCounter("threadpool.submitted");
+  // Propagate the submitter's request context (if any) across the thread
+  // hop so the task's spans and stage time stay attributed to the request.
+  if (auto ctx = obs::CurrentRequestContextShared()) {
+    task = [ctx = std::move(ctx), inner = std::move(task)] {
+      obs::RequestScope scope(ctx, /*owner=*/false);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
@@ -119,10 +133,22 @@ void ThreadPool::ParallelFor(std::size_t n,
 
   const std::size_t helpers = std::min(num_workers, n) - 1;
   const auto enqueued_at = std::chrono::steady_clock::now();
+  // Helpers execute the caller's request on other threads: bind them to
+  // the caller's context (non-owner) so their spans carry the trace id and
+  // their work lands in the context's parallel-time counters. The calling
+  // thread participates below under its own (possibly owner) binding.
+  std::shared_ptr<obs::RequestContext> ctx =
+      obs::CurrentRequestContextShared();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < helpers; ++i) {
-      tasks_.push([state, enqueued_at] {
+      tasks_.push([state, enqueued_at, ctx] {
+        obs::RequestScope scope(ctx, /*owner=*/false);
+        // The span (not just the binding) is what makes the fan-out
+        // visible in exported traces: without it a helper that only runs
+        // span-free kernel blocks leaves no trace of having carried the
+        // request.
+        SMILER_TRACE_SPAN("threadpool.helper");
         task_wait.Observe(std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - enqueued_at)
                               .count());

@@ -52,7 +52,7 @@ class ThreadPool {
   static bool InWorker();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -153,6 +153,7 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
   std::vector<la::Matrix> column_grams(cols);
   if (kind_ == PredictorKind::kGp) {
     SMILER_TRACE_SPAN("engine.gram_cache");
+    obs::StageScope gram_stage(obs::Stage::kGram);
     static obs::Counter& gram_columns =
         obs::Registry::Global().GetCounter("engine.gram_columns");
     std::vector<int> column_max_k(cols, 0);

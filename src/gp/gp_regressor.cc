@@ -5,6 +5,7 @@
 
 #include "common/math_utils.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 
 namespace smiler {
 namespace gp {
@@ -27,16 +28,20 @@ Result<GpRegressor> GpRegressor::Fit(la::Matrix x, std::vector<double> y,
   GpRegressor gp;
   gp.kernel_ = kernel;
   la::Matrix cov;
-  if (gram != nullptr) {
-    if (gram->rows() != x.rows() || gram->cols() != x.rows()) {
-      return Status::InvalidArgument(
-          "GpRegressor::Fit gram dimensions must match x rows");
+  {
+    obs::StageScope gram_stage(obs::Stage::kGram);
+    if (gram != nullptr) {
+      if (gram->rows() != x.rows() || gram->cols() != x.rows()) {
+        return Status::InvalidArgument(
+            "GpRegressor::Fit gram dimensions must match x rows");
+      }
+      gp.gram_ext_ = *gram;
+      cov = kernel.CovarianceFromSqDist(*gram);
+    } else {
+      cov = kernel.Covariance(x, &gp.sq_dist_);
     }
-    gp.gram_ext_ = *gram;
-    cov = kernel.CovarianceFromSqDist(*gram);
-  } else {
-    cov = kernel.Covariance(x, &gp.sq_dist_);
   }
+  obs::StageScope chol_stage(obs::Stage::kCholesky);
   SMILER_ASSIGN_OR_RETURN(gp.chol_, la::Cholesky::Factor(cov));
   gp.alpha_ = gp.chol_.Solve(y);
   gp.x_ = std::move(x);

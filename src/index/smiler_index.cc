@@ -467,6 +467,12 @@ Status SmilerIndex::SearchItem(std::size_t item, const LowerBoundTable& table,
   verify_span.emplace("search.verify");
   WallTimer timer;
 
+  // Seeding and filtering are lower-bound work; the scope is paused by
+  // the nested dtw_verify scope around the exact seed verification and
+  // released before the device verification below.
+  std::optional<obs::StageScope> filter_stage;
+  filter_stage.emplace(obs::Stage::kLbFilter);
+
   // --- Threshold seeding (Section 4.3.3, Filtering) ---
   // Continuous query: re-verify the previous step's kNN. When fewer than
   // k previous neighbors survive the t < t_count cut (and on the initial
@@ -503,6 +509,7 @@ Status SmilerIndex::SearchItem(std::size_t item, const LowerBoundTable& table,
   }
   // Verify seed distances exactly.
   {
+    obs::StageScope seed_verify(obs::Stage::kDtwVerify);
     std::vector<double> scratch(dtw::CompressedDtwScratchSize(cfg_.rho));
     for (Neighbor& s : seeds) {
       s.dist = dtw::CompressedDtw(q, series_.data() + s.t, d, cfg_.rho,
@@ -538,6 +545,11 @@ Status SmilerIndex::SearchItem(std::size_t item, const LowerBoundTable& table,
     if (a.lb != b.lb) return a.lb < b.lb;
     return a.t < b.t;
   });
+  filter_stage.reset();
+  // Device verification and selection are dtw_verify time (on helper
+  // threads this is what lands in the request's parallel counters; on
+  // the owner it folds into the enclosing dtw_verify scope).
+  obs::StageScope verify_stage(obs::Stage::kDtwVerify);
 
   // --- Verification: compressed-warping-matrix banded DTW on device,
   // cascade-pruned against a monotonically tightening tau ---
@@ -655,6 +667,7 @@ Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
   LowerBoundTable table;
   {
     SMILER_TRACE_SPAN("search.lower_bound");
+    obs::StageScope lb_stage(obs::Stage::kLbFilter);
     SMILER_ASSIGN_OR_RETURN(table, GroupLowerBounds(options.reserve_horizon));
   }
   local_stats.lower_bound_seconds = timer.ElapsedSeconds();
@@ -670,10 +683,18 @@ Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
   // nested verify kernels stay deadlock-free.
   std::vector<SearchStats> item_stats(n_items);
   std::vector<Status> item_status(n_items);
-  ThreadPool::Default().ParallelFor(n_items, [&](std::size_t i) {
-    item_status[i] =
-        SearchItem(i, table, options, &result.items[i], &item_stats[i]);
-  });
+  {
+    // The owner's stage clock charges the whole fan-out (its own item
+    // chunks plus the time blocked on the pool helpers) to dtw_verify;
+    // SearchItem's nested lb_filter scope carves out the filtering
+    // portion. Helper threads accrue to the request's parallel counters
+    // through the same scopes.
+    obs::StageScope verify_stage(obs::Stage::kDtwVerify);
+    ThreadPool::Default().ParallelFor(n_items, [&](std::size_t i) {
+      item_status[i] =
+          SearchItem(i, table, options, &result.items[i], &item_stats[i]);
+    });
+  }
   for (std::size_t i = 0; i < n_items; ++i) {
     SMILER_RETURN_NOT_OK(item_status[i]);
     local_stats.Add(item_stats[i]);

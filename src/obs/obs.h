@@ -4,12 +4,16 @@
 /// \file obs.h
 /// \brief Umbrella header of the observability layer: the metrics registry
 /// (counters / gauges / log-bucketed histograms with JSON + Prometheus
-/// exposition) and scoped tracing spans with a Chrome trace_event
-/// exporter. See docs/observability.md for the metric catalog, the span
-/// naming convention, and the environment switches (SMILER_METRICS,
-/// SMILER_TRACE).
+/// exposition), scoped tracing spans with a Chrome trace_event exporter,
+/// request-scoped trace contexts with per-stage latency attribution and
+/// tail exemplars, and the live stats endpoint (/metrics, /healthz,
+/// /attribution). See docs/observability.md for the metric catalog, the
+/// span naming convention, and the environment switches (SMILER_METRICS,
+/// SMILER_TRACE, SMILER_TRACE_BUFFER_SPANS, SMILER_STATS_PORT).
 
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
 
 #endif  // SMILER_OBS_OBS_H_

@@ -1,0 +1,320 @@
+#include "obs/request_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+namespace smiler {
+namespace obs {
+
+namespace {
+
+constexpr const char* kStageNames[kNumStages] = {
+    "queue_wait", "batch_form", "lb_filter", "dtw_verify",
+    "gram",       "cholesky",   "forecast",  "publish",
+};
+
+constexpr const char* kStageSpanNames[kNumStages] = {
+    "stage.queue_wait", "stage.batch_form", "stage.lb_filter",
+    "stage.dtw_verify", "stage.gram",       "stage.cholesky",
+    "stage.forecast",   "stage.publish",
+};
+
+std::atomic<std::uint64_t> g_next_trace_id{1};
+
+// Thread-local request binding. The shared_ptr keeps the context alive on
+// pool helpers even if the owning serve Request is destroyed first.
+thread_local std::shared_ptr<RequestContext> t_ctx;
+thread_local bool t_owner = false;
+
+double Micros2Seconds(std::int64_t us) {
+  return static_cast<double>(us) * 1e-6;
+}
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  return kStageNames[static_cast<int>(stage)];
+}
+
+const char* StageSpanName(Stage stage) {
+  return kStageSpanNames[static_cast<int>(stage)];
+}
+
+RequestContext::RequestContext(std::uint64_t trace_id, int shard)
+    : trace_id_(trace_id), shard_(shard), mint_us_(Tracer::NowMicros()) {}
+
+std::shared_ptr<RequestContext> RequestContext::Mint(int shard) {
+  const std::uint64_t id =
+      g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  return std::shared_ptr<RequestContext>(new RequestContext(id, shard));
+}
+
+void RequestContext::Credit(Stage stage, std::int64_t micros) {
+  if (micros > 0) stage_us_[static_cast<int>(stage)] += micros;
+}
+
+void RequestContext::PushStage(Stage stage, std::int64_t now_us) {
+  if (depth_ > 0) {
+    // Pause the enclosing stage: accrue its time up to now so nested
+    // stages tile exclusively instead of double counting.
+    Credit(stack_[depth_ - 1], now_us - last_transition_us_);
+  }
+  if (depth_ < kMaxStageDepth) stack_[depth_] = stage;
+  ++depth_;
+  last_transition_us_ = now_us;
+}
+
+void RequestContext::PopStage(std::int64_t now_us) {
+  if (depth_ <= 0) return;
+  --depth_;
+  if (depth_ < kMaxStageDepth) {
+    Credit(stack_[depth_], now_us - last_transition_us_);
+  }
+  last_transition_us_ = now_us;
+}
+
+void RequestContext::AddParallel(Stage stage, std::int64_t micros) {
+  if (micros > 0) {
+    parallel_us_[static_cast<int>(stage)].fetch_add(
+        micros, std::memory_order_relaxed);
+  }
+}
+
+std::int64_t RequestContext::TotalOwnerMicros() const {
+  std::int64_t total = 0;
+  for (int s = 0; s < kNumStages; ++s) total += stage_us_[s];
+  return total;
+}
+
+RequestContext* CurrentRequestContext() { return t_ctx.get(); }
+
+std::shared_ptr<RequestContext> CurrentRequestContextShared() { return t_ctx; }
+
+bool IsRequestOwnerThread() { return t_owner && t_ctx != nullptr; }
+
+RequestScope::RequestScope(std::shared_ptr<RequestContext> ctx, bool owner) {
+  if (ctx == nullptr) return;
+  bound_ = true;
+  prev_ctx_ = std::move(t_ctx);
+  prev_owner_ = t_owner;
+  prev_trace_id_ = Tracer::ExchangeCurrentTraceId(ctx->trace_id());
+  t_ctx = std::move(ctx);
+  t_owner = owner;
+}
+
+RequestScope::~RequestScope() {
+  if (!bound_) return;
+  t_ctx = std::move(prev_ctx_);
+  t_owner = prev_owner_;
+  Tracer::ExchangeCurrentTraceId(prev_trace_id_);
+}
+
+StageScope::StageScope(Stage stage)
+    : span_(StageSpanName(stage)), stage_(stage) {
+  ctx_ = t_ctx.get();
+  if (ctx_ == nullptr) return;
+  start_us_ = Tracer::NowMicros();
+  if (t_owner) {
+    owner_ = true;
+    ctx_->PushStage(stage_, start_us_);
+  }
+}
+
+StageScope::~StageScope() {
+  if (ctx_ == nullptr) return;
+  const std::int64_t now_us = Tracer::NowMicros();
+  if (owner_) {
+    ctx_->PopStage(now_us);
+  } else {
+    ctx_->AddParallel(stage_, now_us - start_us_);
+  }
+}
+
+ExemplarReservoir& ExemplarReservoir::Global() {
+  static ExemplarReservoir* global = new ExemplarReservoir();
+  return *global;
+}
+
+namespace {
+bool SlowerThan(const ExemplarReservoir::Exemplar& a,
+                const ExemplarReservoir::Exemplar& b) {
+  return a.e2e_seconds > b.e2e_seconds;
+}
+}  // namespace
+
+void ExemplarReservoir::Offer(const RequestContext& ctx, double e2e_seconds) {
+  // Fast path: reservoir full and this request does not beat the floor.
+  const double floor = floor_.load(std::memory_order_relaxed);
+  if (floor >= 0.0 && e2e_seconds <= floor) return;
+
+  Exemplar ex;
+  ex.trace_id = ctx.trace_id();
+  ex.shard = ctx.shard();
+  ex.e2e_seconds = e2e_seconds;
+  for (int s = 0; s < kNumStages; ++s) {
+    ex.stage_micros[static_cast<std::size_t>(s)] =
+        ctx.owner_micros(static_cast<Stage>(s));
+    ex.parallel_micros[static_cast<std::size_t>(s)] =
+        ctx.parallel_micros(static_cast<Stage>(s));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // heap_ is a min-heap on e2e (SlowerThan = greater-than comparator), so
+  // the front is the fastest retained exemplar — the eviction candidate.
+  if (heap_.size() < capacity_) {
+    heap_.push_back(ex);
+    std::push_heap(heap_.begin(), heap_.end(), SlowerThan);
+  } else if (!heap_.empty() && e2e_seconds > heap_.front().e2e_seconds) {
+    std::pop_heap(heap_.begin(), heap_.end(), SlowerThan);
+    heap_.back() = ex;
+    std::push_heap(heap_.begin(), heap_.end(), SlowerThan);
+  }
+  if (heap_.size() >= capacity_ && !heap_.empty()) {
+    floor_.store(heap_.front().e2e_seconds, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ExemplarReservoir::Exemplar> ExemplarReservoir::Snapshot() const {
+  std::vector<Exemplar> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(), SlowerThan);
+  return out;
+}
+
+void ExemplarReservoir::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  heap_.clear();
+  floor_.store(-1.0, std::memory_order_relaxed);
+}
+
+void ExemplarReservoir::SetCapacity(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n < 1 ? 1 : n;
+  while (heap_.size() > capacity_) {
+    std::pop_heap(heap_.begin(), heap_.end(), SlowerThan);
+    heap_.pop_back();
+  }
+  floor_.store(heap_.size() >= capacity_ && !heap_.empty()
+                   ? heap_.front().e2e_seconds
+                   : -1.0,
+               std::memory_order_relaxed);
+}
+
+std::size_t ExemplarReservoir::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size();
+}
+
+bool ExemplarReservoir::WriteChromeTrace(const std::string& path) const {
+  std::unordered_set<std::uint64_t> ids;
+  for (const Exemplar& ex : Snapshot()) ids.insert(ex.trace_id);
+  const std::string text = Tracer::Global().ToChromeTraceJsonFiltered(ids);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open exemplar trace destination '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
+void FinishRequest(const RequestContext& ctx, double e2e_seconds,
+                   Gauge* const* shard_stage_gauges) {
+  static Counter& completed =
+      Registry::Global().GetCounter("obs.request.completed");
+  static Histogram& unattributed =
+      Registry::Global().GetHistogram("obs.request.unattributed_seconds");
+  static Histogram* stage_hist[kNumStages] = {};
+  static Gauge* parallel_gauge[kNumStages] = {};
+  static const bool init = [] {
+    for (int s = 0; s < kNumStages; ++s) {
+      const std::string name = kStageNames[s];
+      stage_hist[s] = &Registry::Global().GetHistogram(
+          "obs.request.stage." + name + "_seconds");
+      parallel_gauge[s] = &Registry::Global().GetGauge(
+          "obs.request.parallel." + name + "_seconds_total");
+    }
+    return true;
+  }();
+  (void)init;
+
+  for (int s = 0; s < kNumStages; ++s) {
+    const std::int64_t owner_us = ctx.owner_micros(static_cast<Stage>(s));
+    if (owner_us > 0) {
+      const double seconds = Micros2Seconds(owner_us);
+      stage_hist[s]->Observe(seconds);
+      if (shard_stage_gauges != nullptr && shard_stage_gauges[s] != nullptr) {
+        shard_stage_gauges[s]->Add(seconds);
+      }
+    }
+    const std::int64_t par_us = ctx.parallel_micros(static_cast<Stage>(s));
+    if (par_us > 0) parallel_gauge[s]->Add(Micros2Seconds(par_us));
+  }
+  const double attributed = Micros2Seconds(ctx.TotalOwnerMicros());
+  unattributed.Observe(e2e_seconds > attributed ? e2e_seconds - attributed
+                                                : 0.0);
+  completed.Increment();
+  ExemplarReservoir::Global().Offer(ctx, e2e_seconds);
+}
+
+std::string AttributionTableText() {
+  Registry& reg = Registry::Global();
+  std::ostringstream out;
+  out << std::fixed;
+
+  // --- Global per-stage table (owner-clock attribution).
+  double total_seconds = 0.0;
+  Histogram::Snapshot snaps[kNumStages];
+  for (int s = 0; s < kNumStages; ++s) {
+    snaps[s] = reg.GetHistogram(std::string("obs.request.stage.") +
+                                kStageNames[s] + "_seconds")
+                   .Snap();
+    total_seconds += snaps[s].sum;
+  }
+  const Histogram::Snapshot unattr =
+      reg.GetHistogram("obs.request.unattributed_seconds").Snap();
+  total_seconds += unattr.sum;
+
+  out << "# per-stage latency attribution (owner clock; share of "
+      << std::setprecision(3) << total_seconds << "s attributed+slack)\n";
+  out << "stage         requests     total_s    p50_us    p99_us   share\n";
+  const auto row = [&](const char* name, const Histogram::Snapshot& s) {
+    const double share = total_seconds > 0.0 ? s.sum / total_seconds : 0.0;
+    out << std::left << std::setw(14) << name << std::right << std::setw(8)
+        << s.count << std::setw(12) << std::setprecision(4) << s.sum
+        << std::setw(10) << std::setprecision(0) << s.p50 * 1e6
+        << std::setw(10) << s.p99 * 1e6 << std::setw(7)
+        << std::setprecision(1) << share * 100.0 << "%\n";
+  };
+  for (int s = 0; s < kNumStages; ++s) row(kStageNames[s], snaps[s]);
+  row("unattributed", unattr);
+
+  // --- Per-shard stage-seconds breakdown (from the serve-layer gauges).
+  std::vector<std::string> shard_lines;
+  for (const std::string& name : reg.GaugeNames()) {
+    if (name.rfind("serve.shard", 0) == 0 &&
+        name.find(".stage.") != std::string::npos) {
+      std::ostringstream line;
+      line << name << " " << std::fixed << std::setprecision(6)
+           << reg.GetGauge(name).value();
+      shard_lines.push_back(line.str());
+    }
+  }
+  if (!shard_lines.empty()) {
+    out << "# per-shard stage seconds\n";
+    for (const std::string& line : shard_lines) out << line << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace smiler

@@ -1,0 +1,230 @@
+#ifndef SMILER_OBS_REQUEST_TRACE_H_
+#define SMILER_OBS_REQUEST_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace smiler {
+namespace obs {
+
+/// \brief Fixed stage taxonomy that tiles a serve request end to end.
+///
+/// Every microsecond between Enqueue and the response promise being
+/// fulfilled is attributed to exactly one stage (on the request's owner
+/// thread; see RequestContext), so per-stage totals sum to end-to-end
+/// latency up to scope-boundary slack. The order below is pipeline order.
+enum class Stage : int {
+  kQueueWait = 0,  ///< minted → claimed by a shard worker's batch drain
+  kBatchForm,      ///< batch claimed → this request's turn in the batch
+  kLbFilter,       ///< LB_kim / group lower bounds, seeding, pruning
+  kDtwVerify,      ///< exact DTW verification (device launches + select)
+  kGram,           ///< covariance / Gram matrix construction
+  kCholesky,       ///< Cholesky factorization + triangular solves
+  kForecast,       ///< remaining engine time (GP predict, AR update, ...)
+  kPublish,        ///< response bookkeeping + promise fulfilment
+};
+
+inline constexpr int kNumStages = 8;
+
+/// Stage names in enum order ("queue_wait", ..., "publish"); used in
+/// metric names (`obs.request.stage.<name>_seconds`), per-shard gauges
+/// (`serve.shard<i>.stage.<name>_seconds_total`), and the attribution
+/// table.
+const char* StageName(Stage stage);
+/// Static span name for a stage ("stage.queue_wait", ...).
+const char* StageSpanName(Stage stage);
+
+/// \brief Per-request attribution state, minted at admission and carried
+/// through the shard queue and every thread the request touches.
+///
+/// Threading model: one thread at a time is the request's *owner* (bound
+/// with `RequestScope(ctx, /*owner=*/true)` — the shard worker that
+/// processes the request). Only the owner drives the exclusive stage
+/// clock: nested StageScopes pause the enclosing stage, so owner stage
+/// times tile without double counting and sum to end-to-end latency.
+/// Non-owner threads (thread-pool helpers executing the request's
+/// fan-out; bound automatically by ThreadPool with owner=false) never
+/// touch the stage clock — they tag their spans with the trace id and
+/// accumulate into the separate `parallel_micros` counters, which measure
+/// CPU-time amplification and may legitimately exceed wall time.
+class RequestContext {
+ public:
+  static constexpr int kMaxStageDepth = 8;
+
+  /// Mints a context with a fresh process-unique trace id (never 0).
+  /// \p shard is the owning shard index (-1 if unsharded).
+  static std::shared_ptr<RequestContext> Mint(int shard = -1);
+
+  std::uint64_t trace_id() const { return trace_id_; }
+  int shard() const { return shard_; }
+  /// Tracer::NowMicros() at mint time (queue_wait starts here).
+  std::int64_t mint_us() const { return mint_us_; }
+
+  /// Directly credits \p micros to \p stage on the owner clock. Used for
+  /// intervals that cannot be a scope because they span threads
+  /// (queue_wait: mint on the caller, claim on the shard worker — the
+  /// queue mutex orders the hand-off). Negative credits clamp to 0.
+  void Credit(Stage stage, std::int64_t micros);
+
+  /// Owner stage stack (called by StageScope on the owner thread only).
+  void PushStage(Stage stage, std::int64_t now_us);
+  void PopStage(std::int64_t now_us);
+
+  /// Non-owner accumulation (atomic; any thread).
+  void AddParallel(Stage stage, std::int64_t micros);
+
+  std::int64_t owner_micros(Stage stage) const {
+    return stage_us_[static_cast<int>(stage)];
+  }
+  std::int64_t parallel_micros(Stage stage) const {
+    return parallel_us_[static_cast<int>(stage)].load(
+        std::memory_order_relaxed);
+  }
+  /// Sum of the owner clock across all stages.
+  std::int64_t TotalOwnerMicros() const;
+
+  RequestContext(const RequestContext&) = delete;
+  RequestContext& operator=(const RequestContext&) = delete;
+
+ private:
+  RequestContext(std::uint64_t trace_id, int shard);
+
+  const std::uint64_t trace_id_;
+  const int shard_;
+  const std::int64_t mint_us_;
+  // Owner clock: only the owner thread reads/writes (hand-offs between
+  // the minting thread and the shard worker are ordered by the queue
+  // mutex), so no atomics needed.
+  std::int64_t stage_us_[kNumStages] = {};
+  Stage stack_[kMaxStageDepth] = {};
+  int depth_ = 0;
+  std::int64_t last_transition_us_ = 0;
+  std::atomic<std::int64_t> parallel_us_[kNumStages] = {};
+};
+
+/// The context bound to the calling thread (nullptr when none).
+RequestContext* CurrentRequestContext();
+/// Shared handle to the bound context — what ThreadPool captures at task
+/// submission to propagate the request across the fan-out.
+std::shared_ptr<RequestContext> CurrentRequestContextShared();
+/// True when the calling thread is the bound context's owner.
+bool IsRequestOwnerThread();
+
+/// \brief RAII binding of a RequestContext (and its trace id) to the
+/// calling thread. Nests: the previous binding is restored on
+/// destruction. A null \p ctx is a no-op scope.
+class RequestScope {
+ public:
+  RequestScope(std::shared_ptr<RequestContext> ctx, bool owner);
+  ~RequestScope();
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  std::shared_ptr<RequestContext> prev_ctx_;
+  std::uint64_t prev_trace_id_ = 0;
+  bool prev_owner_ = false;
+  bool bound_ = false;
+};
+
+/// \brief RAII stage attribution + tracing span.
+///
+/// On the request's owner thread, enters \p stage on the exclusive stage
+/// clock (pausing the enclosing stage). On non-owner threads carrying a
+/// context, accumulates the elapsed time into the context's parallel
+/// counters. Always emits a `stage.<name>` span when tracing is enabled.
+/// With no bound context and tracing disabled the cost is two
+/// thread-local reads.
+class StageScope {
+ public:
+  explicit StageScope(Stage stage);
+  ~StageScope();
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  ScopedSpan span_;  // declared first: closes after the stage clock stops
+  RequestContext* ctx_ = nullptr;
+  Stage stage_;
+  std::int64_t start_us_ = 0;
+  bool owner_ = false;
+};
+
+/// \brief Bounded reservoir of the slowest requests seen since the last
+/// Clear(). Retains per-stage attribution plus the trace id, so the full
+/// span trees of the retained requests can be exported as a browsable
+/// Chrome/Perfetto trace (`--trace-exemplars <path>` in the bench mains).
+class ExemplarReservoir {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 32;
+
+  struct Exemplar {
+    std::uint64_t trace_id = 0;
+    int shard = -1;
+    double e2e_seconds = 0.0;
+    std::array<std::int64_t, kNumStages> stage_micros = {};
+    std::array<std::int64_t, kNumStages> parallel_micros = {};
+  };
+
+  static ExemplarReservoir& Global();
+
+  /// Offers a finished request. Kept only if the reservoir has room or
+  /// \p e2e_seconds beats the current slowest-set floor; the common fast
+  /// path (reservoir full, request faster than the floor) is one relaxed
+  /// atomic load, no lock.
+  void Offer(const RequestContext& ctx, double e2e_seconds);
+
+  /// Retained exemplars, slowest first.
+  std::vector<Exemplar> Snapshot() const;
+
+  void Clear();
+  void SetCapacity(std::size_t n);
+  std::size_t size() const;
+
+  /// Writes the span trees of the retained trace ids as Chrome trace JSON
+  /// (requires tracing to have been enabled during the run). Returns
+  /// false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  ExemplarReservoir() = default;
+
+  mutable std::mutex mu_;
+  std::vector<Exemplar> heap_;  ///< min-heap on e2e_seconds
+  std::size_t capacity_ = kDefaultCapacity;
+  /// Slowest-set floor when full; -1 while the reservoir has room.
+  std::atomic<double> floor_{-1.0};
+};
+
+/// \brief Publishes a finished request's attribution: per-stage global
+/// histograms (`obs.request.stage.<name>_seconds`, observed only for
+/// stages the request touched), optional per-shard stage gauges
+/// (\p shard_stage_gauges — kNumStages pointers or nullptr), the
+/// `obs.request.unattributed_seconds` histogram (end-to-end minus the
+/// owner-clock sum: scope-boundary slack + untiled gaps, the attribution
+/// quality signal), `obs.request.completed`, parallel-time gauges, and an
+/// ExemplarReservoir offer.
+void FinishRequest(const RequestContext& ctx, double e2e_seconds,
+                   Gauge* const* shard_stage_gauges);
+
+/// \brief Human-readable attribution table rendered from the live
+/// registry: per-stage count/total/p50/p99/share plus the per-shard
+/// stage-seconds breakdown. Served at `/attribution` by StatsServer and
+/// printed by bench_serve.
+std::string AttributionTableText();
+
+}  // namespace obs
+}  // namespace smiler
+
+#endif  // SMILER_OBS_REQUEST_TRACE_H_

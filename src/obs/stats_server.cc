@@ -1,0 +1,235 @@
+#include "obs/stats_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/request_trace.h"
+
+namespace smiler {
+namespace obs {
+
+namespace {
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.0 " << code << " " << reason << "\r\n"
+      << "Content-Type: text/plain; charset=utf-8\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HealthRegistry& HealthRegistry::Global() {
+  static HealthRegistry* global = new HealthRegistry();
+  return *global;
+}
+
+void HealthRegistry::Set(const std::string& component, bool healthy,
+                         std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  components_[component] = {healthy, std::move(detail)};
+}
+
+void HealthRegistry::Clear(const std::string& component) {
+  std::lock_guard<std::mutex> lock(mu_);
+  components_.erase(component);
+}
+
+void HealthRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  components_.clear();
+}
+
+bool HealthRegistry::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, state] : components_) {
+    if (!state.first) return false;
+  }
+  return true;
+}
+
+std::string HealthRegistry::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, state] : components_) {
+    out << name << ": " << (state.first ? "ok" : "UNHEALTHY");
+    if (!state.second.empty()) out << " " << state.second;
+    out << "\n";
+  }
+  return out.str();
+}
+
+StatsServer& StatsServer::Global() {
+  static StatsServer* global = new StatsServer();
+  return *global;
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+int StatsServer::Start(int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.load(std::memory_order_acquire)) return -1;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  port_.store(static_cast<int>(ntohs(addr.sin_port)),
+              std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&StatsServer::Serve, this);
+  return port_.load(std::memory_order_acquire);
+}
+
+void StatsServer::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_.store(-1, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+}
+
+void StatsServer::StartFromEnvOnce() {
+  static const int ignored = [] {
+    const char* port_env = std::getenv("SMILER_STATS_PORT");
+    if (port_env == nullptr || port_env[0] == '\0') return 0;
+    const long port = std::strtol(port_env, nullptr, 10);
+    if (port < 0 || port > 65535) return 0;
+    return Global().Start(static_cast<int>(port));
+  }();
+  (void)ignored;
+}
+
+std::string StatsServer::HandleRequest(const std::string& path) const {
+  if (path == "/metrics") {
+    return HttpResponse(200, "OK", Registry::Global().ToPrometheus());
+  }
+  if (path == "/healthz") {
+    const bool ok = HealthRegistry::Global().healthy();
+    std::string body = HealthRegistry::Global().Render();
+    if (ok) body = "ok\n" + body;
+    return ok ? HttpResponse(200, "OK", body)
+              : HttpResponse(503, "Service Unavailable", body);
+  }
+  if (path == "/attribution") {
+    return HttpResponse(200, "OK", AttributionTableText());
+  }
+  if (path == "/") {
+    return HttpResponse(200, "OK", "/metrics\n/healthz\n/attribution\n");
+  }
+  return HttpResponse(404, "Not Found", "not found\n");
+}
+
+void StatsServer::Serve() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop flag
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // A stalled client must not wedge the (single) accept thread.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+    // Read the request head (we only need the request line).
+    std::string head;
+    char buf[1024];
+    while (head.find("\r\n") == std::string::npos && head.size() < 8192) {
+      const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      head.append(buf, static_cast<std::size_t>(n));
+    }
+    std::string path = "/";
+    std::istringstream line(head.substr(0, head.find("\r\n")));
+    std::string method;
+    line >> method >> path;
+    if (path.empty()) path = "/";
+    // Strip any query string: routes take no parameters.
+    if (const auto q = path.find('?'); q != std::string::npos) {
+      path.resize(q);
+    }
+    SendAll(client, HandleRequest(path));
+    ::close(client);
+  }
+}
+
+std::string StatsServer::Get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  SendAll(fd, request);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace obs
+}  // namespace smiler

@@ -1,0 +1,98 @@
+#ifndef SMILER_OBS_STATS_SERVER_H_
+#define SMILER_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace smiler {
+namespace obs {
+
+/// \brief Process-wide component health, served at `/healthz`.
+///
+/// Components default to healthy-by-absence; subsystems flip themselves
+/// (e.g. the chaos ScenarioRunner marks `serve.sensor<i>` unhealthy when
+/// it quarantines the sensor). `/healthz` returns 200 while every
+/// registered component is healthy and 503 otherwise.
+class HealthRegistry {
+ public:
+  static HealthRegistry& Global();
+
+  /// Sets \p component to \p healthy with a human-readable \p detail.
+  void Set(const std::string& component, bool healthy, std::string detail);
+  /// Removes \p component (back to healthy-by-absence).
+  void Clear(const std::string& component);
+  /// Removes every component (tests / scenario teardown).
+  void Reset();
+
+  /// True when no registered component is unhealthy.
+  bool healthy() const;
+  /// One line per component: "<name>: ok|UNHEALTHY <detail>".
+  std::string Render() const;
+
+ private:
+  HealthRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::pair<bool, std::string>> components_;
+};
+
+/// \brief Minimal blocking text server for live snapshots of the obs
+/// layer, bound to 127.0.0.1 only. Routes:
+///
+///   /metrics      Prometheus exposition of the metric registry
+///   /healthz      200 "ok" | 503 + component lines (HealthRegistry)
+///   /attribution  per-stage latency attribution table
+///
+/// One accept thread handles one connection at a time (a diagnostics
+/// endpoint, not a data plane). Enabled either programmatically
+/// (`Start(port)`; port 0 picks an ephemeral port) or via the
+/// SMILER_STATS_PORT environment variable (`StartFromEnvOnce()`, called
+/// by PredictionServer::Create and the bench mains).
+class StatsServer {
+ public:
+  static StatsServer& Global();
+
+  /// Binds 127.0.0.1:\p port (0 = ephemeral) and starts the accept
+  /// thread. Returns the bound port, or -1 on failure / if already
+  /// running (the running instance's port is then available via port()).
+  int Start(int port);
+
+  /// Stops the accept thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Bound port while running, else -1.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  /// Starts the global server from SMILER_STATS_PORT if set. Safe to call
+  /// from multiple entry points; only the first call can start it.
+  static void StartFromEnvOnce();
+
+  /// Loopback test client: one-shot GET of \p path against
+  /// 127.0.0.1:\p port. Returns the raw HTTP response (status line +
+  /// headers + body), or "" when the connection failed.
+  static std::string Get(int port, const std::string& path);
+
+  ~StatsServer();
+
+ private:
+  StatsServer() = default;
+  void Serve();
+  std::string HandleRequest(const std::string& path) const;
+
+  mutable std::mutex mu_;  ///< serializes Start/Stop
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> port_{-1};
+  int listen_fd_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace smiler
+
+#endif  // SMILER_OBS_STATS_SERVER_H_

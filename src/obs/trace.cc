@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace smiler {
 namespace obs {
 
@@ -18,6 +20,11 @@ namespace {
 // report a depth with no recorded parent).
 thread_local std::int32_t t_depth = 0;
 
+// Request trace id bound to this thread by obs::RequestScope (0 = none).
+// Lives here rather than in request_trace.cc so ScopedSpan can stamp it
+// without a cross-TU thread_local access on the hot path.
+thread_local std::uint64_t t_trace_id = 0;
+
 void ExportTraceAtExit() {
   const char* path = std::getenv("SMILER_TRACE");
   if (path != nullptr && path[0] != '\0') {
@@ -25,9 +32,20 @@ void ExportTraceAtExit() {
   }
 }
 
+std::size_t ClampCapacity(std::size_t spans) {
+  return spans < 16 ? std::size_t{16} : spans;
+}
+
 }  // namespace
 
 Tracer::Tracer() {
+  if (const char* cap = std::getenv("SMILER_TRACE_BUFFER_SPANS")) {
+    const long parsed = std::strtol(cap, nullptr, 10);
+    if (parsed > 0) {
+      buffer_capacity_.store(ClampCapacity(static_cast<std::size_t>(parsed)),
+                             std::memory_order_relaxed);
+    }
+  }
   if (std::getenv("SMILER_TRACE") != nullptr) {
     enabled_.store(true, std::memory_order_relaxed);
     std::atexit(ExportTraceAtExit);
@@ -46,10 +64,19 @@ std::int64_t Tracer::NowMicros() {
       .count();
 }
 
+std::uint64_t Tracer::CurrentTraceId() { return t_trace_id; }
+
+std::uint64_t Tracer::ExchangeCurrentTraceId(std::uint64_t trace_id) {
+  const std::uint64_t previous = t_trace_id;
+  t_trace_id = trace_id;
+  return previous;
+}
+
 Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> local = [this] {
     auto buf = std::make_shared<ThreadBuffer>();
     buf->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    buf->capacity = ClampCapacity(buffer_capacity());
     std::lock_guard<std::mutex> lock(register_mu_);
     buffers_.push_back(buf);
     return buf;
@@ -57,12 +84,34 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   return *local;
 }
 
+void Tracer::RegisterCurrentThread(const std::string& name) {
+  ThreadBuffer& buf = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.name = name;
+}
+
 void Tracer::Record(const SpanEvent& event) {
   ThreadBuffer& buf = LocalBuffer();
   SpanEvent e = event;
   e.tid = buf.tid;
-  std::lock_guard<std::mutex> lock(buf.mu);
-  buf.events.push_back(e);
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(buf.mu);
+    if (buf.ring.size() < buf.capacity) {
+      buf.ring.push_back(e);
+    } else {
+      // Ring full: overwrite the oldest span (tail exemplars want the
+      // newest) and count the eviction.
+      buf.ring[buf.head] = e;
+      buf.head = (buf.head + 1) % buf.capacity;
+      dropped = true;
+    }
+  }
+  if (dropped) {
+    static Counter& dropped_spans =
+        Registry::Global().GetCounter("obs.trace.dropped_spans");
+    dropped_spans.Increment();
+  }
 }
 
 std::vector<SpanEvent> Tracer::Collect() const {
@@ -74,7 +123,10 @@ std::vector<SpanEvent> Tracer::Collect() const {
   std::vector<SpanEvent> all;
   for (const auto& buf : buffers) {
     std::lock_guard<std::mutex> lock(buf->mu);
-    all.insert(all.end(), buf->events.begin(), buf->events.end());
+    // Unwind the ring: oldest entry sits at `head` once the ring wrapped.
+    for (std::size_t i = 0; i < buf->ring.size(); ++i) {
+      all.push_back(buf->ring[(buf->head + i) % buf->ring.size()]);
+    }
   }
   std::sort(all.begin(), all.end(), [](const SpanEvent& a, const SpanEvent& b) {
     return a.tid != b.tid ? a.tid < b.tid : a.start_us < b.start_us;
@@ -88,25 +140,64 @@ void Tracer::Clear() {
     std::lock_guard<std::mutex> lock(register_mu_);
     buffers = buffers_;
   }
+  const std::size_t capacity = ClampCapacity(buffer_capacity());
   for (const auto& buf : buffers) {
     std::lock_guard<std::mutex> lock(buf->mu);
-    buf->events.clear();
+    buf->ring.clear();
+    buf->head = 0;
+    buf->capacity = capacity;
   }
 }
 
-std::string Tracer::ToChromeTraceJson() const {
+void Tracer::SetBufferCapacity(std::size_t spans) {
+  buffer_capacity_.store(ClampCapacity(spans), std::memory_order_relaxed);
+}
+
+std::string Tracer::RenderChromeTrace(
+    const std::unordered_set<std::uint64_t>* only_traces) const {
   const std::vector<SpanEvent> events = Collect();
+  std::vector<std::pair<std::uint32_t, std::string>> names;
+  {
+    std::lock_guard<std::mutex> lock(register_mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      if (!buf->name.empty()) names.emplace_back(buf->tid, buf->name);
+    }
+  }
+  std::sort(names.begin(), names.end());
   std::ostringstream out;
   out << "{\"traceEvents\":[\n";
   bool first = true;
+  for (const auto& [tid, name] : names) {
+    out << (first ? "" : ",\n") << "{\"name\":\"thread_name\",\"ph\":\"M\","
+        << "\"pid\":1,\"tid\":" << tid << ",\"args\":{\"name\":\"" << name
+        << "\"}}";
+    first = false;
+  }
   for (const SpanEvent& e : events) {
+    if (only_traces != nullptr && only_traces->count(e.trace_id) == 0) {
+      continue;
+    }
     out << (first ? "" : ",\n") << "{\"name\":\"" << e.name
         << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
-        << ",\"ts\":" << e.start_us << ",\"dur\":" << e.duration_us << "}";
+        << ",\"ts\":" << e.start_us << ",\"dur\":" << e.duration_us;
+    if (e.trace_id != 0) {
+      out << ",\"args\":{\"trace\":" << e.trace_id << "}";
+    }
+    out << "}";
     first = false;
   }
   out << "\n]}\n";
   return out.str();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  return RenderChromeTrace(nullptr);
+}
+
+std::string Tracer::ToChromeTraceJsonFiltered(
+    const std::unordered_set<std::uint64_t>& trace_ids) const {
+  return RenderChromeTrace(&trace_ids);
 }
 
 bool Tracer::WriteChromeTrace(const std::string& path) const {
@@ -135,6 +226,7 @@ ScopedSpan::~ScopedSpan() {
   e.name = name_;
   e.start_us = start_us_;
   e.duration_us = Tracer::NowMicros() - start_us_;
+  e.trace_id = t_trace_id;
   e.depth = --t_depth;
   Tracer::Global().Record(e);
 }

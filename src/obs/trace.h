@@ -2,10 +2,12 @@
 #define SMILER_OBS_TRACE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 namespace smiler {
@@ -14,12 +16,16 @@ namespace obs {
 /// \brief One completed span: a named interval on one thread. Durations
 /// are microseconds on the steady clock; \p depth is the span-nesting
 /// level on its thread (0 = top level), which lets tests reconstruct the
-/// call tree without parent pointers.
+/// call tree without parent pointers. \p trace_id links the span to the
+/// request that was active on the thread when the span closed (0 = no
+/// request context), so one request's spans form one causally-linked
+/// tree no matter how many threads executed them.
 struct SpanEvent {
   const char* name = nullptr;  ///< static string (from SMILER_TRACE_SPAN)
   std::int64_t start_us = 0;
   std::int64_t duration_us = 0;
-  std::uint32_t tid = 0;  ///< small dense per-thread id
+  std::uint64_t trace_id = 0;  ///< request-scoped trace id (0 = none)
+  std::uint32_t tid = 0;       ///< small dense per-thread id
   std::int32_t depth = 0;
 };
 
@@ -28,30 +34,65 @@ struct SpanEvent {
 /// Disabled by default: an inactive `ScopedSpan` costs one relaxed atomic
 /// load. When enabled (explicitly or via the SMILER_TRACE=<path> env var,
 /// which also installs an atexit exporter), completed spans are appended
-/// to a per-thread buffer — threads never contend with each other on the
-/// hot path; the per-buffer mutex is only taken against `Collect()`.
+/// to a per-thread ring buffer — threads never contend with each other on
+/// the hot path; the per-buffer mutex is only taken against `Collect()`.
+///
+/// Span storage is bounded: each thread's buffer is a ring of
+/// `buffer_capacity()` spans (SMILER_TRACE_BUFFER_SPANS env override).
+/// When a ring is full the oldest span is overwritten — the newest spans
+/// are what tail exemplars need — and `obs.trace.dropped_spans` counts
+/// the evictions, so long soak runs cannot grow span storage without
+/// limit.
 class Tracer {
  public:
+  /// Default per-thread ring capacity (spans).
+  static constexpr std::size_t kDefaultBufferCapacity = 8192;
+
   static Tracer& Global();
 
   void Start() { enabled_.store(true, std::memory_order_relaxed); }
   void Stop() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Eagerly registers the calling thread with the collector under \p
+  /// name (exported as Chrome `thread_name` metadata). Worker threads
+  /// spawned after tracing startup — serve shard workers, pool workers —
+  /// call this at thread start so they are present in the exported trace
+  /// even before (or without ever) recording a span. Idempotent per
+  /// thread; the last name wins.
+  void RegisterCurrentThread(const std::string& name);
+
   /// Records a completed span (called by ScopedSpan; callers normally use
   /// the macro instead).
   void Record(const SpanEvent& event);
 
   /// Snapshots every thread's spans, sorted by (tid, start). Does not stop
-  /// tracing or clear the buffers.
+  /// tracing or clear the buffers. Within one thread's buffer the spans
+  /// are oldest-to-newest (ring order is unwound).
   std::vector<SpanEvent> Collect() const;
 
-  /// Drops all recorded spans.
+  /// Drops all recorded spans (thread registrations and names survive)
+  /// and re-applies the current buffer capacity to every live buffer.
   void Clear();
 
+  /// Per-thread ring capacity for buffers created (or Clear()ed) from now
+  /// on. Minimum 16.
+  void SetBufferCapacity(std::size_t spans);
+  std::size_t buffer_capacity() const {
+    return buffer_capacity_.load(std::memory_order_relaxed);
+  }
+
   /// Renders the collected spans in the Chrome trace_event JSON array
-  /// format; load the file in about:tracing or https://ui.perfetto.dev.
+  /// format (with `thread_name` metadata for registered threads and an
+  /// `args.trace` field on request-scoped spans); load the file in
+  /// about:tracing or https://ui.perfetto.dev.
   std::string ToChromeTraceJson() const;
+
+  /// Like ToChromeTraceJson() but keeps only spans whose trace id is in
+  /// \p trace_ids (thread metadata is kept for threads that contributed).
+  /// Used by the tail-exemplar exporter.
+  std::string ToChromeTraceJsonFiltered(
+      const std::unordered_set<std::uint64_t>& trace_ids) const;
 
   /// Writes ToChromeTraceJson() to \p path. Returns false on I/O failure.
   bool WriteChromeTrace(const std::string& path) const;
@@ -59,17 +100,31 @@ class Tracer {
   /// Microseconds since the tracer's epoch (span timestamps use this).
   static std::int64_t NowMicros();
 
+  /// The request trace id bound to the calling thread (0 = none). Set and
+  /// restored by obs::RequestScope; every span closed on the thread while
+  /// a binding is live carries it.
+  static std::uint64_t CurrentTraceId();
+  /// Rebinds the calling thread's trace id; returns the previous value so
+  /// scopes can nest and restore.
+  static std::uint64_t ExchangeCurrentTraceId(std::uint64_t trace_id);
+
  private:
   struct ThreadBuffer {
     mutable std::mutex mu;
-    std::vector<SpanEvent> events;
+    std::vector<SpanEvent> ring;  ///< grows lazily up to `capacity`
+    std::size_t capacity = kDefaultBufferCapacity;
+    std::size_t head = 0;  ///< next overwrite slot once the ring is full
+    std::string name;      ///< Chrome thread_name metadata ("" = unnamed)
     std::uint32_t tid = 0;
   };
 
   Tracer();
   ThreadBuffer& LocalBuffer();
+  std::string RenderChromeTrace(
+      const std::unordered_set<std::uint64_t>* only_traces) const;
 
   std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> buffer_capacity_{kDefaultBufferCapacity};
   mutable std::mutex register_mu_;
   // shared_ptr keeps buffers alive after their owning thread exits.
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;

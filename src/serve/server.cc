@@ -7,6 +7,8 @@
 
 #include "chaos/fault.h"
 #include "common/thread_pool.h"
+#include "obs/stats_server.h"
+#include "obs/trace.h"
 #include "serve/checkpoint.h"
 
 namespace smiler {
@@ -69,6 +71,9 @@ Result<std::unique_ptr<PredictionServer>> PredictionServer::Create(
   ServerOptions opts = options;
   opts.num_shards = static_cast<int>(
       std::min<std::size_t>(opts.num_shards, manager.num_sensors()));
+  // Live snapshot endpoint (SMILER_STATS_PORT): a serving process is the
+  // main thing worth polling mid-run, so the server entry point arms it.
+  obs::StatsServer::StartFromEnvOnce();
   return std::unique_ptr<PredictionServer>(
       new PredictionServer(std::move(manager), opts));
 }
@@ -79,11 +84,17 @@ PredictionServer::PredictionServer(core::MultiSensorManager manager,
   shards_.reserve(options_.num_shards);
   for (int s = 0; s < options_.num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
+    shard->index = s;
     const std::string prefix = "serve.shard" + std::to_string(s);
     shard->queue_depth =
         &obs::Registry::Global().GetGauge(prefix + ".queue_depth");
     shard->latency =
         &obs::Registry::Global().GetHistogram(prefix + ".latency_seconds");
+    for (int st = 0; st < obs::kNumStages; ++st) {
+      shard->stage_seconds[st] = &obs::Registry::Global().GetGauge(
+          prefix + ".stage." + obs::StageName(static_cast<obs::Stage>(st)) +
+          "_seconds_total");
+    }
     shards_.push_back(std::move(shard));
   }
   for (std::size_t i = 0; i < manager_.num_sensors(); ++i) {
@@ -105,6 +116,14 @@ std::future<Response> PredictionServer::Enqueue(Request req) {
     return future;
   }
   Shard& shard = *shards_[req.sensor % shards_.size()];
+  // Mint the request's trace context at admission (snapshot barriers are
+  // control plane, not attributed) and bind it to the caller for the
+  // enqueue span, so the caller thread appears in the request's span tree.
+  if (req.kind != Request::Kind::kSnapshot) {
+    req.ctx = obs::RequestContext::Mint(shard.index);
+  }
+  obs::RequestScope trace_scope(req.ctx, /*owner=*/false);
+  SMILER_TRACE_SPAN("serve.enqueue");
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.stop || !running_.load(std::memory_order_acquire)) {
@@ -168,6 +187,11 @@ Status PredictionServer::Observe(std::size_t sensor, double value,
 }
 
 void PredictionServer::ShardLoop(Shard* shard) {
+  // Self-register with the trace collector: shard workers are spawned
+  // after tracing may already be running (SMILER_TRACE at startup), and
+  // must still show up — named — in the exported trace.
+  obs::Tracer::Global().RegisterCurrentThread(
+      "serve-shard-" + std::to_string(shard->index));
   std::vector<Request> batch;
   for (;;) {
     {
@@ -185,13 +209,15 @@ void PredictionServer::ShardLoop(Shard* shard) {
         shard->queue.pop_front();
       }
     }
+    const std::int64_t claim_us = obs::Tracer::NowMicros();
     BatchesCounter().Increment();
     BatchSizeHistogram().Observe(static_cast<double>(batch.size()));
-    ProcessBatch(shard, &batch);
+    ProcessBatch(shard, &batch, claim_us);
   }
 }
 
-void PredictionServer::ProcessBatch(Shard* shard, std::vector<Request>* batch) {
+void PredictionServer::ProcessBatch(Shard* shard, std::vector<Request>* batch,
+                                    std::int64_t claim_us) {
   // Coalescing cache: sensor -> response of the batch's previous Predict
   // of that sensor. Valid only while the engine state is unchanged, so an
   // Observe for the sensor invalidates its entry. Besides saving simgpu
@@ -210,6 +236,20 @@ void PredictionServer::ProcessBatch(Shard* shard, std::vector<Request>* batch) {
       Respond(shard, &req, {Status::OK(), predictors::Prediction{}});
       continue;
     }
+    // Stage attribution for the cross-thread interval the worker cannot
+    // scope: queue_wait is mint → batch claim (the queue mutex orders the
+    // hand-off, so both timestamps compare on one steady clock), and
+    // batch_form is claim → this request's turn in the batch — which
+    // honestly includes the processing time of the requests ahead of it
+    // in the same micro-batch.
+    if (req.ctx != nullptr) {
+      const std::int64_t start_us = obs::Tracer::NowMicros();
+      req.ctx->Credit(obs::Stage::kQueueWait, claim_us - req.ctx->mint_us());
+      req.ctx->Credit(obs::Stage::kBatchForm, start_us - claim_us);
+    }
+    // The shard worker is the request's owner: it drives the exclusive
+    // stage clock that tiles the rest of the request.
+    obs::RequestScope trace_scope(req.ctx, /*owner=*/true);
     // Shed expired requests before paying for any search work.
     if (req.deadline != kNoDeadline && Clock::now() > req.deadline) {
       DeadlineExpiredCounter().Increment();
@@ -228,31 +268,54 @@ void PredictionServer::ProcessBatch(Shard* shard, std::vector<Request>* batch) {
         }
       }
       Response response;
-      auto pred = manager_.engine(req.sensor).Predict();
-      if (pred.ok()) {
-        response = {Status::OK(), *pred};
-      } else {
-        response = {pred.status(), predictors::Prediction{}};
+      {
+        // Catch-all engine stage; the instrumented inner phases
+        // (lb_filter, dtw_verify, gram, cholesky) nest inside and pause
+        // it, so "forecast" is the engine time not claimed by a more
+        // specific stage.
+        obs::StageScope forecast(obs::Stage::kForecast);
+        SMILER_TRACE_SPAN("serve.predict");
+        auto pred = manager_.engine(req.sensor).Predict();
+        if (pred.ok()) {
+          response = {Status::OK(), *pred};
+        } else {
+          response = {pred.status(), predictors::Prediction{}};
+        }
       }
       if (options_.coalesce_predicts) predict_cache[req.sensor] = response;
       Respond(shard, &req, response);
     } else {
       predict_cache.erase(req.sensor);
-      Status st = manager_.engine(req.sensor).Observe(req.value);
+      Status st;
+      {
+        obs::StageScope forecast(obs::Stage::kForecast);
+        SMILER_TRACE_SPAN("serve.observe");
+        st = manager_.engine(req.sensor).Observe(req.value);
+      }
       Respond(shard, &req, {std::move(st), predictors::Prediction{}});
     }
   }
 }
 
 void PredictionServer::Respond(Shard* shard, Request* req, Response response) {
-  const double latency = Seconds(Clock::now() - req->enqueued_at);
-  shard->latency->Observe(latency);
-  LatencyHistogram().Observe(latency);
-  shard->queue_depth->Add(-1.0);
-  // Every admitted request passes through here exactly once (success,
-  // engine error, or deadline shed alike), so after a drain the counters
-  // conserve: serve.requests == serve.completed.
-  CompletedCounter().Increment();
+  double latency = 0.0;
+  {
+    obs::StageScope publish(obs::Stage::kPublish);
+    latency = Seconds(Clock::now() - req->enqueued_at);
+    shard->latency->Observe(latency);
+    LatencyHistogram().Observe(latency);
+    shard->queue_depth->Add(-1.0);
+    // Every admitted request passes through here exactly once (success,
+    // engine error, or deadline shed alike), so after a drain the counters
+    // conserve: serve.requests == serve.completed.
+    CompletedCounter().Increment();
+  }
+  // Publish the attribution once the publish stage has closed, then
+  // fulfil the promise (the exemplar is complete before the client can
+  // observe the response).
+  if (req->ctx != nullptr) {
+    obs::FinishRequest(*req->ctx, latency, shard->stage_seconds);
+  }
   req->promise.set_value(std::move(response));
 }
 

@@ -18,6 +18,7 @@
 #include "core/engine.h"
 #include "core/manager.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "predictors/predictor.h"
 
 namespace smiler {
@@ -137,6 +138,12 @@ class PredictionServer {
     double value = 0.0;
     Deadline deadline = kNoDeadline;
     Clock::time_point enqueued_at;
+    /// Request-scoped trace context (null for snapshot barriers): minted
+    /// at admission, rides the queue to the shard worker, and links every
+    /// span the request produces — on the caller, the worker, and the
+    /// thread-pool fan-out — under one trace id while accumulating the
+    /// per-stage latency attribution.
+    std::shared_ptr<obs::RequestContext> ctx;
     std::promise<Response> promise;
     /// Set only for kSnapshot: receives (sensor, snapshot) pairs of the
     /// shard's engines.
@@ -150,10 +157,14 @@ class PredictionServer {
     std::condition_variable cv;
     std::deque<Request> queue;
     bool stop = false;
+    int index = 0;
     std::vector<std::size_t> sensors;  ///< engine indices owned
     std::thread worker;
     obs::Gauge* queue_depth = nullptr;
     obs::Histogram* latency = nullptr;
+    /// Per-shard cumulative owner-clock seconds by stage
+    /// (`serve.shard<i>.stage.<name>_seconds_total`), fed by FinishRequest.
+    obs::Gauge* stage_seconds[obs::kNumStages] = {};
   };
 
   PredictionServer(core::MultiSensorManager manager,
@@ -161,7 +172,10 @@ class PredictionServer {
 
   std::future<Response> Enqueue(Request req);
   void ShardLoop(Shard* shard);
-  void ProcessBatch(Shard* shard, std::vector<Request>* batch);
+  /// \p claim_us: Tracer::NowMicros() at the instant the batch was claimed
+  /// from the queue — the boundary between queue_wait and batch_form.
+  void ProcessBatch(Shard* shard, std::vector<Request>* batch,
+                    std::int64_t claim_us);
   void Respond(Shard* shard, Request* req, Response response);
 
   core::MultiSensorManager manager_;

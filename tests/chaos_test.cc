@@ -286,6 +286,38 @@ TEST_F(ChaosTest, ScenarioReplaysBitIdentically) {
   EXPECT_EQ(a.ops, b.ops);
 }
 
+TEST_F(ChaosTest, ScenarioPollsLiveStatsWithoutPerturbingReplay) {
+  ScenarioOptions options;
+  options.seed = 11;
+  options.num_sensors = 3;
+  options.history_points = 64;
+  options.steps = 10;
+  options.check_every = 5;
+  options.schedule = OnePoint("ts.anomaly", 0.3);
+  options.stats_port = 0;  // ephemeral endpoint, polled mid-storm
+  ScenarioResult with_stats = ScenarioRunner(options).Run();
+  ASSERT_TRUE(with_stats.status.ok()) << with_stats.status.ToString();
+  EXPECT_TRUE(with_stats.violations.empty());
+  // Every endpoint answered at least once while the storm was running.
+  EXPECT_TRUE(with_stats.stats_probe_ok);
+  // /healthz flips to 503 exactly when a sensor was quarantined: in the
+  // chaos build engine-level faults quarantine sensors and the endpoint
+  // must surface it; in the default build ts.anomaly only yields
+  // InvalidArgument rejections, so the fleet stays healthy and so does
+  // the endpoint.
+  EXPECT_EQ(with_stats.healthz_degraded_observed,
+            with_stats.quarantined > 0);
+
+  // Probing is observation-only: the fingerprint of an identical run
+  // with the endpoint disabled is bit-identical.
+  options.stats_port = -1;
+  ScenarioResult without = ScenarioRunner(options).Run();
+  ASSERT_TRUE(without.status.ok());
+  EXPECT_EQ(with_stats.fingerprint, without.fingerprint);
+  EXPECT_EQ(with_stats.status_counts, without.status_counts);
+  EXPECT_FALSE(without.stats_probe_ok);  // never polled
+}
+
 TEST_F(ChaosTest, ScenarioDifferentSeedsDiverge) {
   ScenarioOptions options;
   options.num_sensors = 2;
