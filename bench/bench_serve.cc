@@ -24,6 +24,7 @@
 #include "common/thread_pool.h"
 #include "obs/obs.h"
 #include "serve/server.h"
+#include "simgpu/backend.h"
 
 namespace {
 
@@ -43,6 +44,15 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
   }
+
+  // Resolve the execution backend up front so a typoed SMILER_BACKEND
+  // fails the run immediately instead of failing every kernel launch.
+  const auto backend_kind = simgpu::BackendKindFromEnv();
+  if (!backend_kind.ok()) {
+    std::fprintf(stderr, "%s\n", backend_kind.status().ToString().c_str());
+    return 1;
+  }
+  const char* backend_name = simgpu::BackendKindName(*backend_kind);
 
   const BenchScale scale = GetScale();
   const SmilerConfig cfg = PaperConfig();
@@ -69,7 +79,8 @@ int main(int argc, char** argv) {
   };
 
   PrintHeader("serve: Fig-12 workload, SMiLer-AR");
-  std::printf("sensors=%d warmup=%d steps=%d\n", scale.sensors, warmup, steps);
+  std::printf("sensors=%d warmup=%d steps=%d backend=%s\n", scale.sensors,
+              warmup, steps, backend_name);
 
   // ---- baseline: single caller thread over the manager fan-out ----
   auto baseline_manager = make_manager();
@@ -182,11 +193,83 @@ int main(int argc, char** argv) {
   }
   attribution += "\n    }\n  },\n";
 
+  // ---- gp variant: the same sharded workload under SMiLer-GP ----
+  // The AR fleet never enters the gram/cholesky stages (PredictorKind::kAr
+  // bypasses the GP entirely), which is why the fig12 attribution above
+  // legitimately reports 0.000000 for them. A short GP-fleet pass through
+  // the same server path gives those columns live, non-zero values.
+  obs::Registry::Global().ResetAll();
+  obs::ExemplarReservoir::Global().Clear();
+  obs::Tracer::Global().Clear();
+  const int gp_steps = std::max(2, steps / 10);
+  ThreadPool gp_pool(2);
+  simgpu::Device gp_device(6ULL << 30, 64ULL << 10, &gp_pool);
+  std::vector<ts::TimeSeries> gp_histories;
+  for (const auto& s : sensors) {
+    gp_histories.emplace_back(
+        s.sensor_id(),
+        std::vector<double>(s.values().begin(), s.values().begin() + warmup));
+  }
+  auto gp_manager = core::MultiSensorManager::Create(
+      &gp_device, gp_histories, cfg, core::PredictorKind::kGp);
+  if (!gp_manager.ok()) {
+    std::fprintf(stderr, "gp create failed: %s\n",
+                 gp_manager.status().ToString().c_str());
+    return 1;
+  }
+  auto gp_server =
+      serve::PredictionServer::Create(std::move(*gp_manager), options);
+  if (!gp_server.ok()) return 1;
+  const auto gp_t0 = Clock::now();
+  std::vector<std::thread> gp_clients;
+  for (int c = 0; c < num_clients; ++c) {
+    gp_clients.emplace_back([&, c] {
+      for (int step = 0; step < gp_steps; ++step) {
+        for (std::size_t s = c; s < sensors.size();
+             s += static_cast<std::size_t>(num_clients)) {
+          if (!(*gp_server)->Predict(s).ok()) return;
+          if (!(*gp_server)
+                   ->Observe(s, sensors[s].values()[warmup + step])
+                   .ok())
+            return;
+        }
+      }
+    });
+  }
+  for (auto& t : gp_clients) t.join();
+  const double gp_seconds = SecondsSince(gp_t0);
+  (*gp_server)->Shutdown();
+  const auto gp_lat =
+      obs::Registry::Global().GetHistogram("serve.latency_seconds").Snap();
+  std::printf("gp-variant %7.0f req/s  (%.3fs, %d steps, SMiLer-GP)\n",
+              static_cast<double>(gp_lat.count) / gp_seconds, gp_seconds,
+              gp_steps);
+  std::string gp_block = "  \"gp_variant\": {\n    \"predictor\": \"gp\",\n";
+  gp_block += "    \"steps\": " + std::to_string(gp_steps) + ",\n";
+  gp_block += "    \"requests\": " + std::to_string(gp_lat.count) + ",\n";
+  gp_block +=
+      "    \"throughput_req_per_s\": " +
+      std::to_string(static_cast<double>(gp_lat.count) / gp_seconds) +
+      ",\n    \"stages_seconds_total\": {";
+  for (int s = 0; s < obs::kNumStages; ++s) {
+    const auto snap =
+        reg.GetHistogram(std::string("obs.request.stage.") +
+                         obs::StageName(static_cast<obs::Stage>(s)) +
+                         "_seconds")
+            .Snap();
+    gp_block += std::string(s == 0 ? "" : ",") + "\n      \"" +
+                obs::StageName(static_cast<obs::Stage>(s)) +
+                "\": " + std::to_string(snap.sum);
+  }
+  gp_block += "\n    }\n  },\n";
+
   const std::string json =
       std::string("{\n") +
       "  \"workload\": \"bench_serve fig12 SMiLer-AR\",\n" +
+      "  \"backend\": \"" + backend_name + "\",\n" +
       "  \"sensors\": " + std::to_string(scale.sensors) + ",\n" +
       "  \"steps\": " + std::to_string(steps) + ",\n" + attribution +
+      gp_block +
       "  \"serve\": {\n" +
       "    \"num_shards\": " + std::to_string((*server)->num_shards()) +
       ",\n" +

@@ -10,10 +10,14 @@
 #               "speedup_vs_reference"}, ...],
 #    "end_to_end": {"predict_seconds_p50", ...}}
 #
-# Stage 2 (kNN index): runs the Fig-7 search workload and distils the
-# filter-and-verify counters into BENCH_index.json — pruning ratio,
-# verify/append wall time, and the early-abandon/late-prune split of the
-# cascade (counts are deterministic; wall times are machine-dependent).
+# Stage 2 (kNN index): runs the Fig-7 search workload under BOTH execution
+# backends and distils the filter-and-verify counters into
+# BENCH_index.json — pruning ratio, verify/append wall time, and the
+# early-abandon/late-prune split of the cascade. Primary metrics come from
+# the native backend (`"backend": "native"`); the `simgpu_comparison`
+# block holds the simulated-grid run of the same workload plus the
+# native-vs-simgpu verify speedup. BENCH_la.json's end_to_end block is
+# likewise native-primary with a simgpu comparison.
 #
 # Stage 3 (serving layer): runs the Fig-12 continuous-prediction workload
 # through the sharded PredictionServer under closed-loop clients and
@@ -43,18 +47,25 @@ echo "== micro kernels (paired vs la::reference) =="
   --benchmark_min_time=0.2 \
   --benchmark_out="$WORK/micro.json" --benchmark_out_format=json
 
-echo "== end-to-end predict step (Table 4 path) =="
-SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" \
+echo "== end-to-end predict step (Table 4 path, native + simgpu) =="
+# Primary numbers come from the native backend (the recommended production
+# setting); the same workload re-runs under the simulated grid so the
+# report carries a per-run backend comparison.
+SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" SMILER_BACKEND=native \
   ./build/bench/bench_table4_running_time \
   --metrics-json "$WORK/table4_metrics.json" > "$WORK/table4.txt"
 grep "SMiLer-GP" "$WORK/table4.txt" || true
+SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" SMILER_BACKEND=simgpu \
+  ./build/bench/bench_table4_running_time \
+  --metrics-json "$WORK/table4_metrics_simgpu.json" > "$WORK/table4_simgpu.txt"
 
 python3 - "$WORK/micro.json" "$WORK/table4_metrics.json" \
-  "$OUT_DIR/BENCH_la.json" <<'PY'
+  "$WORK/table4_metrics_simgpu.json" "$OUT_DIR/BENCH_la.json" <<'PY'
 import json
 import sys
 
-micro_path, metrics_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+micro_path, metrics_path, simgpu_metrics_path, out_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
 
 # Optimized benchmark -> (reference twin, logical op name).
 PAIRS = {
@@ -91,16 +102,32 @@ for (name, size), ns in sorted(times.items()):
         "speedup_vs_reference": round(ref_ns / ns, 2),
     })
 
-with open(metrics_path) as f:
-    metrics = json.load(f)
-h = metrics.get("histograms", {}).get("engine.predict_seconds", {})
-predict = {
-    "predict_seconds_p50": h.get("p50"),
-    "predict_seconds_p95": h.get("p95"),
-    "predict_steps": h.get("count"),
-} if h else {}
+def predict_block(path):
+    with open(path) as f:
+        metrics = json.load(f)
+    h = metrics.get("histograms", {}).get("engine.predict_seconds", {})
+    return {
+        "predict_seconds_p50": h.get("p50"),
+        "predict_seconds_p95": h.get("p95"),
+        "predict_steps": h.get("count"),
+    } if h else {}
 
-out = {"micro": micro, "end_to_end": predict}
+
+predict = predict_block(metrics_path)
+simgpu_predict = predict_block(simgpu_metrics_path)
+comparison = {"end_to_end": simgpu_predict}
+if predict.get("predict_seconds_p50") and \
+        simgpu_predict.get("predict_seconds_p50"):
+    comparison["predict_p50_speedup_native_vs_simgpu"] = round(
+        simgpu_predict["predict_seconds_p50"] /
+        predict["predict_seconds_p50"], 3)
+
+out = {
+    "backend": "native",
+    "micro": micro,
+    "end_to_end": predict,
+    "simgpu_comparison": comparison,
+}
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
@@ -111,25 +138,32 @@ for row in micro:
 print(f"wrote {out_path}")
 PY
 
-echo "== kNN index search/append (Fig 7 workload) =="
-SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" \
+echo "== kNN index search/append (Fig 7 workload, native + simgpu) =="
+SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" SMILER_BACKEND=native \
   ./build/bench/bench_fig07_knn_search \
   --metrics-json "$WORK/fig07_metrics.json" > "$WORK/fig07.txt"
+SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" SMILER_BACKEND=simgpu \
+  ./build/bench/bench_fig07_knn_search \
+  --metrics-json "$WORK/fig07_metrics_simgpu.json" > "$WORK/fig07_simgpu.txt"
 
-python3 - "$WORK/fig07_metrics.json" "$OUT_DIR/BENCH_index.json" <<'PY'
+python3 - "$WORK/fig07_metrics.json" "$WORK/fig07_metrics_simgpu.json" \
+  "$OUT_DIR/BENCH_index.json" <<'PY'
 import json
 import sys
 
-metrics_path, out_path = sys.argv[1], sys.argv[2]
+metrics_path, simgpu_metrics_path, out_path = (
+    sys.argv[1], sys.argv[2], sys.argv[3])
 with open(metrics_path) as f:
     metrics = json.load(f)
+with open(simgpu_metrics_path) as f:
+    simgpu_metrics = json.load(f)
 c = metrics.get("counters", {})
 g = metrics.get("gauges", {})
 h = metrics.get("histograms", {})
 
 
-def hist(name):
-    d = h.get(name, {})
+def hist(name, hists=None):
+    d = (h if hists is None else hists).get(name, {})
     return {k: d.get(k) for k in ("count", "sum", "p50", "p95")}
 
 
@@ -137,8 +171,24 @@ def hist(name):
 # "baseline" block is the pre-cascade core (threshold fixed after
 # seeding, no early abandon, serial item loop) measured on the same
 # workload, kept here so the speedup survives in-tree.
+sc = simgpu_metrics.get("counters", {})
+sh = simgpu_metrics.get("histograms", {})
+simgpu_comparison = {
+    "candidates_total": sc.get("index.candidates_total"),
+    "candidates_verified": sc.get("index.candidates_verified"),
+    "verify_seconds": hist("index.search.verify_seconds", sh),
+    "append_seconds": hist("index.append_seconds", sh),
+    "lower_bound_seconds": hist("index.search.lower_bound_seconds", sh),
+}
+native_verify = h.get("index.search.verify_seconds", {}).get("sum")
+simgpu_verify = sh.get("index.search.verify_seconds", {}).get("sum")
+if native_verify and simgpu_verify:
+    simgpu_comparison["verify_speedup_native_vs_simgpu"] = round(
+        simgpu_verify / native_verify, 3)
+
 out = {
     "workload": "bench_fig07_knn_search SMILER_BENCH_SCALE=smoke",
+    "backend": "native",
     "candidates_total": c.get("index.candidates_total"),
     "candidates_verified": c.get("index.candidates_verified"),
     "verify_early_abandoned": c.get("index.verify.early_abandoned"),
@@ -147,6 +197,7 @@ out = {
     "verify_seconds": hist("index.search.verify_seconds"),
     "append_seconds": hist("index.append_seconds"),
     "lower_bound_seconds": hist("index.search.lower_bound_seconds"),
+    "simgpu_comparison": simgpu_comparison,
     "baseline": {
         "candidates_total": 11748960,
         "candidates_verified": 2548756,
@@ -169,6 +220,10 @@ vs = out["verify_seconds"].get("sum")
 if vs:
     print(f"  verify_seconds sum: {vs:.3f} "
           f"(baseline {base['verify_seconds_sum']:.3f})")
+speedup = simgpu_comparison.get("verify_speedup_native_vs_simgpu")
+if speedup:
+    print(f"  verify native vs simgpu: {speedup:.2f}x "
+          f"(simgpu {simgpu_verify:.3f}s -> native {native_verify:.3f}s)")
 print(f"wrote {out_path}")
 PY
 
@@ -179,6 +234,6 @@ echo "== serving layer (Fig-12 workload through PredictionServer) =="
 # per-stage attribution table (owner-clock seconds per taxonomy stage,
 # globally and per shard). --trace-exemplars additionally saves the span
 # trees of the slowest requests as a Chrome/Perfetto trace next to it.
-SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" \
+SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" SMILER_BACKEND=native \
   ./build/bench/bench_serve --out "$OUT_DIR/BENCH_serve.json" \
   --trace-exemplars "$OUT_DIR/BENCH_serve_exemplars.json"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repo gate: tier-1 build + tests, the obs concurrency tests under
-# ThreadSanitizer, and the tracing-overhead gate (tracing-on must stay
-# within 3% of tracing-off on the smoke Fig-7 bench).
+# Repo gate: tier-1 build + tests, the backend-equivalence re-run
+# (index/GP/DTW suites under SMILER_BACKEND=native), the obs concurrency
+# tests under ThreadSanitizer, and the tracing-overhead gate (tracing-on
+# must stay within 3% of tracing-off on the smoke Fig-7 bench).
 #
 #   scripts/check.sh             # full gate
 #   scripts/check.sh --fast      # tier-1 label only, skip the TSan pass
@@ -81,6 +82,16 @@ if [[ "$MODE" == "fast" ]]; then
 else
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 fi
+
+echo "== backend equivalence (tier-1 index/GP/DTW suites, SMILER_BACKEND=native) =="
+# The native backend must be a drop-in for the simulated grid: the index,
+# GP, and DTW tier-1 suites (plus the dedicated cross-backend bitwise
+# suite) re-run with every kernel launch routed through the native
+# execution path. Runs in fast mode too — backend drift is a correctness
+# bug, not a stress-only concern.
+SMILER_BACKEND=native ctest --test-dir build \
+  -R 'IndexTest|IndexEquivalenceTest|GpTest|DtwTest|DtwPropertyTest|BackendSelectionTest|BackendEquivalenceTest|BackendExactnessContractTest' \
+  --output-on-failure -j "$(nproc)" | tail -n 3
 
 if [[ "$MODE" == "fast" ]]; then
   echo "== skipping TSan pass (--fast) =="

@@ -167,7 +167,16 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
       // On failure the cells recompute their own distances (and surface
       // the same failure themselves if it affects them).
       if (!full.ok()) continue;
-      column_grams[j] = gp::PairwiseSquaredDistances(full->x);
+      // Route the Gram through the device so SE-kernel evaluation runs on
+      // the selected backend and is profiled as "gp.gram"; both backends
+      // are bitwise-identical to the host function. A launch failure
+      // (e.g. chaos injection) falls back to the host path — same
+      // degradation contract as the cells recomputing their own distances.
+      auto gram_or = gp::PairwiseSquaredDistancesOnDevice(index_.device(),
+                                                          full->x);
+      column_grams[j] = gram_or.ok()
+                            ? std::move(*gram_or)
+                            : gp::PairwiseSquaredDistances(full->x);
       gram_columns.Increment();
     }
   }

@@ -144,5 +144,84 @@ double CompressedDtwEarlyAbandon(const double* q, const double* c,
   return CompressedDtwImpl<true>(q, c, d, rho, cutoff, scratch);
 }
 
+// Lane-batched mirror of CompressedDtwImpl<true>: the ring-cursor walk,
+// boundary invalidations and per-cell min/accumulate are identical per
+// lane — the lane index is merely an inner SIMD dimension over
+// independent candidates, so no floating-point operation is reordered
+// within any one lane's computation. Scratch is laid out lane-major
+// (ring row r of lane l lives at r * kLanes + l) so the inner loop loads
+// and stores contiguous 4-lane groups.
+void CompressedDtwEarlyAbandonBatch(const double* q, const double* const* cs,
+                                    std::size_t d, int rho, double cutoff,
+                                    double* out, double* scratch) {
+  constexpr int kLanes = kDtwBatchLanes;
+  const long n = static_cast<long>(d);
+  const long w = std::max<long>(rho, 0);
+  const long m = 2 * w + 2;
+  double* col[2] = {scratch, scratch + m * kLanes};
+
+  for (int l = 0; l < kLanes; ++l) col[0][l] = 0.0;
+  for (long i = 1; i < m; ++i) {
+    for (int l = 0; l < kLanes; ++l) col[0][i * kLanes + l] = kInf;
+  }
+  for (int l = 0; l < kLanes; ++l) col[1][l] = kInf;
+
+  bool abandoned[kLanes] = {};
+  int n_live = kLanes;
+  double qj[kLanes];
+  double left[kLanes];
+  double col_min[kLanes];
+
+  for (long j = 1; j <= n; ++j) {
+    double* cur = col[j & 1];
+    double* prev = col[(j - 1) & 1];
+    const long lo = std::max<long>(1, j - w);
+    const long hi = std::min<long>(n, j + w);
+    {
+      const long inv_cur = Mod(lo - 1, m) * kLanes;
+      const long inv_prev = Mod(j + w, m) * kLanes;
+      for (int l = 0; l < kLanes; ++l) cur[inv_cur + l] = kInf;
+      for (int l = 0; l < kLanes; ++l) prev[inv_prev + l] = kInf;
+    }
+    for (int l = 0; l < kLanes; ++l) qj[l] = cs[l][j - 1];
+    long im = Mod(lo, m);
+    long pm = im == 0 ? m - 1 : im - 1;
+    for (int l = 0; l < kLanes; ++l) left[l] = cur[pm * kLanes + l];
+    for (int l = 0; l < kLanes; ++l) col_min[l] = kInf;
+    for (long i = lo; i <= hi; ++i) {
+      const double* pu = prev + im * kLanes;
+      const double* pd = prev + pm * kLanes;
+      double* cc = cur + im * kLanes;
+      const double qi = q[i - 1];
+#pragma omp simd
+      for (int l = 0; l < kLanes; ++l) {
+        const double up = pu[l];
+        const double diag = pd[l];
+        double best = left[l] < up ? left[l] : up;
+        best = diag < best ? diag : best;
+        const double dq = qi - qj[l];
+        const double v = dq * dq + best;
+        left[l] = v;
+        cc[l] = v;
+        col_min[l] = v < col_min[l] ? v : col_min[l];
+      }
+      pm = im;
+      im = im + 1 == m ? 0 : im + 1;
+    }
+    for (int l = 0; l < kLanes; ++l) {
+      if (!abandoned[l] && col_min[l] > cutoff) {
+        abandoned[l] = true;
+        out[l] = kInf;
+        --n_live;
+      }
+    }
+    if (n_live == 0) return;
+  }
+  const double* last = col[n & 1] + Mod(n, m) * kLanes;
+  for (int l = 0; l < kLanes; ++l) {
+    if (!abandoned[l]) out[l] = last[l];
+  }
+}
+
 }  // namespace dtw
 }  // namespace smiler

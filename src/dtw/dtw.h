@@ -57,6 +57,37 @@ double CompressedDtwEarlyAbandon(const double* q, const double* c,
                                  std::size_t d, int rho, double cutoff,
                                  double* scratch);
 
+/// Lane count of the batched verify kernel below. Four 64-bit lanes fill
+/// two SSE2 registers (the baseline-ISA vector width) and, just as
+/// important on narrow machines, interleave four independent
+/// recurrence chains so the min/multiply-add latency of one cell overlaps
+/// the others' — the scalar kernel is latency-bound on that chain.
+inline constexpr int kDtwBatchLanes = 4;
+
+/// \brief Scratch doubles CompressedDtwEarlyAbandonBatch needs: the
+/// compressed warping matrix of CompressedDtwScratchSize, lane-major.
+constexpr std::size_t CompressedDtwBatchScratchSize(int rho) {
+  return CompressedDtwScratchSize(rho) *
+         static_cast<std::size_t>(kDtwBatchLanes);
+}
+
+/// \brief Verifies kDtwBatchLanes candidates against one query in
+/// lockstep: per warping-matrix cell, each lane performs *exactly* the
+/// scalar CompressedDtwEarlyAbandon arithmetic on its own candidate, so
+/// every lane's result is bitwise-identical to a scalar call with the
+/// same cutoff. The lane loop carries no cross-lane dependency and
+/// vectorizes (`#pragma omp simd`).
+///
+/// Early abandoning is per lane: when a lane's column band minimum
+/// exceeds \p cutoff its output becomes +infinity at that column — the
+/// same column the scalar kernel would abandon at — and the batch stops
+/// once every lane has abandoned. \p c holds kDtwBatchLanes candidate
+/// pointers, \p out receives kDtwBatchLanes distances, \p scratch at
+/// least CompressedDtwBatchScratchSize(rho) doubles.
+void CompressedDtwEarlyAbandonBatch(const double* q, const double* const* c,
+                                    std::size_t d, int rho, double cutoff,
+                                    double* out, double* scratch);
+
 }  // namespace dtw
 }  // namespace smiler
 

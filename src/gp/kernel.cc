@@ -30,6 +30,51 @@ la::Matrix PairwiseSquaredDistances(const la::Matrix& x) {
   return dists;
 }
 
+Result<la::Matrix> PairwiseSquaredDistancesOnDevice(simgpu::Device* device,
+                                                    const la::Matrix& x) {
+  const std::size_t k = x.rows();
+  const std::size_t dim = x.cols();
+  la::Matrix dists(k, k);
+  if (device == nullptr || k < 2) return dists;
+
+  // Grid body: block i fills row i's strict upper triangle entrywise (the
+  // host function's arithmetic exactly) and mirrors each entry. Blocks
+  // touch disjoint entries: (i, j) belongs to block min(i, j).
+  const simgpu::Kernel grid_kernel = [&](simgpu::BlockContext& ctx) {
+    const std::size_t i = static_cast<std::size_t>(ctx.block_id);
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double d = SquaredDistance(x.Row(i), x.Row(j), dim);
+      dists(i, j) = d;
+      dists(j, i) = d;
+    }
+  };
+  // Native body: transpose once (value copies only), then accumulate each
+  // row's entries dimension-by-dimension with a vectorizable inner loop
+  // over columns. Entry (i, j) receives (x(i,dd) - x(j,dd))^2 for dd =
+  // 0, 1, ... in ascending order onto a zero start — the exact add
+  // sequence of SquaredDistance, so every entry is bitwise-identical.
+  const simgpu::NativeKernel native_kernel = [&](simgpu::NativeContext& nctx) {
+    const la::Matrix xt = x.Transposed();
+    nctx.ParallelFor(k, [&](std::size_t i) {
+      double* row = dists.Row(i);
+      const double* xi = x.Row(i);
+      for (std::size_t dd = 0; dd < dim; ++dd) {
+        const double v = xi[dd];
+        const double* xtr = xt.Row(dd);
+#pragma omp simd
+        for (std::size_t j = i + 1; j < k; ++j) {
+          const double dq = v - xtr[j];
+          row[j] += dq * dq;
+        }
+      }
+      for (std::size_t j = i + 1; j < k; ++j) dists(j, i) = row[j];
+    });
+  };
+  SMILER_RETURN_NOT_OK(device->Launch("gp.gram", static_cast<int>(k), 1,
+                                      grid_kernel, native_kernel));
+  return dists;
+}
+
 SeKernel SeKernel::Heuristic(const la::Matrix& x, const std::vector<double>& y,
                              const la::ConstMatrixView* gram) {
   const double var_y = std::max(Variance(y), 1e-6);

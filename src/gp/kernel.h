@@ -5,7 +5,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/status.h"
 #include "la/matrix.h"
+#include "simgpu/device.h"
 
 namespace smiler {
 namespace gp {
@@ -94,6 +96,20 @@ double SquaredDistance(const double* a, const double* b, std::size_t dim);
 /// consumer would have computed itself (and a leading submatrix view of it
 /// is exactly the Gram of the corresponding row prefix).
 la::Matrix PairwiseSquaredDistances(const la::Matrix& x);
+
+/// \brief PairwiseSquaredDistances routed through \p device as the
+/// "gp.gram" kernel, so SE-kernel Gram evaluation shows up in per-kernel
+/// profiling and runs on the selected execution backend. Under the grid
+/// backend one block computes one row's upper-triangle entries; the native
+/// body walks a transposed copy of \p x dimension-by-dimension with a
+/// vectorized accumulator over columns. Both paths perform each entry's
+/// additions in the same ascending-dimension order as SquaredDistance, so
+/// the result is bitwise-identical to the host function (the Gram-cache
+/// contract: a cached Gram matches what each consumer would compute).
+/// Fails only when the launch itself fails (e.g. an invalid
+/// SMILER_BACKEND); callers fall back to the host function.
+Result<la::Matrix> PairwiseSquaredDistancesOnDevice(simgpu::Device* device,
+                                                    const la::Matrix& x);
 
 }  // namespace gp
 }  // namespace smiler

@@ -74,12 +74,20 @@ Result<SmilerIndex> SmilerIndex::Build(simgpu::Device* device,
   idx.prev_knn_.assign(config.elv.size(), {});
 
   // Window-level build: one block per sliding window computes that
-  // window's whole posting list (Section 4.3.1).
+  // window's whole posting list (Section 4.3.1). Both backends run the
+  // same ComputeRow body over the same decomposition; the native path
+  // just skips the per-block arena/timer machinery.
   SmilerIndex* self = &idx;
+  const int n_rows = idx.S_;
   SMILER_RETURN_NOT_OK(device->Launch(
-      "index.window_build", idx.S_, config.omega,
+      "index.window_build", n_rows, config.omega,
       [self](simgpu::BlockContext& ctx) {
         self->ComputeRow(ctx.block_id, /*eq_only=*/false);
+      },
+      [self, n_rows](simgpu::NativeContext& nctx) {
+        nctx.ParallelFor(static_cast<std::size_t>(n_rows), [self](std::size_t b) {
+          self->ComputeRow(static_cast<int>(b), /*eq_only=*/false);
+        });
       }));
   SMILER_RETURN_NOT_OK(idx.UpdateMemoryAccounting());
   return idx;
@@ -292,14 +300,21 @@ Status SmilerIndex::Append(double value) {
   const long first_changed_dw = static_cast<long>(env_begin) / omega;
   if (S_ > 1 && first_changed_dw < R_) {
     SmilerIndex* self = this;
+    const int n_cols = static_cast<int>(R_ - first_changed_dw);
+    const auto column_body = [self, first_changed_dw, new_r](long block) {
+      const long r = first_changed_dw + block;
+      for (int b = 1; b < self->S_; ++b) {
+        self->ComputeColumnEntry(b, r, /*both=*/r == new_r);
+      }
+    };
     SMILER_RETURN_NOT_OK(device_->Launch(
-        "index.append_columns", static_cast<int>(R_ - first_changed_dw),
-        omega,
-        [self, first_changed_dw, new_r](simgpu::BlockContext& ctx) {
-          const long r = first_changed_dw + ctx.block_id;
-          for (int b = 1; b < self->S_; ++b) {
-            self->ComputeColumnEntry(b, r, /*both=*/r == new_r);
-          }
+        "index.append_columns", n_cols, omega,
+        [column_body](simgpu::BlockContext& ctx) { column_body(ctx.block_id); },
+        [column_body, n_cols](simgpu::NativeContext& nctx) {
+          nctx.ParallelFor(static_cast<std::size_t>(n_cols),
+                           [&](std::size_t b) {
+                             column_body(static_cast<long>(b));
+                           });
         }));
   }
 
@@ -312,6 +327,13 @@ Status SmilerIndex::Append(double value) {
       "index.append_rows", refresh + 1, omega,
       [self](simgpu::BlockContext& ctx) {
         self->ComputeRow(ctx.block_id, /*eq_only=*/ctx.block_id != 0);
+      },
+      [self, refresh](simgpu::NativeContext& nctx) {
+        nctx.ParallelFor(static_cast<std::size_t>(refresh) + 1,
+                         [self](std::size_t b) {
+                           self->ComputeRow(static_cast<int>(b),
+                                            /*eq_only=*/b != 0);
+                         });
       }));
 
   Status st = UpdateMemoryAccounting();
@@ -374,47 +396,56 @@ Result<LowerBoundTable> SmilerIndex::GroupLowerBounds(
   LowerBoundTable* out = &table;
   const std::vector<long>* limits = &t_limit;
   const std::vector<std::vector<Emit>>* emit_ptr = &emits;
-  // The kernel is bound to a named variable first: a `#pragma` cannot
-  // appear inside a macro argument.
-  const simgpu::Kernel group_kernel =
-      [self, out, limits, emit_ptr, omega](simgpu::BlockContext& ctx) {
-        const int b = ctx.block_id;
-        const std::vector<Emit>& todo = (*emit_ptr)[b];
-        if (todo.empty()) return;
-        const int max_m = todo.back().m;
-        const long R = self->R_;
-        std::vector<double> acc_eq(static_cast<std::size_t>(R), 0.0);
-        std::vector<double> acc_ec(static_cast<std::size_t>(R), 0.0);
-        std::size_t ptr = 0;
-        for (int j = 0; j < max_m; ++j) {
-          const int row = self->PhysicalRow(b + j * omega);
-          const double* eq = self->lb_.EqRow(row);
-          const double* ec = self->lb_.EcRow(row);
-          double* aeq = acc_eq.data();
-          double* aec = acc_ec.data();
+  // One shared per-CSG fold body: the grid backend runs it once per block,
+  // the native backend as a flat loop over CSG identifiers — bitwise the
+  // same sums either way, with no arena/timer per CSG on the native path.
+  const auto fold_csg = [self, out, limits, emit_ptr, omega](int b) {
+    const std::vector<Emit>& todo = (*emit_ptr)[b];
+    if (todo.empty()) return;
+    const int max_m = todo.back().m;
+    const long R = self->R_;
+    std::vector<double> acc_eq(static_cast<std::size_t>(R), 0.0);
+    std::vector<double> acc_ec(static_cast<std::size_t>(R), 0.0);
+    std::size_t ptr = 0;
+    for (int j = 0; j < max_m; ++j) {
+      const int row = self->PhysicalRow(b + j * omega);
+      const double* eq = self->lb_.EqRow(row);
+      const double* ec = self->lb_.EcRow(row);
+      double* aeq = acc_eq.data();
+      double* aec = acc_ec.data();
 #pragma omp simd
-          for (long r = j; r < R; ++r) {
-            aeq[r] += eq[r - j];
-            aec[r] += ec[r - j];
-          }
-          while (ptr < todo.size() && todo[ptr].m == j + 1) {
-            const Emit& e = todo[ptr];
-            const long limit = (*limits)[e.item];
-            double* out_eq = out->lb_eq[e.item].data();
-            double* out_ec = out->lb_ec[e.item].data();
-            for (long r = j; r < R; ++r) {
-              const long t = (r - j) * static_cast<long>(omega) - e.offset;
-              if (t >= 0 && t <= limit) {
-                out_eq[t] = aeq[r];
-                out_ec[t] = aec[r];
-              }
-            }
-            ++ptr;
+      for (long r = j; r < R; ++r) {
+        aeq[r] += eq[r - j];
+        aec[r] += ec[r - j];
+      }
+      while (ptr < todo.size() && todo[ptr].m == j + 1) {
+        const Emit& e = todo[ptr];
+        const long limit = (*limits)[e.item];
+        double* out_eq = out->lb_eq[e.item].data();
+        double* out_ec = out->lb_ec[e.item].data();
+        for (long r = j; r < R; ++r) {
+          const long t = (r - j) * static_cast<long>(omega) - e.offset;
+          if (t >= 0 && t <= limit) {
+            out_eq[t] = aeq[r];
+            out_ec[t] = aec[r];
           }
         }
+        ++ptr;
+      }
+    }
+  };
+  // The kernels are bound to named variables first: a `#pragma` cannot
+  // appear inside a macro argument (the pragma lives in fold_csg).
+  const simgpu::Kernel group_kernel =
+      [fold_csg](simgpu::BlockContext& ctx) { fold_csg(ctx.block_id); };
+  const simgpu::NativeKernel group_native =
+      [fold_csg, omega](simgpu::NativeContext& nctx) {
+        nctx.ParallelFor(static_cast<std::size_t>(omega), [&](std::size_t b) {
+          fold_csg(static_cast<int>(b));
+        });
       };
-  SMILER_RETURN_NOT_OK(
-      device_->Launch("index.group_lower_bound", omega, omega, group_kernel));
+  SMILER_RETURN_NOT_OK(device_->Launch("index.group_lower_bound", omega,
+                                       omega, group_kernel, group_native));
   return table;
 }
 
@@ -427,23 +458,27 @@ Result<LowerBoundTable> SmilerIndex::DirectLowerBounds(
   const SmilerIndex* self = this;
   LowerBoundTable* out = &table;
   const int h = reserve_horizon;
+  const auto direct_body = [self, out, h](std::size_t i) {
+    const int d = self->cfg_.elv[i];
+    const long t_count = self->NumCandidates(i, h);
+    auto& eq = out->lb_eq[i];
+    auto& ec = out->lb_ec[i];
+    eq.assign(std::max<long>(0, t_count), 0.0);
+    ec.assign(std::max<long>(0, t_count), 0.0);
+    const double* q = self->series_.data() + self->series_.size() - d;
+    const dtw::Envelope env_q = dtw::ComputeEnvelope(q, d, self->cfg_.rho);
+    for (long t = 0; t < t_count; ++t) {
+      eq[t] = dtw::LbKeogh(env_q, self->series_.data() + t, d);
+      ec[t] = dtw::LbKeoghAligned(self->env_c_, t, q, 0, d);
+    }
+  };
   SMILER_RETURN_NOT_OK(device_->Launch(
       "index.direct_lower_bound", static_cast<int>(n_items), cfg_.omega,
-      [self, out, h](simgpu::BlockContext& ctx) {
-        const std::size_t i = ctx.block_id;
-        const int d = self->cfg_.elv[i];
-        const long t_count = self->NumCandidates(i, h);
-        auto& eq = out->lb_eq[i];
-        auto& ec = out->lb_ec[i];
-        eq.assign(std::max<long>(0, t_count), 0.0);
-        ec.assign(std::max<long>(0, t_count), 0.0);
-        const double* q = self->series_.data() + self->series_.size() - d;
-        const dtw::Envelope env_q =
-            dtw::ComputeEnvelope(q, d, self->cfg_.rho);
-        for (long t = 0; t < t_count; ++t) {
-          eq[t] = dtw::LbKeogh(env_q, self->series_.data() + t, d);
-          ec[t] = dtw::LbKeoghAligned(self->env_c_, t, q, 0, d);
-        }
+      [direct_body](simgpu::BlockContext& ctx) {
+        direct_body(static_cast<std::size_t>(ctx.block_id));
+      },
+      [direct_body, n_items](simgpu::NativeContext& nctx) {
+        nctx.ParallelFor(n_items, direct_body);
       }));
   return table;
 }
@@ -567,8 +602,7 @@ Status SmilerIndex::SearchItem(std::size_t item, const LowerBoundTable& table,
   std::atomic<std::uint64_t>* abandoned_ptr = &abandoned;
   std::atomic<std::uint64_t>* pruned_ptr = &pruned_late;
   if (!cand.empty()) {
-    SMILER_RETURN_NOT_OK(device_->Launch(
-        "index.verify_dtw", n_blocks, cfg_.omega,
+    const simgpu::Kernel verify_kernel =
         [self, cand_ptr, dist_ptr, seed_dists_ptr, tau_ptr, abandoned_ptr,
          pruned_ptr, q, d, k](simgpu::BlockContext& ctx) {
           // The query and the compressed warping matrix live in shared
@@ -623,7 +657,86 @@ Status SmilerIndex::SearchItem(std::size_t item, const LowerBoundTable& table,
               AtomicMinDouble(tau_ptr, topk.top());
             }
           }
-        }));
+        };
+    // Native body: the same filter-and-verify cascade as straight-line
+    // batched loops. Candidates are walked in a handful of coarse strips
+    // (each with its own seed-initialized top-k heap, publishing into the
+    // shared tau exactly like a grid block) and verified four at a time
+    // through the lane-batched DTW kernel — per lane the arithmetic is
+    // bitwise the scalar kernel's, and the tau-monotonicity invariant
+    // makes the final kNN identical under any strip/batch decomposition.
+    // The prune decision is taken against a fresh tau per candidate;
+    // only the early-abandon cutoff is per batch (a valid — merely
+    // slightly staler — upper bound, so exactness is untouched; the
+    // abandoned/pruned split was timing-dependent already).
+    const simgpu::NativeKernel verify_native =
+        [self, cand_ptr, dist_ptr, seed_dists_ptr, tau_ptr, abandoned_ptr,
+         pruned_ptr, q, d, k](simgpu::NativeContext& nctx) {
+          const std::size_t n_cand = cand_ptr->size();
+          std::size_t n_strips =
+              std::min<std::size_t>(nctx.parallelism(), (n_cand + 15) / 16);
+          if (n_strips == 0) n_strips = 1;
+          nctx.ParallelFor(n_strips, [&](std::size_t strip) {
+            constexpr int kB = dtw::kDtwBatchLanes;
+            const int rho = self->cfg_.rho;
+            std::vector<double> scratch(dtw::CompressedDtwBatchScratchSize(rho));
+            std::priority_queue<double> topk(seed_dists_ptr->begin(),
+                                             seed_dists_ptr->end());
+            auto finish = [&](std::size_t idx, double dist) {
+              if (dist == kInf) {
+                abandoned_ptr->fetch_add(1, std::memory_order_relaxed);
+                return;
+              }
+              (*dist_ptr)[idx] = dist;
+              if (static_cast<int>(topk.size()) < k) {
+                topk.push(dist);
+              } else if (dist < topk.top()) {
+                topk.pop();
+                topk.push(dist);
+              }
+              if (static_cast<int>(topk.size()) >= k) {
+                AtomicMinDouble(tau_ptr, topk.top());
+              }
+            };
+            const double* lane_c[kB];
+            std::size_t lane_idx[kB];
+            std::size_t idx = strip;
+            while (idx < n_cand) {
+              int nl = 0;
+              double tau_now = kInf;
+              while (nl < kB && idx < n_cand) {
+                tau_now = tau_ptr->load(std::memory_order_relaxed);
+                const auto& c = (*cand_ptr)[idx];
+                if (c.lb > tau_now) {
+                  pruned_ptr->fetch_add(1, std::memory_order_relaxed);
+                } else {
+                  lane_c[nl] = self->series_.data() + c.t;
+                  lane_idx[nl] = idx;
+                  ++nl;
+                }
+                idx += n_strips;
+              }
+              if (nl == kB) {
+                double dist[kB];
+                dtw::CompressedDtwEarlyAbandonBatch(q, lane_c, d, rho,
+                                                    tau_now, dist,
+                                                    scratch.data());
+                for (int l = 0; l < kB; ++l) finish(lane_idx[l], dist[l]);
+              } else {
+                for (int l = 0; l < nl; ++l) {
+                  const double dist = dtw::CompressedDtwEarlyAbandon(
+                      q, lane_c[l], d, rho,
+                      tau_ptr->load(std::memory_order_relaxed),
+                      scratch.data());
+                  finish(lane_idx[l], dist);
+                }
+              }
+            }
+          });
+        };
+    SMILER_RETURN_NOT_OK(device_->Launch("index.verify_dtw", n_blocks,
+                                         cfg_.omega, verify_kernel,
+                                         verify_native));
   }
   const std::uint64_t n_pruned_late =
       pruned_late.load(std::memory_order_relaxed);

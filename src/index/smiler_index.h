@@ -158,6 +158,11 @@ class SmilerIndex {
   /// \p reserve_horizon (0 when the history is too short).
   long NumCandidates(std::size_t elv_index, int reserve_horizon) const;
 
+  /// The device this index charges memory to and launches kernels on
+  /// (shared with the engine's GP Gram evaluation — one backend selection
+  /// governs the whole predict path).
+  simgpu::Device* device() const { return device_; }
+
   /// The sensor's full history (z-normalized values as supplied).
   const std::vector<double>& series() const { return series_; }
   /// Timestamp of the latest observation.

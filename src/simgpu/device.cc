@@ -8,8 +8,9 @@
 namespace smiler {
 namespace simgpu {
 
-Status Device::Launch(const char* name, int grid_dim, int block_dim,
-                      const Kernel& kernel) {
+Status Device::LaunchImpl(const char* name, int grid_dim, int block_dim,
+                          const Kernel& kernel, const NativeKernel* native) {
+  if (backend_ == nullptr) return backend_status_;
   if (grid_dim < 0 || block_dim <= 0) {
     return Status::InvalidArgument("grid_dim must be >= 0, block_dim > 0");
   }
@@ -22,7 +23,9 @@ Status Device::Launch(const char* name, int grid_dim, int block_dim,
   stats_.blocks_executed += static_cast<std::uint64_t>(grid_dim);
 
   // Per-kernel profiling instruments (one registry lookup per launch; the
-  // per-block work below touches only the resolved references).
+  // per-block work inside the backend touches only the resolved
+  // references). Shared across backends so dashboards keyed on
+  // `simgpu.kernel.<name>.*` keep working whichever backend runs.
   obs::Registry& reg = obs::Registry::Global();
   const std::string prefix = std::string("simgpu.kernel.") + name;
   reg.GetCounter(prefix + ".launches").Increment();
@@ -33,25 +36,18 @@ Status Device::Launch(const char* name, int grid_dim, int block_dim,
       reg.GetGauge("simgpu.shared_memory.high_water_bytes");
   obs::ScopedSpan span(name);
 
-  const std::size_t shared_bytes = shared_bytes_;
-  pool_->ParallelFor(static_cast<std::size_t>(grid_dim),
-                     [&](std::size_t block) {
-                       // Each block owns a fresh shared-memory arena, like a
-                       // CUDA SM assigning shared memory per resident block.
-                       SharedMemory shared(shared_bytes);
-                       BlockContext ctx;
-                       ctx.block_id = static_cast<int>(block);
-                       ctx.grid_dim = grid_dim;
-                       ctx.block_dim = block_dim;
-                       ctx.shared = &shared;
-                       WallTimer timer;
-                       kernel(ctx);
-                       block_seconds.Observe(timer.ElapsedSeconds());
-                       const double peak =
-                           static_cast<double>(shared.high_water());
-                       kernel_high_water.SetMax(peak);
-                       device_high_water.SetMax(peak);
-                     });
+  LaunchSpec spec;
+  spec.name = name;
+  spec.grid_dim = grid_dim;
+  spec.block_dim = block_dim;
+  spec.shared_bytes = shared_bytes_;
+  spec.pool = pool_;
+  spec.grid = &kernel;
+  spec.native = native;
+  spec.block_seconds = &block_seconds;
+  spec.kernel_high_water = &kernel_high_water;
+  spec.device_high_water = &device_high_water;
+  backend_->Execute(spec);
   return Status::OK();
 }
 

@@ -4,93 +4,17 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <new>
 #include <vector>
 
 #include "chaos/fault.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "simgpu/backend.h"
+#include "simgpu/kernel_context.h"
 
 namespace smiler {
 namespace simgpu {
-
-/// \brief Per-block scratch arena standing in for CUDA shared memory.
-///
-/// The paper stores the compressed DTW warping matrix and the query in
-/// shared memory (Appendix E); kernels written against this arena exercise
-/// the same capacity constraint (default 64 KiB, matching the paper's note
-/// "up to 64KB").
-class SharedMemory {
- public:
-  explicit SharedMemory(std::size_t capacity_bytes)
-      : data_(capacity_bytes), used_(0), high_water_(0) {}
-
-  /// Bump-allocates \p count elements of T. Returns nullptr when the
-  /// request exceeds the remaining capacity (kernel authors must treat
-  /// this like exceeding CUDA shared memory: restructure the kernel or
-  /// fall back to global/heap memory).
-  template <typename T>
-  T* Alloc(std::size_t count) {
-    if (SMILER_FAULT_TRIGGERED("shared_mem.alloc")) return nullptr;
-    const std::size_t align = alignof(T);
-    // Align the absolute address, not just the offset: the arena base is
-    // only guaranteed new-aligned, so an over-aligned T must shift its
-    // first allocation relative to the base.
-    const auto base = reinterpret_cast<std::uintptr_t>(data_.data());
-    const std::uintptr_t aligned = (base + used_ + align - 1) / align * align;
-    const std::size_t offset = static_cast<std::size_t>(aligned - base);
-    if (offset > data_.size()) return nullptr;
-    // Divide instead of multiplying: `count * sizeof(T)` can wrap, which
-    // would hand out a pointer into a too-small arena.
-    if (count > (data_.size() - offset) / sizeof(T)) return nullptr;
-    used_ = offset + count * sizeof(T);
-    if (used_ > high_water_) high_water_ = used_;
-    return reinterpret_cast<T*>(data_.data() + offset);
-  }
-
-  /// Releases all allocations (block exit). The high-water mark survives.
-  void Reset() { used_ = 0; }
-
-  std::size_t capacity() const { return data_.size(); }
-  std::size_t used() const { return used_; }
-  /// Largest `used()` ever reached — the arena's occupancy profile. Never
-  /// exceeds capacity() (over-capacity Allocs fail instead of counting).
-  std::size_t high_water() const { return high_water_; }
-
- private:
-  std::vector<std::byte> data_;
-  std::size_t used_;
-  std::size_t high_water_;
-};
-
-/// \brief Execution context handed to a kernel, one per thread block.
-///
-/// Lanes model CUDA threads. `ForEachLane(fn)` runs `fn(lane)` for every
-/// lane of the block; consecutive ForEachLane calls are separated by an
-/// implicit block-wide barrier (the SIMD phases our kernels need map onto
-/// this structure exactly — see DESIGN.md S3).
-struct BlockContext {
-  int block_id = 0;
-  int grid_dim = 1;
-  int block_dim = 1;
-  SharedMemory* shared = nullptr;
-
-  template <typename Fn>
-  void ForEachLane(Fn&& fn) const {
-    for (int lane = 0; lane < block_dim; ++lane) fn(lane);
-  }
-
-  /// Grid-stride style helper: runs `fn(i)` for every i in [0, n) with the
-  /// block's lanes striding over the range (i = lane, lane+block_dim, ...).
-  template <typename Fn>
-  void StridedFor(std::size_t n, Fn&& fn) const {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-  }
-};
-
-/// A kernel is invoked once per block.
-using Kernel = std::function<void(BlockContext&)>;
 
 /// \brief Counters describing the work a Device has executed. Atomic
 /// because independent host threads may Launch concurrently (e.g. the
@@ -113,12 +37,33 @@ class Device {
   ///        the paper's GTX TITAN).
   /// \param shared_memory_bytes per-block shared memory (default 64 KiB).
   /// \param pool thread pool to run blocks on (default process pool).
+  ///
+  /// The execution backend is resolved from SMILER_BACKEND at
+  /// construction (unset/empty selects the simulated grid). An unknown
+  /// value does not fall back silently: the resolution error is stored
+  /// and every Launch fails with it (kInvalidArgument).
   explicit Device(std::size_t memory_budget_bytes = 6ULL << 30,
                   std::size_t shared_memory_bytes = 64ULL << 10,
                   ThreadPool* pool = nullptr)
       : budget_(memory_budget_bytes),
         shared_bytes_(shared_memory_bytes),
-        pool_(pool != nullptr ? pool : &ThreadPool::Default()) {}
+        pool_(pool != nullptr ? pool : &ThreadPool::Default()) {
+    Result<BackendKind> kind = BackendKindFromEnv();
+    if (kind.ok()) {
+      backend_ = Backend::Get(*kind);
+    } else {
+      backend_status_ = kind.status();
+    }
+  }
+
+  /// Constructs with an explicit backend, ignoring SMILER_BACKEND (used
+  /// by the forced-backend test fixtures and the equivalence suites).
+  Device(std::size_t memory_budget_bytes, std::size_t shared_memory_bytes,
+         ThreadPool* pool, BackendKind backend)
+      : budget_(memory_budget_bytes),
+        shared_bytes_(shared_memory_bytes),
+        pool_(pool != nullptr ? pool : &ThreadPool::Default()),
+        backend_(Backend::Get(backend)) {}
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -130,13 +75,40 @@ class Device {
   /// \p name identifies the kernel for profiling (a string literal, e.g.
   /// "index.verify_dtw"): each launch opens a tracing span and feeds the
   /// per-kernel `simgpu.kernel.<name>.*` metrics — launch count, per-block
-  /// wall-time histogram, and the SharedMemory high-water gauge.
+  /// wall-time histogram, and the SharedMemory high-water gauge — under
+  /// every backend.
   Status Launch(const char* name, int grid_dim, int block_dim,
-                const Kernel& kernel);
+                const Kernel& kernel) {
+    return LaunchImpl(name, grid_dim, block_dim, kernel, nullptr);
+  }
+
+  /// Launch with a native body: the native backend executes \p native as
+  /// one straight-line call (no block emulation); the simulated-grid
+  /// backend ignores it and runs \p kernel block-by-block. Both bodies
+  /// must produce bitwise-identical results — the contract every migrated
+  /// kernel's equivalence test pins down.
+  Status Launch(const char* name, int grid_dim, int block_dim,
+                const Kernel& kernel, const NativeKernel& native) {
+    return LaunchImpl(name, grid_dim, block_dim, kernel, &native);
+  }
 
   /// Unnamed launch; profiled under the kernel name "anonymous".
   Status Launch(int grid_dim, int block_dim, const Kernel& kernel) {
     return Launch("anonymous", grid_dim, block_dim, kernel);
+  }
+
+  /// The backend this device resolved at construction, or the stored
+  /// kInvalidArgument when SMILER_BACKEND held an unknown value.
+  Result<BackendKind> backend() const {
+    if (backend_ == nullptr) return backend_status_;
+    return backend_->kind();
+  }
+
+  /// Re-binds the execution backend (test hook; not thread-safe against
+  /// concurrent Launch).
+  void set_backend(BackendKind kind) {
+    backend_ = Backend::Get(kind);
+    backend_status_ = Status::OK();
   }
 
   /// Reserves \p bytes of device memory. Fails with ResourceExhausted when
@@ -156,9 +128,14 @@ class Device {
   }
 
  private:
+  Status LaunchImpl(const char* name, int grid_dim, int block_dim,
+                    const Kernel& kernel, const NativeKernel* native);
+
   std::size_t budget_;
   std::size_t shared_bytes_;
   ThreadPool* pool_;
+  const Backend* backend_ = nullptr;
+  Status backend_status_;  // why backend_ is null, when it is
   std::atomic<std::size_t> used_{0};
   DeviceStats stats_;
 };

@@ -182,6 +182,55 @@ TEST(DtwPropertyTest, CompressedEarlyAbandonExactnessContract) {
   }
 }
 
+TEST(DtwPropertyTest, BatchedEarlyAbandonKeepsExactnessContractPerLane) {
+  // The native backend's 4-lane batched verify kernel inherits the scalar
+  // exactness contract lane by lane: each lane's result is bitwise the
+  // scalar CompressedDtwEarlyAbandon value for its own candidate and
+  // cutoff, even when neighboring lanes abandon at different columns.
+  Rng rng(307);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 8 + static_cast<int>(rng.UniformInt(90));
+    const int rho = static_cast<int>(rng.UniformInt(12));
+    std::vector<double> q(n);
+    for (int i = 0; i < n; ++i) q[i] = rng.Normal();
+    std::vector<std::vector<double>> cands(kDtwBatchLanes,
+                                           std::vector<double>(n));
+    const double* lanes[kDtwBatchLanes];
+    for (int l = 0; l < kDtwBatchLanes; ++l) {
+      for (int i = 0; i < n; ++i) {
+        cands[l][i] = std::sin(2 * M_PI * i / 16.0) + 0.5 * rng.Normal();
+      }
+      lanes[l] = cands[l].data();
+    }
+    std::vector<double> scratch(CompressedDtwScratchSize(rho));
+    std::vector<double> batch_scratch(CompressedDtwBatchScratchSize(rho));
+    double exact[kDtwBatchLanes];
+    for (int l = 0; l < kDtwBatchLanes; ++l) {
+      exact[l] = CompressedDtw(q.data(), lanes[l], n, rho, scratch.data());
+    }
+    // Sweep cutoffs spanning all lanes' exact distances so every mix of
+    // {completed, abandoned} lanes occurs across trials.
+    for (int pivot = 0; pivot < kDtwBatchLanes; ++pivot) {
+      for (double f : {0.0, 0.7, 1.0, 1.5}) {
+        const double cutoff = exact[pivot] * f;
+        double out[kDtwBatchLanes];
+        CompressedDtwEarlyAbandonBatch(q.data(), lanes, n, rho, cutoff, out,
+                                       batch_scratch.data());
+        for (int l = 0; l < kDtwBatchLanes; ++l) {
+          if (exact[l] <= cutoff) {
+            ASSERT_EQ(out[l], exact[l])
+                << "lane=" << l << " pivot=" << pivot << " f=" << f;
+          } else {
+            ASSERT_TRUE(out[l] == exact[l] || out[l] == kInf)
+                << "lane=" << l << " got=" << out[l];
+            ASSERT_GT(out[l], cutoff);
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(DtwPropertyTest, ConstantSeriesDistanceIsScaledOffset) {
   // Two constant series: every alignment costs the same; DTW = d * diff^2.
   std::vector<double> a(40, 1.0);
