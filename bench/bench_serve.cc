@@ -13,6 +13,7 @@
 // BENCH_serve.json.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -41,8 +42,12 @@ int main(int argc, char** argv) {
   using namespace smiler::bench;
   InitObsFlags(argc, argv);
   std::string out_path;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  bool sweep_enabled = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--sweep") == 0) sweep_enabled = true;
   }
 
   // Resolve the execution backend up front so a typoed SMILER_BACKEND
@@ -263,13 +268,78 @@ int main(int argc, char** argv) {
   }
   gp_block += "\n    }\n  },\n";
 
+  // ---- shard-scaling sweep (--sweep): shards x clients, closed loop ----
+  // Fresh AR fleet per cell so no warm state leaks between configs; the
+  // scripts/check.sh scaling gate and docs/performance.md read the
+  // resulting "sweep" block out of BENCH_serve.json.
+  std::string sweep_block;
+  if (sweep_enabled) {
+    const int sweep_steps = std::max(2, steps / 10);
+    const int shard_grid[] = {1, 2, 4};
+    const int client_grid[] = {1, 4, 8};
+    sweep_block = "  \"sweep\": {\n    \"steps\": " +
+                  std::to_string(sweep_steps) +
+                  ",\n    \"sensors\": " + std::to_string(scale.sensors) +
+                  ",\n    \"configs\": [";
+    bool first = true;
+    for (int shards : shard_grid) {
+      for (int clients_wanted : client_grid) {
+        auto sweep_manager = make_manager();
+        if (!sweep_manager.ok()) return 1;
+        serve::ServerOptions sweep_options;
+        sweep_options.num_shards = shards;
+        sweep_options.queue_capacity = 1024;
+        auto sweep_server = serve::PredictionServer::Create(
+            std::move(*sweep_manager), sweep_options);
+        if (!sweep_server.ok()) return 1;
+        const int n_clients = static_cast<int>(
+            std::min<std::size_t>(clients_wanted, sensors.size()));
+        std::atomic<long> issued{0};
+        const auto t0 = Clock::now();
+        std::vector<std::thread> sweep_clients;
+        for (int c = 0; c < n_clients; ++c) {
+          sweep_clients.emplace_back([&, c] {
+            for (int step = 0; step < sweep_steps; ++step) {
+              for (std::size_t s = static_cast<std::size_t>(c);
+                   s < sensors.size();
+                   s += static_cast<std::size_t>(n_clients)) {
+                if (!(*sweep_server)->Predict(s).ok()) return;
+                if (!(*sweep_server)
+                         ->Observe(s, sensors[s].values()[warmup + step])
+                         .ok())
+                  return;
+                issued.fetch_add(2);
+              }
+            }
+          });
+        }
+        for (auto& t : sweep_clients) t.join();
+        const double sweep_seconds = SecondsSince(t0);
+        const int effective_shards = (*sweep_server)->num_shards();
+        (*sweep_server)->Shutdown();
+        const double tput =
+            static_cast<double>(issued.load()) / sweep_seconds;
+        std::printf("sweep  shards=%d clients=%d  %8.0f req/s  (%.3fs)\n",
+                    effective_shards, n_clients, tput, sweep_seconds);
+        sweep_block += std::string(first ? "" : ",");
+        first = false;
+        sweep_block +=
+            "\n      {\"shards\": " + std::to_string(effective_shards) +
+            ", \"clients\": " + std::to_string(n_clients) +
+            ", \"requests\": " + std::to_string(issued.load()) +
+            ", \"throughput_req_per_s\": " + std::to_string(tput) + "}";
+      }
+    }
+    sweep_block += "\n    ]\n  },\n";
+  }
+
   const std::string json =
       std::string("{\n") +
       "  \"workload\": \"bench_serve fig12 SMiLer-AR\",\n" +
       "  \"backend\": \"" + backend_name + "\",\n" +
       "  \"sensors\": " + std::to_string(scale.sensors) + ",\n" +
       "  \"steps\": " + std::to_string(steps) + ",\n" + attribution +
-      gp_block +
+      gp_block + sweep_block +
       "  \"serve\": {\n" +
       "    \"num_shards\": " + std::to_string((*server)->num_shards()) +
       ",\n" +

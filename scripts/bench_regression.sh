@@ -234,6 +234,9 @@ echo "== serving layer (Fig-12 workload through PredictionServer) =="
 # per-stage attribution table (owner-clock seconds per taxonomy stage,
 # globally and per shard). --trace-exemplars additionally saves the span
 # trees of the slowest requests as a Chrome/Perfetto trace next to it.
+# --sweep adds the shards x clients scaling grid to the report (the
+# "sweep" block) so BENCH_serve.json records how throughput scales with
+# shard count on this machine; scripts/check.sh gates on it.
 SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" SMILER_BACKEND=native \
-  ./build/bench/bench_serve --out "$OUT_DIR/BENCH_serve.json" \
+  ./build/bench/bench_serve --sweep --out "$OUT_DIR/BENCH_serve.json" \
   --trace-exemplars "$OUT_DIR/BENCH_serve_exemplars.json"

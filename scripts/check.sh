@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo gate: tier-1 build + tests, the backend-equivalence re-run
 # (index/GP/DTW suites under SMILER_BACKEND=native), the obs concurrency
-# tests under ThreadSanitizer, and the tracing-overhead gate (tracing-on
-# must stay within 3% of tracing-off on the smoke Fig-7 bench).
+# tests under ThreadSanitizer, the serve SPSC/soak TSan pass, the
+# tracing-overhead gate (tracing-on must stay within 3% of tracing-off on
+# the smoke Fig-7 bench), and the serve shard-scaling smoke gate (4
+# shards must reach 1.3x the 1-shard throughput on multi-core runners).
 #
 #   scripts/check.sh             # full gate
 #   scripts/check.sh --fast      # tier-1 label only, skip the TSan pass
@@ -113,12 +115,16 @@ ctest --test-dir build-tsan \
   -R 'ObsConcurrencyTest|IndexEquivalenceTest|IndexStressTest' \
   --output-on-failure
 
-echo "== serve soak under ThreadSanitizer =="
+echo "== serve soak + SPSC lanes under ThreadSanitizer =="
 # The serving layer's racy surface: concurrent clients against the
-# bounded shard queues, admission-control rejections under flood, the
-# mid-run snapshot barrier, and checkpoint IO on the shared thread pool.
-cmake --build build-tsan -j --target serve_soak_test >/dev/null
-ctest --test-dir build-tsan -R 'ServeSoakTest' --output-on-failure
+# lock-free SPSC shard lanes, admission-control rejections under flood,
+# the mid-run snapshot barrier, shutdown racing in-flight producers, and
+# checkpoint IO on the shared thread pool. serve_spsc_test is the
+# dedicated TSan target for the ring cursors and lane publication.
+cmake --build build-tsan -j --target serve_soak_test serve_spsc_test >/dev/null
+ctest --test-dir build-tsan \
+  -R 'ServeSoakTest|SpscRingTest|SpscRingStressTest|SpscLaneTest' \
+  --output-on-failure
 
 echo "== tracing overhead gate (smoke Fig-7 bench, on vs off) =="
 # Request-scoped tracing must stay cheap enough to leave on in
@@ -156,6 +162,40 @@ print(f"   tracing off {off:.3f}s  on {on:.3f}s  "
 if on > budget:
     sys.exit("tracing overhead gate FAILED: >3% slowdown with SMILER_TRACE")
 PY
+
+echo "== serve shard-scaling smoke gate (4 shards vs 1) =="
+# The lock-free data plane must actually buy parallelism: on a multi-core
+# runner, best throughput at 4 shards must reach at least 1.3x best
+# throughput at 1 shard on the smoke sweep. Shards can't outrun cores, so
+# single-core machines skip the assertion (the sweep is still recorded by
+# scripts/bench_regression.sh for the report).
+if [[ "$(nproc)" -lt 4 ]]; then
+  echo "   SKIPPED: only $(nproc) core(s) — shard scaling needs >= 4 cores"
+else
+  cmake --build build -j --target bench_serve >/dev/null
+  SMILER_BENCH_SCALE=smoke SMILER_BACKEND=native \
+    ./build/bench/bench_serve --sweep --out build/serve_scaling.json \
+    >/dev/null
+  python3 - build/serve_scaling.json <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    configs = json.load(f)["sweep"]["configs"]
+best = {}
+for c in configs:
+    best[c["shards"]] = max(best.get(c["shards"], 0.0),
+                            c["throughput_req_per_s"])
+if 1 not in best or 4 not in best:
+    sys.exit("serve scaling gate FAILED: sweep missing 1- or 4-shard runs")
+ratio = best[4] / best[1]
+verdict = "OK" if ratio >= 1.3 else "FAIL"
+print(f"   1 shard {best[1]:.0f} req/s  4 shards {best[4]:.0f} req/s  "
+      f"{ratio:.2f}x  {verdict}")
+if ratio < 1.3:
+    sys.exit("serve scaling gate FAILED: 4 shards < 1.3x of 1 shard")
+PY
+fi
 
 echo "== la property tests under ASan+UBSan =="
 cmake -B build-asan -S . \

@@ -148,6 +148,10 @@ const std::vector<FaultPointInfo>& KnownFaultPoints() {
           {"serve.enqueue", "src/serve",
            "PredictionServer::Enqueue rejects the request with "
            "kResourceExhausted as if the shard queue were full"},
+          {"serve.enqueue_ring", "src/serve",
+           "the lock-free SPSC push stage reports a full ring after the "
+           "capacity reservation succeeded; Enqueue must undo the "
+           "reservation and reject with kResourceExhausted"},
           {"ts.anomaly", "src/chaos (driver-side)",
            "ScenarioRunner corrupts the next observed value (NaN, +inf, "
            "spike, stuck sample) before feeding it to the server"},

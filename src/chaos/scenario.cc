@@ -378,6 +378,22 @@ ScenarioResult ScenarioRunner::Run() {
         "conservation: serve.rejected delta " + std::to_string(rejected) +
         " != client-visible rejections " + std::to_string(rejections));
   }
+  // Gauge conservation: the per-shard queue-depth gauges are level gauges
+  // (+1 at admission, -claimed at batch claim), so after the shutdown
+  // drain answered everything they must read exactly 0 — any residue
+  // means an admit/claim accounting leak in the lock-free data plane.
+  for (int s = 0; s < server.num_shards(); ++s) {
+    const double depth = obs::Registry::Global()
+                             .GetGauge("serve.shard" + std::to_string(s) +
+                                       ".queue_depth")
+                             .value();
+    if (depth != 0.0) {
+      result.violations.push_back(
+          "conservation: serve.shard" + std::to_string(s) +
+          ".queue_depth gauge reads " + std::to_string(depth) +
+          " after drain (expected 0)");
+    }
+  }
 
   // Fingerprint: op log (already mixed in issue order) + the sorted
   // trigger log + violations + outcome histogram.

@@ -32,6 +32,27 @@ ThreadPool::~ThreadPool() {
 
 namespace {
 thread_local bool t_in_worker = false;
+
+// Level gauge of queued-but-unclaimed tasks, maintained with atomic
+// deltas from every enqueue/dequeue site (Submit, ParallelFor helpers,
+// WorkerLoop pops) so it stays truthful between ParallelFor calls — the
+// old Set(tasks_.size()) in ParallelFor alone left Submit traffic
+// invisible and the value stale once the helpers drained. The serve
+// layer's adaptive batcher reads this as its congestion signal.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("threadpool.queue_depth");
+  return g;
+}
+
+// High-water mark of the queue depth since process start (or Reset):
+// catches transient convoys that a sampled level gauge misses.
+obs::Gauge& QueueHighWaterGauge() {
+  static obs::Gauge& g =
+      obs::Registry::Global().GetGauge("threadpool.queue_depth_high_water");
+  return g;
+}
+
 }  // namespace
 
 bool ThreadPool::InWorker() { return t_in_worker; }
@@ -51,6 +72,7 @@ void ThreadPool::WorkerLoop(std::size_t worker_index) {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    QueueDepthGauge().Add(-1.0);
     task();
   }
 }
@@ -102,6 +124,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
   }
+  QueueDepthGauge().Add(1.0);
+  QueueHighWaterGauge().SetMax(QueueDepthGauge().value());
   submitted.Increment();
   cv_.notify_one();
 }
@@ -116,7 +140,6 @@ void ThreadPool::ParallelFor(std::size_t n,
   }
 
   obs::Registry& reg = obs::Registry::Global();
-  static obs::Gauge& queue_depth = reg.GetGauge("threadpool.queue_depth");
   static obs::Histogram& for_seconds =
       reg.GetHistogram("threadpool.parallel_for_seconds");
   static obs::Histogram& task_wait =
@@ -155,8 +178,9 @@ void ThreadPool::ParallelFor(std::size_t n,
         state->Run();
       });
     }
-    queue_depth.Set(static_cast<double>(tasks_.size()));
   }
+  QueueDepthGauge().Add(static_cast<double>(helpers));
+  QueueHighWaterGauge().SetMax(QueueDepthGauge().value());
   cv_.notify_all();
   // The calling thread participates instead of idling.
   state->Run();

@@ -106,43 +106,37 @@ Result<SensorEngine> SensorEngine::Restore(simgpu::Device* device,
 
 Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
   SMILER_TRACE_SPAN("engine.predict");
-  static obs::Counter& predictions =
-      obs::Registry::Global().GetCounter("engine.predictions");
+  SMILER_ASSIGN_OR_RETURN(PendingPredict pending, BeginPredict());
+  ComputeGrams(&pending);
+  return FinishPredict(std::move(pending), stats);
+}
+
+Result<PendingPredict> SensorEngine::BeginPredict() {
   static obs::Histogram& search_hist =
       obs::Registry::Global().GetHistogram("engine.search_seconds");
-  static obs::Histogram& predict_hist =
-      obs::Registry::Global().GetHistogram("engine.predict_seconds");
 
+  PendingPredict pending;
   WallTimer timer;
   index::SuffixSearchOptions opts;
   opts.k = cfg_.MaxK();
   opts.reserve_horizon = cfg_.horizon;
-  index::SearchStats search_stats;
   Result<index::SuffixKnnResult> knn_or = [&] {
     SMILER_TRACE_SPAN("engine.search");
-    return index_.Search(opts, &search_stats);
+    return index_.Search(opts, &pending.search_stats);
   }();
   if (!knn_or.ok()) return knn_or.status();
-  index::SuffixKnnResult& knn = *knn_or;
-  const double search_seconds = timer.ElapsedSeconds();
-  search_hist.Observe(search_seconds);
+  pending.knn = std::move(*knn_or);
+  pending.search_seconds = timer.ElapsedSeconds();
+  search_hist.Observe(pending.search_seconds);
 
-  timer.Reset();
-  SMILER_TRACE_SPAN("engine.predict_step");
+  // Collect the awake cells; fitting happens in FinishPredict.
   const int rows = static_cast<int>(cfg_.ekv.size());
   const int cols = static_cast<int>(cfg_.elv.size());
-  predictors::PredictionGrid grid(rows, cols);
-  const std::vector<double>& series = index_.series();
-
-  // Collect the awake cells, then fit them — concurrently when enabled
-  // (cells are independent: disjoint predictor state, disjoint grid
-  // slots, shared read-only kNN data).
-  std::vector<std::pair<int, int>> cells;
-  cells.reserve(rows * cols);
+  pending.cells.reserve(rows * cols);
   for (int j = 0; j < cols; ++j) {
-    if (knn.items[j].neighbors.empty()) continue;
+    if (pending.knn.items[j].neighbors.empty()) continue;
     for (int i = 0; i < rows; ++i) {
-      if (ensemble_.IsAwake(i, j)) cells.emplace_back(i, j);
+      if (ensemble_.IsAwake(i, j)) pending.cells.emplace_back(i, j);
     }
   }
   // Cross-cell Gram reuse (GP only): every EKV row of an ELV column
@@ -150,39 +144,75 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
   // squared-distance matrix per column — computed once at the column's
   // largest awake k — serves all of its cells through leading-submatrix
   // views, and every CG evaluation inside each cell reuses it again.
-  std::vector<la::Matrix> column_grams(cols);
+  // Here we only assemble the training inputs; the Grams themselves are
+  // computed by ComputeGrams (solo) or a cross-engine batched launch.
+  pending.columns.resize(cols);
   if (kind_ == PredictorKind::kGp) {
-    SMILER_TRACE_SPAN("engine.gram_cache");
-    obs::StageScope gram_stage(obs::Stage::kGram);
-    static obs::Counter& gram_columns =
-        obs::Registry::Global().GetCounter("engine.gram_columns");
+    WallTimer gram_timer;
     std::vector<int> column_max_k(cols, 0);
-    for (const auto& [i, j] : cells) {
+    for (const auto& [i, j] : pending.cells) {
       column_max_k[j] = std::max(column_max_k[j], cfg_.ekv[i]);
     }
+    const std::vector<double>& series = index_.series();
     for (int j = 0; j < cols; ++j) {
       if (column_max_k[j] == 0) continue;
-      auto full = predictors::MakeTrainingSet(series, knn.items[j],
+      auto full = predictors::MakeTrainingSet(series, pending.knn.items[j],
                                               column_max_k[j], cfg_.horizon);
       // On failure the cells recompute their own distances (and surface
       // the same failure themselves if it affects them).
       if (!full.ok()) continue;
-      // Route the Gram through the device so SE-kernel evaluation runs on
-      // the selected backend and is profiled as "gp.gram"; both backends
-      // are bitwise-identical to the host function. A launch failure
-      // (e.g. chaos injection) falls back to the host path — same
-      // degradation contract as the cells recomputing their own distances.
-      auto gram_or = gp::PairwiseSquaredDistancesOnDevice(index_.device(),
-                                                          full->x);
-      column_grams[j] = gram_or.ok()
-                            ? std::move(*gram_or)
-                            : gp::PairwiseSquaredDistances(full->x);
-      gram_columns.Increment();
+      pending.columns[j].x = std::move(full->x);
     }
+    pending.gram_seconds += gram_timer.ElapsedSeconds();
   }
+  return pending;
+}
 
+void SensorEngine::ComputeGrams(PendingPredict* pending) {
+  if (pending->grams_ready) return;
+  pending->grams_ready = true;
+  if (kind_ != PredictorKind::kGp) return;
+  SMILER_TRACE_SPAN("engine.gram_cache");
+  obs::StageScope gram_stage(obs::Stage::kGram);
+  static obs::Counter& gram_columns =
+      obs::Registry::Global().GetCounter("engine.gram_columns");
+  WallTimer gram_timer;
+  for (PendingPredict::GramColumn& column : pending->columns) {
+    if (column.x.rows() == 0) continue;
+    // Route the Gram through the device so SE-kernel evaluation runs on
+    // the selected backend and is profiled as "gp.gram"; both backends
+    // are bitwise-identical to the host function. A launch failure
+    // (e.g. chaos injection) falls back to the host path — same
+    // degradation contract as the cells recomputing their own distances.
+    auto gram_or = gp::PairwiseSquaredDistancesOnDevice(index_.device(),
+                                                        column.x);
+    column.gram = gram_or.ok() ? std::move(*gram_or)
+                               : gp::PairwiseSquaredDistances(column.x);
+    gram_columns.Increment();
+  }
+  pending->gram_seconds += gram_timer.ElapsedSeconds();
+}
+
+Result<predictors::Prediction> SensorEngine::FinishPredict(
+    PendingPredict pending, EngineStats* stats) {
+  static obs::Counter& predictions =
+      obs::Registry::Global().GetCounter("engine.predictions");
+  static obs::Histogram& predict_hist =
+      obs::Registry::Global().GetHistogram("engine.predict_seconds");
+
+  if (!pending.grams_ready) ComputeGrams(&pending);
+  WallTimer timer;
+  SMILER_TRACE_SPAN("engine.predict_step");
+  const int cols = static_cast<int>(cfg_.elv.size());
+  predictors::PredictionGrid grid(static_cast<int>(cfg_.ekv.size()), cols);
+  const std::vector<double>& series = index_.series();
+  const index::SuffixKnnResult& knn = pending.knn;
+
+  // Fit the awake cells — concurrently when enabled (cells are
+  // independent: disjoint predictor state, disjoint grid slots, shared
+  // read-only kNN data).
   auto fit_cell = [&](std::size_t idx) {
-    const auto [i, j] = cells[idx];
+    const auto [i, j] = pending.cells[idx];
     const index::ItemQueryResult& item = knn.items[j];
     const double* x0 = series.data() + series.size() - item.d;
     auto set = predictors::MakeTrainingSet(series, item, cfg_.ekv[i],
@@ -192,11 +222,11 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
     if (kind_ == PredictorKind::kGp) {
       predictors::GpCellPredictor& cell = gp_cells_[i * cols + j];
       if (!cfg_.gp_warm_start) cell.Reset();
+      const la::Matrix& column_gram = pending.columns[j].gram;
       la::ConstMatrixView gram_view;
       const la::ConstMatrixView* gram = nullptr;
-      if (!column_grams[j].empty() &&
-          set->x.rows() <= column_grams[j].rows()) {
-        gram_view = la::ConstMatrixView(column_grams[j]).Leading(set->x.rows());
+      if (!column_gram.empty() && set->x.rows() <= column_gram.rows()) {
+        gram_view = la::ConstMatrixView(column_gram).Leading(set->x.rows());
         gram = &gram_view;
       }
       p = cell.Predict(*set, x0, cfg_.initial_cg_steps,
@@ -207,9 +237,11 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
     grid.Set(i, j, p);
   };
   if (cfg_.parallel_prediction) {
-    ThreadPool::Default().ParallelFor(cells.size(), fit_cell);
+    ThreadPool::Default().ParallelFor(pending.cells.size(), fit_cell);
   } else {
-    for (std::size_t idx = 0; idx < cells.size(); ++idx) fit_cell(idx);
+    for (std::size_t idx = 0; idx < pending.cells.size(); ++idx) {
+      fit_cell(idx);
+    }
   }
   const predictors::Prediction raw = ensemble_.CombineRaw(grid);
   predictors::Prediction combined = raw;
@@ -217,13 +249,15 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
   pending_.push_back(
       PendingForecast{now() + cfg_.horizon, std::move(grid), raw});
 
-  const double predict_seconds = timer.ElapsedSeconds();
+  // The Prediction Step's cost spans both phases: the Gram/training-set
+  // assembly (wherever it ran) plus the fits and combine here.
+  const double predict_seconds = pending.gram_seconds + timer.ElapsedSeconds();
   predict_hist.Observe(predict_seconds);
   predictions.Increment();
   if (stats != nullptr) {
-    stats->search_seconds += search_seconds;
+    stats->search_seconds += pending.search_seconds;
     stats->predict_seconds += predict_seconds;
-    stats->search.Add(search_stats);
+    stats->search.Add(pending.search_stats);
   }
   return combined;
 }

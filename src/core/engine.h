@@ -9,6 +9,7 @@
 #include "common/config.h"
 #include "common/status.h"
 #include "index/smiler_index.h"
+#include "la/matrix.h"
 #include "predictors/ensemble.h"
 #include "predictors/gp_predictor.h"
 #include "simgpu/device.h"
@@ -71,6 +72,39 @@ struct EngineSnapshot {
   std::vector<PendingForecast> pending;
 };
 
+/// \brief Phase-1 state of a split Predict(): the Search Step's kNN
+/// results, the awake-cell list, and — for GP engines — the per-ELV-column
+/// training inputs whose pairwise-squared-distance Grams are still
+/// pending.
+///
+/// The split exists so a caller owning SEVERAL engines (the serve-layer
+/// batch former) can gather every engine's `columns` into one fused
+/// `gp.gram_batch` device launch before asking each engine to finish:
+/// BeginPredict() → fill each column's `gram` (or leave `grams_ready`
+/// false to have FinishPredict compute them solo) → FinishPredict().
+/// Produced by one engine and consumed exactly once by the same engine;
+/// fields other than `columns` / `grams_ready` are engine-internal.
+struct PendingPredict {
+  /// One per ELV column. `x` holds the column's training inputs at its
+  /// largest awake k (empty when the column needs no Gram); `gram`
+  /// receives the pairwise squared distances of `x`'s rows.
+  struct GramColumn {
+    la::Matrix x;
+    la::Matrix gram;
+  };
+  std::vector<GramColumn> columns;
+  /// Set by whoever computed the Grams; when still false at
+  /// FinishPredict, the engine computes them itself (solo launches).
+  bool grams_ready = false;
+
+  // Engine-internal plumbing between the phases.
+  index::SuffixKnnResult knn;
+  index::SearchStats search_stats;
+  double search_seconds = 0.0;
+  double gram_seconds = 0.0;
+  std::vector<std::pair<int, int>> cells;
+};
+
 /// \brief The end-to-end SMiLer pipeline for one sensor (Section 3.4):
 /// Search Step (Continuous Suffix kNN Search on the SMiLer Index) followed
 /// by Prediction Step (ensemble of semi-lazy predictors with the adaptive
@@ -91,7 +125,27 @@ class SensorEngine {
 
   /// Predicts the posterior distribution of the observation at time
   /// now() + config.horizon. \p stats, when non-null, accumulates timings.
+  /// Exactly BeginPredict + ComputeGrams + FinishPredict.
   Result<predictors::Prediction> Predict(EngineStats* stats = nullptr);
+
+  /// Phase 1 of a split Predict: runs the Search Step and publishes the
+  /// per-column Gram jobs (see PendingPredict). No engine state changes
+  /// until FinishPredict.
+  Result<PendingPredict> BeginPredict();
+
+  /// Computes every pending column Gram with this engine's own device
+  /// launches ("gp.gram", one per column) — the solo path. Batch callers
+  /// fill the columns across engines via
+  /// gp::PairwiseSquaredDistancesOnDeviceBatch instead and skip this.
+  void ComputeGrams(PendingPredict* pending);
+
+  /// Phase 2: fits the awake cells against the (now computed) Grams,
+  /// combines the ensemble, and records the pending forecast. The
+  /// prediction is bitwise-identical to a monolithic Predict() whenever
+  /// the supplied Grams are (both backends and the batched launch
+  /// guarantee that).
+  Result<predictors::Prediction> FinishPredict(PendingPredict pending,
+                                               EngineStats* stats = nullptr);
 
   /// Ingests the next observation (time now() + 1). Resolves any pending
   /// forecast targeting that time against the ensemble's self-adaptive
@@ -111,6 +165,9 @@ class SensorEngine {
 
   /// Timestamp of the latest observation.
   long now() const { return index_.now(); }
+  /// The device this engine launches kernels on (shared by the fleet);
+  /// batch callers route fused launches through it.
+  simgpu::Device* device() const { return index_.device(); }
   const SmilerConfig& config() const { return cfg_; }
   const predictors::Ensemble& ensemble() const { return ensemble_; }
   const index::SmilerIndex& index() const { return index_; }

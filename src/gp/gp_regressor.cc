@@ -49,6 +49,52 @@ Result<GpRegressor> GpRegressor::Fit(la::Matrix x, std::vector<double> y,
   return gp;
 }
 
+Result<Prediction> GpRegressor::FitAndPredict(const la::Matrix& x,
+                                              const std::vector<double>& y,
+                                              const SeKernel& kernel,
+                                              const double* xstar,
+                                              const la::ConstMatrixView* gram) {
+  if (x.rows() == 0 || x.rows() != y.size()) {
+    return Status::InvalidArgument(
+        "GpRegressor::FitAndPredict requires matching non-empty x rows and y");
+  }
+  la::Matrix cov;
+  {
+    obs::StageScope gram_stage(obs::Stage::kGram);
+    if (gram != nullptr) {
+      if (gram->rows() != x.rows() || gram->cols() != x.rows()) {
+        return Status::InvalidArgument(
+            "GpRegressor::FitAndPredict gram dimensions must match x rows");
+      }
+      cov = kernel.CovarianceFromSqDist(*gram);
+    } else {
+      cov = kernel.Covariance(x);
+    }
+  }
+  const std::vector<double> c0 = kernel.CrossCovariance(x, xstar);
+  obs::StageScope chol_stage(obs::Stage::kCholesky);
+  SMILER_ASSIGN_OR_RETURN(const la::Cholesky chol, la::Cholesky::Factor(cov));
+  const std::size_t k = y.size();
+  la::Matrix rhs(k, 2);
+  for (std::size_t i = 0; i < k; ++i) {
+    rhs(i, 0) = y[i];
+    rhs(i, 1) = c0[i];
+  }
+  chol.SolveMatrixInPlace(&rhs);
+  // Extract the columns so the dot products run over the same contiguous
+  // layout (and therefore the same accumulation order) as the split path.
+  std::vector<double> alpha(k), v(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    alpha[i] = rhs(i, 0);
+    v[i] = rhs(i, 1);
+  }
+  Prediction p;
+  p.mean = la::Dot(c0, alpha);
+  p.variance =
+      ClampPredictiveVariance(kernel.SelfCovariance() - la::Dot(c0, v));
+  return p;
+}
+
 const la::Matrix& GpRegressor::FullInverse() const {
   if (kinv_.empty()) kinv_ = chol_.Inverse();
   return kinv_;

@@ -66,6 +66,20 @@ class GpRegressor {
   ///              (clamped to >= kMinPredictiveVariance)
   Prediction Predict(const double* xstar) const;
 
+  /// Fit + Predict fused into one multi-RHS triangular pass: alpha =
+  /// C^{-1} y and v = C^{-1} c0 advance together through a single
+  /// SolveMatrixInPlace of [y | c0], halving the solve traversals of the
+  /// purely predictive hot path (one fresh fit per ensemble cell per
+  /// query). SolveMatrixInPlace performs each column's arithmetic in
+  /// Solve's exact per-element order, so the returned mean/variance are
+  /// bitwise-identical to Fit(...) followed by Predict(xstar). Same
+  /// failure modes and \p gram contract as Fit (the gram only needs to
+  /// outlive this call).
+  static Result<Prediction> FitAndPredict(
+      const la::Matrix& x, const std::vector<double>& y,
+      const SeKernel& kernel, const double* xstar,
+      const la::ConstMatrixView* gram = nullptr);
+
   /// Leave-one-out predictive log likelihood of the training data
   /// (Eqn 19/20, Rasmussen & Williams 5.10-5.12):
   ///   mu_i      = y_i - alpha_i / Kinv_ii

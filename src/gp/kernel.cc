@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_utils.h"
+#include "simgpu/batch_launch.h"
 
 namespace smiler {
 namespace gp {
@@ -73,6 +74,72 @@ Result<la::Matrix> PairwiseSquaredDistancesOnDevice(simgpu::Device* device,
   SMILER_RETURN_NOT_OK(device->Launch("gp.gram", static_cast<int>(k), 1,
                                       grid_kernel, native_kernel));
   return dists;
+}
+
+Status PairwiseSquaredDistancesOnDeviceBatch(
+    simgpu::Device* device, const std::vector<GramBatchJob>& jobs) {
+  // Size every output up front (k < 2 jobs are already done: their Gram
+  // is the zero matrix, same as the solo function without a launch).
+  simgpu::BatchGrid grid;
+  for (const GramBatchJob& job : jobs) {
+    const std::size_t k = job.x->rows();
+    *job.out = la::Matrix(k, k);
+    grid.AddJob(k >= 2 ? static_cast<int>(k) : 0);
+  }
+  if (device == nullptr || grid.total_blocks() == 0) return Status::OK();
+
+  // Grid body: flat block -> (job, row i); block fills row i's strict
+  // upper triangle of its job's Gram and mirrors it — byte-for-byte the
+  // solo "gp.gram" block program, just addressed through the batch map.
+  const simgpu::Kernel grid_kernel = [&](simgpu::BlockContext& ctx) {
+    const simgpu::BatchGrid::Pos pos = grid.Locate(ctx.block_id);
+    const la::Matrix& x = *jobs[pos.job].x;
+    la::Matrix& dists = *jobs[pos.job].out;
+    const std::size_t k = x.rows();
+    const std::size_t dim = x.cols();
+    const std::size_t i = static_cast<std::size_t>(pos.local);
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double d = SquaredDistance(x.Row(i), x.Row(j), dim);
+      dists(i, j) = d;
+      dists(j, i) = d;
+    }
+  };
+  // Native body: one transposed copy per job, then a flat ParallelFor
+  // over every row of every job. Entry (i, j) accumulates
+  // (x(i,dd) - x(j,dd))^2 in ascending dd order onto a zero start — the
+  // exact add sequence of SquaredDistance, hence bitwise-identical to
+  // both the host function and the solo native body.
+  const simgpu::NativeKernel native_kernel = [&](simgpu::NativeContext& nctx) {
+    std::vector<la::Matrix> transposed(jobs.size());
+    for (std::size_t b = 0; b < jobs.size(); ++b) {
+      if (jobs[b].x->rows() >= 2) transposed[b] = jobs[b].x->Transposed();
+    }
+    nctx.ParallelFor(
+        static_cast<std::size_t>(grid.total_blocks()), [&](std::size_t flat) {
+          const simgpu::BatchGrid::Pos pos =
+              grid.Locate(static_cast<int>(flat));
+          const la::Matrix& x = *jobs[pos.job].x;
+          const la::Matrix& xt = transposed[pos.job];
+          la::Matrix& dists = *jobs[pos.job].out;
+          const std::size_t k = x.rows();
+          const std::size_t dim = x.cols();
+          const std::size_t i = static_cast<std::size_t>(pos.local);
+          double* row = dists.Row(i);
+          const double* xi = x.Row(i);
+          for (std::size_t dd = 0; dd < dim; ++dd) {
+            const double v = xi[dd];
+            const double* xtr = xt.Row(dd);
+#pragma omp simd
+            for (std::size_t j = i + 1; j < k; ++j) {
+              const double dq = v - xtr[j];
+              row[j] += dq * dq;
+            }
+          }
+          for (std::size_t j = i + 1; j < k; ++j) dists(j, i) = row[j];
+        });
+  };
+  return device->Launch("gp.gram_batch", grid.total_blocks(), 1, grid_kernel,
+                        native_kernel);
 }
 
 SeKernel SeKernel::Heuristic(const la::Matrix& x, const std::vector<double>& y,

@@ -111,6 +111,27 @@ la::Matrix PairwiseSquaredDistances(const la::Matrix& x);
 Result<la::Matrix> PairwiseSquaredDistancesOnDevice(simgpu::Device* device,
                                                     const la::Matrix& x);
 
+/// \brief One job of a batched Gram computation: the pairwise squared
+/// distances of `x`'s rows are written to `*out` (which is resized to
+/// x.rows() x x.rows()).
+struct GramBatchJob {
+  const la::Matrix* x = nullptr;
+  la::Matrix* out = nullptr;
+};
+
+/// \brief Computes every job's Gram in ONE "gp.gram_batch" device launch
+/// (simgpu::BatchGrid maps the fused flat grid back to per-job rows), so
+/// a serve-layer micro-batch of N sensors pays one launch instead of N.
+/// Per entry the arithmetic is exactly PairwiseSquaredDistancesOnDevice's
+/// — grid body per-row upper triangle, native body ascending-dimension
+/// accumulation — so each job's result is bitwise-identical to a solo
+/// launch (and to the host function). Jobs with fewer than 2 rows get
+/// their zero matrix without contributing blocks. On launch failure no
+/// job's output is usable; callers fall back to the host function per
+/// job, mirroring the solo path's degradation contract.
+Status PairwiseSquaredDistancesOnDeviceBatch(
+    simgpu::Device* device, const std::vector<GramBatchJob>& jobs);
+
 }  // namespace gp
 }  // namespace smiler
 

@@ -1,12 +1,14 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "chaos/fault.h"
 #include "common/thread_pool.h"
+#include "gp/kernel.h"
 #include "obs/stats_server.h"
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
@@ -47,6 +49,11 @@ obs::Counter& CoalescedCounter() {
       obs::Registry::Global().GetCounter("serve.batch.coalesced_predicts");
   return c;
 }
+obs::Counter& GramLaunchesCounter() {
+  static obs::Counter& c =
+      obs::Registry::Global().GetCounter("serve.batch.gram_launches");
+  return c;
+}
 obs::Histogram& BatchSizeHistogram() {
   static obs::Histogram& h =
       obs::Registry::Global().GetHistogram("serve.batch_size");
@@ -57,6 +64,14 @@ obs::Histogram& LatencyHistogram() {
       obs::Registry::Global().GetHistogram("serve.latency_seconds");
   return h;
 }
+
+/// Initial / idle-floor micro-batch target: big enough to amortize the
+/// fused gram launch, small enough to keep tail latency sane at low load.
+constexpr std::size_t kInitialBatchTarget = 32;
+
+/// Distinguishes server instances in the thread-local producer-slot table
+/// (a destroyed server's address can be reused; its epoch cannot).
+std::atomic<std::uint64_t> g_next_server_epoch{1};
 
 }  // namespace
 
@@ -80,7 +95,10 @@ Result<std::unique_ptr<PredictionServer>> PredictionServer::Create(
 
 PredictionServer::PredictionServer(core::MultiSensorManager manager,
                                    const ServerOptions& options)
-    : manager_(std::move(manager)), options_(options) {
+    : manager_(std::move(manager)),
+      options_(options),
+      ring_capacity_(options.queue_capacity),
+      epoch_(g_next_server_epoch.fetch_add(1, std::memory_order_relaxed)) {
   shards_.reserve(options_.num_shards);
   for (int s = 0; s < options_.num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
@@ -88,6 +106,8 @@ PredictionServer::PredictionServer(core::MultiSensorManager manager,
     const std::string prefix = "serve.shard" + std::to_string(s);
     shard->queue_depth =
         &obs::Registry::Global().GetGauge(prefix + ".queue_depth");
+    shard->batch_target_gauge =
+        &obs::Registry::Global().GetGauge(prefix + ".batch_target");
     shard->latency =
         &obs::Registry::Global().GetHistogram(prefix + ".latency_seconds");
     for (int st = 0; st < obs::kNumStages; ++st) {
@@ -95,6 +115,9 @@ PredictionServer::PredictionServer(core::MultiSensorManager manager,
           prefix + ".stage." + obs::StageName(static_cast<obs::Stage>(st)) +
           "_seconds_total");
     }
+    shard->batch_target =
+        std::min<std::size_t>(options_.queue_capacity, kInitialBatchTarget);
+    shard->batch_target_gauge->Set(static_cast<double>(shard->batch_target));
     shards_.push_back(std::move(shard));
   }
   for (std::size_t i = 0; i < manager_.num_sensors(); ++i) {
@@ -106,6 +129,58 @@ PredictionServer::PredictionServer(core::MultiSensorManager manager,
 }
 
 PredictionServer::~PredictionServer() { Shutdown(); }
+
+PredictionServer::Lane* PredictionServer::ProducerLane(Shard& shard) {
+  // One lane slot per (producer thread, server instance), assigned on the
+  // thread's first enqueue and reused for every shard of that server: the
+  // thread is the only producer of lanes[slot] in EVERY shard, which is
+  // what makes the rings single-producer.
+  thread_local std::unordered_map<std::uint64_t, int> t_slots;
+  auto [it, inserted] = t_slots.try_emplace(epoch_, 0);
+  if (inserted) {
+    const int slot = next_lane_slot_.fetch_add(1, std::memory_order_relaxed);
+    it->second = slot < kMaxLanes ? slot : -1;
+  }
+  const int slot = it->second;
+  if (slot < 0) return nullptr;  // all dedicated slots taken: overflow path
+  Lane* lane = shard.lanes[slot].load(std::memory_order_acquire);
+  if (lane == nullptr) {
+    // Only this thread ever creates lanes[slot]; the release store
+    // publishes the constructed ring to the worker's acquire scan.
+    lane = new Lane(ring_capacity_);
+    shard.lanes[slot].store(lane, std::memory_order_release);
+  }
+  return lane;
+}
+
+void PredictionServer::WakeWorker(Shard& shard) {
+  // Dekker pairing with Park(): our push is ordered before this fence;
+  // the worker stores `sleeping` then fences before re-checking for work.
+  // In every interleaving either the worker's re-check sees the push, or
+  // this load sees `sleeping` and we notify under the lock.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (shard.sleeping.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(shard.wake_mu);
+    shard.wake_cv.notify_one();
+  }
+}
+
+void PredictionServer::Park(Shard* shard) {
+  std::unique_lock<std::mutex> lock(shard->wake_mu);
+  shard->sleeping.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  auto has_work = [shard] {
+    return shard->stop.load(std::memory_order_acquire) ||
+           shard->depth.load(std::memory_order_acquire) > 0 ||
+           shard->control_size.load(std::memory_order_acquire) > 0;
+  };
+  if (!has_work()) {
+    // Liveness comes from the fence pairing with WakeWorker; the timeout
+    // is belt-and-suspenders, not load-bearing.
+    shard->wake_cv.wait_for(lock, std::chrono::milliseconds(1), has_work);
+  }
+  shard->sleeping.store(false, std::memory_order_relaxed);
+}
 
 std::future<Response> PredictionServer::Enqueue(Request req) {
   req.enqueued_at = Clock::now();
@@ -124,33 +199,80 @@ std::future<Response> PredictionServer::Enqueue(Request req) {
   }
   obs::RequestScope trace_scope(req.ctx, /*owner=*/false);
   SMILER_TRACE_SPAN("serve.enqueue");
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.stop || !running_.load(std::memory_order_acquire)) {
-      req.promise.set_value({Status::FailedPrecondition("server is shut down"),
-                             predictors::Prediction{}});
-      return future;
-    }
-    // Admission control: a full queue rejects immediately rather than
-    // blocking the client or buffering without bound. Snapshot requests
-    // bypass the capacity check — they are rare control-plane barriers
-    // and must not be starved by data-plane load. The chaos point shares
-    // this branch so an injected rejection is indistinguishable from a
-    // real full-queue one (same status, same counter).
-    if (req.kind != Request::Kind::kSnapshot &&
-        (shard.queue.size() >= options_.queue_capacity ||
-         SMILER_FAULT_TRIGGERED("serve.enqueue"))) {
-      RejectedCounter().Increment();
-      req.promise.set_value(
-          {Status::ResourceExhausted("request queue is full"),
-           predictors::Prediction{}});
-      return future;
-    }
-    shard.queue.push_back(std::move(req));
-    shard.queue_depth->Add(1.0);
-    RequestsCounter().Increment();
+  // Announce this producer BEFORE the shutdown check (seq_cst on both
+  // sides): the worker's drain sees either stop-aware producers that
+  // rejected themselves, or a nonzero `enqueuing` it must wait out — so a
+  // request that passed this check is always swept before the worker
+  // exits, and every accepted request is answered exactly once.
+  shard.enqueuing.fetch_add(1, std::memory_order_seq_cst);
+  if (!running_.load(std::memory_order_seq_cst) ||
+      shard.stop.load(std::memory_order_seq_cst)) {
+    shard.enqueuing.fetch_sub(1, std::memory_order_release);
+    req.promise.set_value({Status::FailedPrecondition("server is shut down"),
+                           predictors::Prediction{}});
+    return future;
   }
-  shard.cv.notify_one();
+  if (req.kind == Request::Kind::kSnapshot) {
+    // Control plane: rare barriers bypass the data-plane capacity check —
+    // they must not be starved by load — on their own mutex-guarded queue
+    // (`control_size` mirrors the deque size under the same lock).
+    {
+      std::lock_guard<std::mutex> lock(shard.control_mu);
+      shard.control.push_back(std::move(req));
+      shard.control_size.fetch_add(1, std::memory_order_release);
+    }
+    RequestsCounter().Increment();
+    shard.enqueuing.fetch_sub(1, std::memory_order_release);
+    WakeWorker(shard);
+    return future;
+  }
+  // Admission control: reserve a slot against the shard-wide capacity
+  // with one fetch_add — a full shard rejects immediately rather than
+  // blocking the client or buffering without bound. The chaos point
+  // shares this branch so an injected rejection is indistinguishable
+  // from a real full-queue one (same status, same counter).
+  const std::size_t prior =
+      shard.depth.fetch_add(1, std::memory_order_acq_rel);
+  if (prior >= options_.queue_capacity ||
+      SMILER_FAULT_TRIGGERED("serve.enqueue")) {
+    shard.depth.fetch_sub(1, std::memory_order_release);
+    shard.enqueuing.fetch_sub(1, std::memory_order_release);
+    RejectedCounter().Increment();
+    req.promise.set_value({Status::ResourceExhausted("request queue is full"),
+                           predictors::Prediction{}});
+    return future;
+  }
+  // A successful reservation guarantees ring room (each lane is sized >=
+  // queue_capacity and admitted-but-unclaimed requests never exceed the
+  // capacity), so TryPush failing is a broken-invariant guard — reachable
+  // in practice only through the injected ring-full fault below.
+  bool pushed = false;
+  if (!SMILER_FAULT_TRIGGERED("serve.enqueue_ring")) {
+    if (Lane* lane = ProducerLane(shard)) {
+      pushed = lane->ring.TryPush(std::move(req));
+    } else {
+      std::lock_guard<std::mutex> lock(shard.overflow_mu);
+      shard.overflow.push_back(std::move(req));
+      shard.overflow_size.fetch_add(1, std::memory_order_release);
+      pushed = true;
+    }
+  }
+  if (!pushed) {
+    shard.depth.fetch_sub(1, std::memory_order_release);
+    shard.enqueuing.fetch_sub(1, std::memory_order_release);
+    RejectedCounter().Increment();
+    req.promise.set_value({Status::ResourceExhausted("request queue is full"),
+                           predictors::Prediction{}});
+    return future;
+  }
+  // Gauge protocol: +1 at admission here, -claimed at ClaimBatch — the
+  // gauge tracks admitted-but-unclaimed depth and conserves to exactly 0
+  // after a drain (the chaos harness asserts that), instead of counting
+  // in-processing requests until their response like the old mutex queue.
+  shard.queue_depth->Add(1.0);
+  RequestsCounter().Increment();
+  shard.enqueuing.fetch_sub(1, std::memory_order_release);
+  WakeWorker(shard);
   return future;
 }
 
@@ -186,6 +308,74 @@ Status PredictionServer::Observe(std::size_t sensor, double value,
   return AsyncObserve(sensor, value, deadline).get().status;
 }
 
+std::size_t PredictionServer::ClaimBatch(Shard* shard,
+                                         std::vector<Request>* batch,
+                                         std::size_t limit) {
+  const std::size_t base = batch->size();
+  std::size_t claimed = 0;
+  bool progress = true;
+  while (claimed < limit && progress) {
+    progress = false;
+    for (auto& slot : shard->lanes) {
+      if (claimed >= limit) break;
+      Lane* lane = slot.load(std::memory_order_acquire);
+      if (lane == nullptr) continue;
+      Request req;
+      if (lane->ring.TryPop(&req)) {
+        batch->push_back(std::move(req));
+        ++claimed;
+        progress = true;
+      }
+    }
+    if (claimed < limit &&
+        shard->overflow_size.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(shard->overflow_mu);
+      while (claimed < limit && !shard->overflow.empty()) {
+        batch->push_back(std::move(shard->overflow.front()));
+        shard->overflow.pop_front();
+        shard->overflow_size.fetch_sub(1, std::memory_order_release);
+        ++claimed;
+        progress = true;
+      }
+    }
+  }
+  if (claimed > 0) {
+    // Release the capacity reservations only now, at claim: the gauge and
+    // `depth` both track admitted-but-unclaimed requests.
+    shard->depth.fetch_sub(claimed, std::memory_order_acq_rel);
+    shard->queue_depth->Add(-static_cast<double>(claimed));
+    // Near-FIFO across lanes: merge by enqueue time. stable_sort keeps
+    // same-instant requests in lane-scan order, so the merged order is
+    // deterministic given the per-lane contents.
+    std::stable_sort(batch->begin() + static_cast<std::ptrdiff_t>(base),
+                     batch->end(), [](const Request& a, const Request& b) {
+                       return a.enqueued_at < b.enqueued_at;
+                     });
+  }
+  return claimed;
+}
+
+void PredictionServer::DrainControl(Shard* shard) {
+  if (shard->control_size.load(std::memory_order_acquire) == 0) return;
+  std::deque<Request> barriers;
+  {
+    std::lock_guard<std::mutex> lock(shard->control_mu);
+    barriers.swap(shard->control);
+    shard->control_size.store(0, std::memory_order_release);
+  }
+  for (Request& req : barriers) {
+    std::vector<std::pair<std::size_t, core::EngineSnapshot>> snaps;
+    snaps.reserve(shard->sensors.size());
+    for (std::size_t sensor : shard->sensors) {
+      snaps.emplace_back(sensor, manager_.engine(sensor).Snapshot());
+    }
+    if (req.snapshot_promise) {
+      req.snapshot_promise->set_value(std::move(snaps));
+    }
+    Respond(shard, &req, {Status::OK(), predictors::Prediction{}});
+  }
+}
+
 void PredictionServer::ShardLoop(Shard* shard) {
   // Self-register with the trace collector: shard workers are spawned
   // after tracing may already be running (SMILER_TRACE at startup), and
@@ -194,54 +384,76 @@ void PredictionServer::ShardLoop(Shard* shard) {
       "serve-shard-" + std::to_string(shard->index));
   std::vector<Request> batch;
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(shard->mu);
-      shard->cv.wait(lock,
-                     [shard] { return shard->stop || !shard->queue.empty(); });
-      if (shard->queue.empty()) return;  // stop && drained
-      // Micro-batch: claim the whole queue in one critical section so
-      // co-resident requests can coalesce and clients keep enqueueing
-      // while the batch runs.
-      batch.clear();
-      batch.reserve(shard->queue.size());
-      while (!shard->queue.empty()) {
-        batch.push_back(std::move(shard->queue.front()));
-        shard->queue.pop_front();
+    // Control barriers run at batch boundaries: every engine is quiescent
+    // here, so per-engine snapshots are consistent by construction.
+    DrainControl(shard);
+    batch.clear();
+    std::size_t claimed = ClaimBatch(shard, &batch, shard->batch_target);
+    if (claimed == 0) {
+      if (shard->stop.load(std::memory_order_acquire)) {
+        // Drain protocol: wait out producers that passed their shutdown
+        // check (`enqueuing` > 0), then one final unlimited sweep. After
+        // `enqueuing` reads 0 every accepted push is visible (release
+        // decrement / acquire load), so nothing is left behind.
+        if (shard->enqueuing.load(std::memory_order_seq_cst) != 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        DrainControl(shard);
+        claimed = ClaimBatch(shard, &batch,
+                             std::numeric_limits<std::size_t>::max());
+        if (claimed == 0) return;
+      } else {
+        Park(shard);
+        continue;
       }
     }
     const std::int64_t claim_us = obs::Tracer::NowMicros();
     BatchesCounter().Increment();
     BatchSizeHistogram().Observe(static_cast<double>(batch.size()));
-    ProcessBatch(shard, &batch, claim_us);
+    const std::size_t sheds = ProcessBatch(shard, &batch, claim_us);
+    UpdateBatchTarget(shard, shard->depth.load(std::memory_order_acquire),
+                      sheds);
   }
 }
 
-void PredictionServer::ProcessBatch(Shard* shard, std::vector<Request>* batch,
-                                    std::int64_t claim_us) {
+std::size_t PredictionServer::ProcessBatch(Shard* shard,
+                                           std::vector<Request>* batch,
+                                           std::int64_t claim_us) {
   // Coalescing cache: sensor -> response of the batch's previous Predict
   // of that sensor. Valid only while the engine state is unchanged, so an
   // Observe for the sensor invalidates its entry. Besides saving simgpu
   // work, this keeps back-to-back Predicts from pushing duplicate pending
   // forecasts into the engine (which would double the ensemble's weight
   // update when the target observation arrives).
-  std::unordered_map<std::size_t, Response> predict_cache;
-  for (Request& req : *batch) {
+  PredictCache predict_cache;
+  std::size_t sheds = 0;
+  for (std::size_t i = 0; i < batch->size();) {
+    Request& req = (*batch)[i];
+    if (req.kind == Request::Kind::kPredict) {
+      i = ExecutePredictSegment(shard, batch, i, claim_us, &predict_cache,
+                                &sheds);
+      continue;
+    }
     if (req.kind == Request::Kind::kSnapshot) {
+      // Defensive: barriers travel on the control queue, but one landing
+      // here anyway gets identical semantics.
       std::vector<std::pair<std::size_t, core::EngineSnapshot>> snaps;
       snaps.reserve(shard->sensors.size());
       for (std::size_t sensor : shard->sensors) {
         snaps.emplace_back(sensor, manager_.engine(sensor).Snapshot());
       }
-      if (req.snapshot_promise) req.snapshot_promise->set_value(std::move(snaps));
+      if (req.snapshot_promise) {
+        req.snapshot_promise->set_value(std::move(snaps));
+      }
       Respond(shard, &req, {Status::OK(), predictors::Prediction{}});
+      ++i;
       continue;
     }
-    // Stage attribution for the cross-thread interval the worker cannot
-    // scope: queue_wait is mint → batch claim (the queue mutex orders the
-    // hand-off, so both timestamps compare on one steady clock), and
-    // batch_form is claim → this request's turn in the batch — which
-    // honestly includes the processing time of the requests ahead of it
-    // in the same micro-batch.
+    // kObserve. Stage attribution for the cross-thread interval the
+    // worker cannot scope: queue_wait is mint → batch claim, batch_form
+    // is claim → this request's turn in the batch — which honestly
+    // includes the processing time of the requests ahead of it.
     if (req.ctx != nullptr) {
       const std::int64_t start_us = obs::Tracer::NowMicros();
       req.ctx->Credit(obs::Stage::kQueueWait, claim_us - req.ctx->mint_us());
@@ -250,29 +462,102 @@ void PredictionServer::ProcessBatch(Shard* shard, std::vector<Request>* batch,
     // The shard worker is the request's owner: it drives the exclusive
     // stage clock that tiles the rest of the request.
     obs::RequestScope trace_scope(req.ctx, /*owner=*/true);
-    // Shed expired requests before paying for any search work.
+    // Shed expired requests before paying for any engine work.
     if (req.deadline != kNoDeadline && Clock::now() > req.deadline) {
+      ++sheds;
+      DeadlineExpiredCounter().Increment();
+      Respond(shard, &req,
+              {Status::DeadlineExceeded("deadline expired before execution"),
+               predictors::Prediction{}});
+      ++i;
+      continue;
+    }
+    predict_cache.erase(req.sensor);
+    Status st;
+    {
+      obs::StageScope forecast(obs::Stage::kForecast);
+      SMILER_TRACE_SPAN("serve.observe");
+      st = manager_.engine(req.sensor).Observe(req.value);
+    }
+    Respond(shard, &req, {std::move(st), predictors::Prediction{}});
+    ++i;
+  }
+  return sheds;
+}
+
+std::size_t PredictionServer::ExecutePredictSegment(
+    Shard* shard, std::vector<Request>* batch, std::size_t begin,
+    std::int64_t claim_us, PredictCache* cache, std::size_t* sheds) {
+  // Maximal run of Predict requests. With coalescing off a repeated
+  // sensor ends the segment first — each repeat must be its own engine
+  // pass, in order, exactly like the sequential path.
+  std::vector<std::size_t> seen;
+  std::size_t end = begin;
+  while (end < batch->size() &&
+         (*batch)[end].kind == Request::Kind::kPredict) {
+    const std::size_t sensor = (*batch)[end].sensor;
+    const bool dup =
+        std::find(seen.begin(), seen.end(), sensor) != seen.end();
+    if (dup && !options_.coalesce_predicts) break;
+    if (!dup) seen.push_back(sensor);
+    ++end;
+  }
+  // Pre-scan: the distinct sensors that actually need an engine pass — at
+  // least one not-yet-expired request and no coalesced response cached.
+  // Already-shed requests must not trigger engine work (a Predict has the
+  // side effect of recording a pending forecast).
+  const Clock::time_point scan_now = Clock::now();
+  std::vector<std::size_t> fresh;
+  for (std::size_t j = begin; j < end; ++j) {
+    const Request& r = (*batch)[j];
+    if (r.deadline != kNoDeadline && scan_now > r.deadline) continue;
+    if (cache->count(r.sensor) != 0) continue;
+    if (std::find(fresh.begin(), fresh.end(), r.sensor) == fresh.end()) {
+      fresh.push_back(r.sensor);
+    }
+  }
+  bool computed = fresh.empty();
+  std::unordered_map<std::size_t, Response> results;
+  for (std::size_t j = begin; j < end; ++j) {
+    Request& req = (*batch)[j];
+    if (req.ctx != nullptr) {
+      const std::int64_t start_us = obs::Tracer::NowMicros();
+      req.ctx->Credit(obs::Stage::kQueueWait, claim_us - req.ctx->mint_us());
+      req.ctx->Credit(obs::Stage::kBatchForm, start_us - claim_us);
+    }
+    obs::RequestScope trace_scope(req.ctx, /*owner=*/true);
+    if (req.deadline != kNoDeadline && Clock::now() > req.deadline) {
+      ++*sheds;
       DeadlineExpiredCounter().Increment();
       Respond(shard, &req,
               {Status::DeadlineExceeded("deadline expired before execution"),
                predictors::Prediction{}});
       continue;
     }
-    if (req.kind == Request::Kind::kPredict) {
-      if (options_.coalesce_predicts) {
-        auto it = predict_cache.find(req.sensor);
-        if (it != predict_cache.end()) {
-          CoalescedCounter().Increment();
-          Respond(shard, &req, it->second);
-          continue;
-        }
-      }
-      Response response;
-      {
-        // Catch-all engine stage; the instrumented inner phases
-        // (lb_filter, dtw_verify, gram, cholesky) nest inside and pause
-        // it, so "forecast" is the engine time not claimed by a more
-        // specific stage.
+    if (!computed) {
+      // The whole segment's engine passes run here, under the FIRST live
+      // request's owner scope: later requests' share of the fused work
+      // lands in their batch_form stage — the same "honestly includes
+      // the processing time of requests ahead" attribution as the
+      // sequential path, so stage sums still tile end-to-end latency.
+      computed = true;
+      obs::StageScope forecast(obs::Stage::kForecast);
+      SMILER_TRACE_SPAN("serve.predict");
+      ExecutePredictFleet(fresh, &results);
+    }
+    Response response;
+    auto cached = cache->find(req.sensor);
+    if (cached != cache->end()) {
+      CoalescedCounter().Increment();
+      response = cached->second;
+    } else {
+      auto it = results.find(req.sensor);
+      if (it != results.end()) {
+        response = it->second;
+        results.erase(it);
+      } else {
+        // The pre-scan skipped this sensor (its earlier requests were all
+        // expired at scan time) but this request is live: solo pass.
         obs::StageScope forecast(obs::Stage::kForecast);
         SMILER_TRACE_SPAN("serve.predict");
         auto pred = manager_.engine(req.sensor).Predict();
@@ -282,18 +567,121 @@ void PredictionServer::ProcessBatch(Shard* shard, std::vector<Request>* batch,
           response = {pred.status(), predictors::Prediction{}};
         }
       }
-      if (options_.coalesce_predicts) predict_cache[req.sensor] = response;
+      if (options_.coalesce_predicts) (*cache)[req.sensor] = response;
       Respond(shard, &req, response);
-    } else {
-      predict_cache.erase(req.sensor);
-      Status st;
-      {
-        obs::StageScope forecast(obs::Stage::kForecast);
-        SMILER_TRACE_SPAN("serve.observe");
-        st = manager_.engine(req.sensor).Observe(req.value);
-      }
-      Respond(shard, &req, {std::move(st), predictors::Prediction{}});
+      continue;
     }
+    Respond(shard, &req, response);
+  }
+  return end;
+}
+
+void PredictionServer::ExecutePredictFleet(
+    const std::vector<std::size_t>& sensors,
+    std::unordered_map<std::size_t, Response>* results) {
+  if (sensors.empty()) return;
+  if (sensors.size() == 1) {
+    // Solo sensor: the monolithic path (identical by construction to
+    // BeginPredict + ComputeGrams + FinishPredict).
+    const std::size_t s = sensors.front();
+    auto pred = manager_.engine(s).Predict();
+    if (pred.ok()) {
+      (*results)[s] = {Status::OK(), *pred};
+    } else {
+      (*results)[s] = {pred.status(), predictors::Prediction{}};
+    }
+    return;
+  }
+  static obs::Counter& gram_columns =
+      obs::Registry::Global().GetCounter("engine.gram_columns");
+  struct Begun {
+    std::size_t sensor;
+    core::PendingPredict pending;
+  };
+  std::vector<Begun> begun;
+  begun.reserve(sensors.size());
+  for (std::size_t s : sensors) {
+    auto pending = manager_.engine(s).BeginPredict();
+    if (!pending.ok()) {
+      (*results)[s] = {pending.status(), predictors::Prediction{}};
+      continue;
+    }
+    begun.push_back(Begun{s, std::move(*pending)});
+  }
+  if (begun.empty()) return;
+  // Fuse every engine's pending Gram columns into ONE device launch: this
+  // is the cross-sensor batching win — a micro-batch of N sensors pays
+  // one "gp.gram_batch" launch instead of N x columns "gp.gram" ones.
+  std::vector<gp::GramBatchJob> jobs;
+  for (Begun& b : begun) {
+    for (core::PendingPredict::GramColumn& column : b.pending.columns) {
+      if (column.x.rows() == 0) continue;
+      jobs.push_back(gp::GramBatchJob{&column.x, &column.gram});
+    }
+  }
+  if (!jobs.empty()) {
+    obs::StageScope gram_stage(obs::Stage::kGram);
+    SMILER_TRACE_SPAN("serve.gram_batch");
+    const auto gram_start = Clock::now();
+    simgpu::Device* device = manager_.engine(begun.front().sensor).device();
+    const Status st = gp::PairwiseSquaredDistancesOnDeviceBatch(device, jobs);
+    if (st.ok()) {
+      GramLaunchesCounter().Increment();
+    } else {
+      // Same degradation contract as the solo path: a failed launch
+      // (e.g. chaos injection) falls back to the host function per job,
+      // which is bitwise-identical to the device result.
+      for (gp::GramBatchJob& job : jobs) {
+        *job.out = gp::PairwiseSquaredDistances(*job.x);
+      }
+    }
+    gram_columns.Increment(jobs.size());
+    // Attribute the fused launch to the engines' gram clocks evenly so
+    // engine.predict_seconds stays comparable with the solo path.
+    const double gram_share =
+        Seconds(Clock::now() - gram_start) / static_cast<double>(begun.size());
+    for (Begun& b : begun) b.pending.gram_seconds += gram_share;
+  }
+  for (Begun& b : begun) {
+    b.pending.grams_ready = true;
+    auto pred = manager_.engine(b.sensor).FinishPredict(std::move(b.pending));
+    if (pred.ok()) {
+      (*results)[b.sensor] = {Status::OK(), *pred};
+    } else {
+      (*results)[b.sensor] = {pred.status(), predictors::Prediction{}};
+    }
+  }
+}
+
+void PredictionServer::UpdateBatchTarget(Shard* shard, std::size_t backlog,
+                                         std::size_t sheds) {
+  static obs::Gauge& pool_depth =
+      obs::Registry::Global().GetGauge("threadpool.queue_depth");
+  const std::size_t initial =
+      std::min<std::size_t>(options_.queue_capacity, kInitialBatchTarget);
+  std::size_t target = shard->batch_target;
+  if (sheds > 0) {
+    // Deadline sheds mean batches are forming for longer than clients can
+    // wait: shrink aggressively (below the idle floor if needed).
+    target = std::max<std::size_t>(1, target / 2);
+  } else if (backlog >= target) {
+    // Backlog built up while we processed: bigger batches amortize more
+    // launches — unless the device's thread pool is already congested
+    // (PR 6 stage clock shows gram/cholesky dominating then), in which
+    // case a bigger fan-in would only grow the convoy.
+    const bool pool_congested =
+        pool_depth.value() >
+        2.0 * static_cast<double>(ThreadPool::Default().size());
+    if (!pool_congested) {
+      target = std::min(options_.queue_capacity, target * 2);
+    }
+  } else if (backlog < target / 4 && target > initial) {
+    // Load receded: drift back toward the idle floor for tail latency.
+    target = std::max(initial, target / 2);
+  }
+  if (target != shard->batch_target) {
+    shard->batch_target = target;
+    shard->batch_target_gauge->Set(static_cast<double>(target));
   }
 }
 
@@ -304,10 +692,11 @@ void PredictionServer::Respond(Shard* shard, Request* req, Response response) {
     latency = Seconds(Clock::now() - req->enqueued_at);
     shard->latency->Observe(latency);
     LatencyHistogram().Observe(latency);
-    shard->queue_depth->Add(-1.0);
     // Every admitted request passes through here exactly once (success,
     // engine error, or deadline shed alike), so after a drain the counters
-    // conserve: serve.requests == serve.completed.
+    // conserve: serve.requests == serve.completed. The queue-depth gauge
+    // is NOT touched here — it is settled at claim time (see ClaimBatch),
+    // so it conserves to 0 independently of response bookkeeping.
     CompletedCounter().Increment();
   }
   // Publish the attribution once the publish stage has closed, then
@@ -368,13 +757,14 @@ Status PredictionServer::SaveCheckpoint(const std::string& path) {
 }
 
 void PredictionServer::Shutdown() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (!running_.exchange(false, std::memory_order_seq_cst)) return;
   for (auto& shard : shards_) {
-    {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      shard->stop = true;
-    }
-    shard->cv.notify_all();
+    shard->stop.store(true, std::memory_order_seq_cst);
+    // Taking and dropping wake_mu pins any concurrent Park() either
+    // before its predicate check (it will see stop) or inside the wait
+    // (the notify reaches it): no lost shutdown wakeup.
+    { std::lock_guard<std::mutex> lock(shard->wake_mu); }
+    shard->wake_cv.notify_all();
   }
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();

@@ -1,16 +1,19 @@
 #ifndef SMILER_SERVE_SERVER_H_
 #define SMILER_SERVE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -20,6 +23,7 @@
 #include "obs/metrics.h"
 #include "obs/request_trace.h"
 #include "predictors/predictor.h"
+#include "serve/spsc_ring.h"
 
 namespace smiler {
 namespace serve {
@@ -35,11 +39,12 @@ struct ServerOptions {
   /// Worker shards. Each shard is single-threaded over the engines it
   /// owns (sensors assigned round-robin), so engine code stays lock-free.
   int num_shards = 2;
-  /// Bounded per-shard request queue. Enqueueing into a full queue is
-  /// rejected immediately with kResourceExhausted (admission control) —
-  /// the server sheds load instead of buffering unboundedly or blocking.
+  /// Bounded per-shard admission budget, enforced across every producer
+  /// lane of the shard. Enqueueing into a full shard is rejected
+  /// immediately with kResourceExhausted (admission control) — the
+  /// server sheds load instead of buffering unboundedly or blocking.
   std::size_t queue_capacity = 256;
-  /// Micro-batching: when a shard drains its queue, Predict requests for
+  /// Micro-batching: when a shard drains a batch, Predict requests for
   /// a sensor whose engine state has not changed since the batch's
   /// previous Predict of that sensor share one engine pass (one set of
   /// simgpu launches serves every co-resident client).
@@ -57,18 +62,24 @@ struct Response {
 /// (the ROADMAP's "serve heavy traffic" layer; per-sensor engines are
 /// naturally shardable — Section 4.4 "invoke more blocks").
 ///
-/// Architecture: sensors are sharded round-robin across worker shards.
-/// Each shard owns a bounded MPSC queue and a single worker thread that
-/// drains the queue in batches, so per-engine execution is serial (no
-/// locks in engine code) while shards run concurrently. Admission control
-/// rejects when a queue is full; expired deadlines are shed at dequeue
-/// time, before any search work is paid for. `Snapshot` quiesces each
-/// shard at a batch boundary and exports every engine's state for
-/// `serve::Checkpoint` warm restarts.
+/// Architecture (docs/architecture.md section 5.5): sensors are sharded
+/// round-robin across worker shards. The data plane between clients and a
+/// shard is a set of lock-free SPSC rings — one lane per (producer
+/// thread, shard) pair — so the steady-state enqueue path takes no lock;
+/// a shard-wide reservation counter enforces `queue_capacity` across the
+/// lanes. Each shard's single worker thread drains the lanes into
+/// near-FIFO micro-batches (merged by enqueue time) whose size adapts to
+/// the observed backlog, and executes Predict segments with one fused
+/// cross-sensor `gp.gram_batch` device launch per batch. Admission
+/// control rejects when the shard is full; expired deadlines are shed at
+/// dequeue time, before any search work is paid for. `Snapshot` barriers
+/// travel on a separate control-plane queue (exempt from data-plane
+/// capacity) and quiesce each shard at a batch boundary, exporting every
+/// engine's state for `serve::Checkpoint` warm restarts.
 ///
 /// Thread safety: all public methods are safe to call from any number of
 /// client threads. Every accepted request is eventually answered exactly
-/// once (shutdown drains the queues first), so closed-loop clients never
+/// once (shutdown drains the lanes first), so closed-loop clients never
 /// hang on a lost response.
 class PredictionServer {
  public:
@@ -152,34 +163,111 @@ class PredictionServer {
         snapshot_promise;
   };
 
+  /// One producer thread's private SPSC lane into one shard.
+  struct Lane {
+    explicit Lane(std::size_t capacity) : ring(capacity) {}
+    SpscRing<Request> ring;
+  };
+
+  /// Dedicated-lane slots per shard. Producer threads beyond this fall
+  /// back to the mutex-guarded overflow deque (correctness path only).
+  static constexpr int kMaxLanes = 32;
+
   struct Shard {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Request> queue;
-    bool stop = false;
     int index = 0;
     std::vector<std::size_t> sensors;  ///< engine indices owned
+
+    // Data plane: one lock-free SPSC lane per producer thread, created
+    // lazily by its owner and published with a release store so the
+    // worker's scan needs no lock. Each ring is sized >= queue_capacity,
+    // so a successful `depth` reservation can never meet a full ring.
+    std::array<std::atomic<Lane*>, kMaxLanes> lanes{};
+    std::mutex overflow_mu;
+    std::deque<Request> overflow;
+    std::atomic<std::size_t> overflow_size{0};
+
+    /// Admitted-but-unclaimed requests across all lanes; the admission
+    /// reservation against queue_capacity.
+    std::atomic<std::size_t> depth{0};
+    /// Producers inside Enqueue between their running_ check and the
+    /// completed push; the shutdown drain waits for 0 before the final
+    /// sweep so every accepted request is answered exactly once.
+    std::atomic<int> enqueuing{0};
+    std::atomic<bool> stop{false};
+
+    // Control plane: snapshot barriers are rare and must not be starved
+    // by data-plane load, so they bypass the capacity check on their own
+    // tiny mutex-guarded queue.
+    std::mutex control_mu;
+    std::deque<Request> control;
+    std::atomic<int> control_size{0};
+
+    // Worker parking: steady state is lock-free; the worker only takes
+    // wake_mu when the shard went idle, and producers only touch it when
+    // they observe `sleeping`.
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+    std::atomic<bool> sleeping{false};
+
     std::thread worker;
+
+    /// Adaptive micro-batch size (worker-owned; see UpdateBatchTarget).
+    std::size_t batch_target = 1;
+
     obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* batch_target_gauge = nullptr;
     obs::Histogram* latency = nullptr;
     /// Per-shard cumulative owner-clock seconds by stage
     /// (`serve.shard<i>.stage.<name>_seconds_total`), fed by FinishRequest.
     obs::Gauge* stage_seconds[obs::kNumStages] = {};
+
+    ~Shard() {
+      for (auto& lane : lanes) delete lane.load(std::memory_order_relaxed);
+    }
   };
+
+  using PredictCache = std::unordered_map<std::size_t, Response>;
 
   PredictionServer(core::MultiSensorManager manager,
                    const ServerOptions& options);
 
   std::future<Response> Enqueue(Request req);
+  /// The calling thread's dedicated lane into \p shard (created on first
+  /// use); nullptr when all kMaxLanes slots are taken (overflow path).
+  Lane* ProducerLane(Shard& shard);
+  void WakeWorker(Shard& shard);
+  void Park(Shard* shard);
   void ShardLoop(Shard* shard);
+  /// Pops up to \p limit requests from the lanes (and overflow) into
+  /// \p batch, merged by enqueue time (near-FIFO), decrementing the
+  /// depth reservation at claim time.
+  std::size_t ClaimBatch(Shard* shard, std::vector<Request>* batch,
+                         std::size_t limit);
+  void DrainControl(Shard* shard);
   /// \p claim_us: Tracer::NowMicros() at the instant the batch was claimed
-  /// from the queue — the boundary between queue_wait and batch_form.
-  void ProcessBatch(Shard* shard, std::vector<Request>* batch,
-                    std::int64_t claim_us);
+  /// from the lanes — the boundary between queue_wait and batch_form.
+  /// Returns the number of deadline-shed requests (adaptive-batch signal).
+  std::size_t ProcessBatch(Shard* shard, std::vector<Request>* batch,
+                           std::int64_t claim_us);
+  /// Handles the maximal Predict segment starting at \p begin; returns
+  /// the index one past the segment.
+  std::size_t ExecutePredictSegment(Shard* shard, std::vector<Request>* batch,
+                                    std::size_t begin, std::int64_t claim_us,
+                                    PredictCache* cache, std::size_t* sheds);
+  /// Runs the engine passes for \p sensors — batched across sensors
+  /// (one fused gram launch) when there are several — into \p results.
+  void ExecutePredictFleet(const std::vector<std::size_t>& sensors,
+                           std::unordered_map<std::size_t, Response>* results);
   void Respond(Shard* shard, Request* req, Response response);
+  void UpdateBatchTarget(Shard* shard, std::size_t backlog, std::size_t sheds);
 
   core::MultiSensorManager manager_;
   ServerOptions options_;
+  std::size_t ring_capacity_ = 0;
+  /// Process-unique id of this server instance; keys the thread-local
+  /// producer-slot table (an address-reuse-proof lane identity).
+  std::uint64_t epoch_ = 0;
+  std::atomic<int> next_lane_slot_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> running_{true};
 };

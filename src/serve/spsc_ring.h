@@ -1,0 +1,110 @@
+#ifndef SMILER_SERVE_SPSC_RING_H_
+#define SMILER_SERVE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace smiler {
+namespace serve {
+
+/// \brief Bounded lock-free single-producer / single-consumer ring.
+///
+/// The serve layer allocates one ring per (producer thread, shard) pair,
+/// which is what makes the single-producer restriction free to honor:
+/// each client thread owns its lane outright, the shard worker is the
+/// only consumer, and the hot enqueue path is two atomic loads, a
+/// placement-new, and one release store — no mutex, no CAS loop.
+///
+/// Memory layout: head (consumer cursor) and tail (producer cursor) live
+/// on their own cache lines so the producer's tail stores never bounce
+/// the consumer's head line and vice versa. Cursors are free-running
+/// (monotonically increasing, masked on access), so full/empty are
+/// distinguishable without a wasted slot: size == tail - head.
+///
+/// Contract:
+///  - TryPush may be called by exactly one thread at a time (the lane
+///    owner); TryPop by exactly one thread (the shard worker). Distinct
+///    roles may run concurrently — that is the point.
+///  - A popped value is exactly the pushed value (move semantics all the
+///    way through); slots are destroyed on pop and on ring destruction.
+///  - ApproxSize is safe from any thread, but only approximate while the
+///    other side is active.
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (>= 2) so index masking
+  /// replaces modulo on the hot path.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::allocator<T>().allocate(cap);
+  }
+
+  ~SpscRing() {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    for (std::size_t i = h; i != t; ++i) slots_[i & mask_].~T();
+    std::allocator<T>().deallocate(slots_, mask_ + 1);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false (item untouched) when the ring is full.
+  bool TryPush(T&& item) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    // Acquire pairs with the consumer's release store of head: slot
+    // (t & mask_) is only reused after the consumer has destroyed the
+    // value that previously lived there.
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    if (t - h > mask_) return false;  // size == capacity
+    ::new (static_cast<void*>(slots_ + (t & mask_))) T(std::move(item));
+    // Release publishes the constructed slot to the consumer's acquire
+    // load of tail.
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    if (h == t) return false;
+    T& slot = slots_[h & mask_];
+    *out = std::move(slot);
+    slot.~T();
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate (exact when both sides are quiescent).
+  std::size_t ApproxSize() const {
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    return t >= h ? t - h : 0;
+  }
+
+  bool ApproxEmpty() const { return ApproxSize() == 0; }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  // 64 covers x86-64 and the common AArch64 cores; a fixed constant keeps
+  // the layout ABI-stable (std::hardware_destructive_interference_size
+  // varies with -mtune and warns when used in headers).
+  static constexpr std::size_t kCacheLine = 64;
+
+  T* slots_ = nullptr;
+  std::size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+};
+
+}  // namespace serve
+}  // namespace smiler
+
+#endif  // SMILER_SERVE_SPSC_RING_H_

@@ -1,0 +1,63 @@
+#ifndef SMILER_SIMGPU_BATCH_LAUNCH_H_
+#define SMILER_SIMGPU_BATCH_LAUNCH_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace smiler {
+namespace simgpu {
+
+/// \brief Flat-grid index map for batched launches: N independent jobs,
+/// each needing `blocks_i` blocks, fused into ONE launch of
+/// sum(blocks_i) blocks.
+///
+/// A batched kernel body receives a flat block id and uses Locate() to
+/// recover (job index, block-local-to-job). The map is a prefix-sum
+/// table built once on the host before the launch; Locate is a binary
+/// search, so bodies stay O(log N) per block with no per-job state.
+///
+/// This is the launch-amortization primitive behind `gp.gram_batch`
+/// (one device launch computing the Gram matrices of every sensor in a
+/// serve micro-batch) and is reusable by any kernel whose jobs are
+/// independent and block-decomposable.
+class BatchGrid {
+ public:
+  /// Position of a flat block id inside the batch.
+  struct Pos {
+    std::size_t job = 0;  ///< which job the block belongs to
+    int local = 0;        ///< the block's id within that job's own grid
+  };
+
+  /// Appends a job of \p blocks blocks; returns its job index. Jobs with
+  /// zero blocks are legal (they simply receive no blocks).
+  std::size_t AddJob(int blocks) {
+    const int base = offsets_.empty() ? 0 : offsets_.back();
+    offsets_.push_back(base + (blocks > 0 ? blocks : 0));
+    return offsets_.size() - 1;
+  }
+
+  /// Grid dimension of the fused launch.
+  int total_blocks() const { return offsets_.empty() ? 0 : offsets_.back(); }
+
+  std::size_t num_jobs() const { return offsets_.size(); }
+
+  /// Maps a flat block id in [0, total_blocks()) back to its job and the
+  /// block's local id within that job.
+  Pos Locate(int flat_block) const {
+    // First job whose exclusive end offset exceeds flat_block.
+    const auto it =
+        std::upper_bound(offsets_.begin(), offsets_.end(), flat_block);
+    const std::size_t job = static_cast<std::size_t>(it - offsets_.begin());
+    const int base = job == 0 ? 0 : offsets_[job - 1];
+    return Pos{job, flat_block - base};
+  }
+
+ private:
+  std::vector<int> offsets_;  ///< exclusive prefix-sum ends, one per job
+};
+
+}  // namespace simgpu
+}  // namespace smiler
+
+#endif  // SMILER_SIMGPU_BATCH_LAUNCH_H_

@@ -317,16 +317,21 @@ TEST_F(RequestTraceTest, ServeRequestFormsOneCrossThreadSpanTree) {
                                  ".stage.forecast_seconds_total";
   EXPECT_GT(Registry::Global().GetGauge(gauge_name).value(), 0.0);
 
-  // The filtered exemplar export keeps only the retained trees.
+  // The filtered exemplar export keeps only the retained trees. The
+  // needle includes the closing brace (the tracer always emits
+  // "trace":<id>} ) so that e.g. trace 1 never false-matches the prefix
+  // of a retained trace 15.
   std::unordered_set<std::uint64_t> keep = {slowest.trace_id};
   const std::string filtered =
       Tracer::Global().ToChromeTraceJsonFiltered(keep);
-  EXPECT_NE(filtered.find("\"trace\":" + std::to_string(slowest.trace_id)),
-            std::string::npos);
+  EXPECT_NE(
+      filtered.find("\"trace\":" + std::to_string(slowest.trace_id) + "}"),
+      std::string::npos);
   for (const auto& ex : exemplars) {
     if (ex.trace_id == slowest.trace_id) continue;
-    EXPECT_EQ(filtered.find("\"trace\":" + std::to_string(ex.trace_id)),
-              std::string::npos);
+    EXPECT_EQ(
+        filtered.find("\"trace\":" + std::to_string(ex.trace_id) + "}"),
+        std::string::npos);
   }
 }
 

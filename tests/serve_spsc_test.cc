@@ -1,0 +1,272 @@
+// Unit + stress coverage for the serve data plane's lock-free SPSC ring
+// (serve/spsc_ring.h) and the per-(producer, shard) lane machinery built
+// on it. The stress cases are the TSan targets for the lock-free path:
+// scripts/check.sh runs this binary under ThreadSanitizer, so any
+// missing acquire/release pairing on the ring cursors or the lane
+// publication shows up as a data race there, not as a flaky test here.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/manager.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "serve/spsc_ring.h"
+#include "ts/datasets.h"
+
+namespace smiler {
+namespace serve {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(4).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRingTest, FullAndEmptyEdges) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.TryPop(&out));  // empty from birth
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPush(int(i))) << "push " << i;
+  }
+  // Full: the rejected item must be left untouched for the caller.
+  int rejected = 99;
+  EXPECT_FALSE(ring.TryPush(std::move(rejected)));
+  EXPECT_EQ(rejected, 99);
+  EXPECT_EQ(ring.ApproxSize(), 4u);
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 0);
+  // One slot freed: exactly one more push fits.
+  EXPECT_TRUE(ring.TryPush(4));
+  EXPECT_FALSE(ring.TryPush(5));
+  for (int expect = 1; expect <= 4; ++expect) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+  EXPECT_TRUE(ring.ApproxEmpty());
+}
+
+TEST(SpscRingTest, WraparoundPreservesFifoOrder) {
+  // Free-running cursors must mask correctly long past the first lap.
+  SpscRing<int> ring(4);
+  int next_push = 0, next_pop = 0, out = 0;
+  for (int round = 0; round < 64; ++round) {
+    // Vary the burst size so head/tail cross the wrap point at every
+    // possible offset.
+    const int burst = 1 + (round % 4);
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_TRUE(ring.TryPush(int(next_push)));
+      ++next_push;
+    }
+    for (int i = 0; i < burst; ++i) {
+      ASSERT_TRUE(ring.TryPop(&out));
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(ring.ApproxEmpty());
+}
+
+TEST(SpscRingTest, MoveOnlyPayloadRoundTrips) {
+  SpscRing<std::unique_ptr<std::string>> ring(2);
+  ASSERT_TRUE(ring.TryPush(std::make_unique<std::string>("alpha")));
+  ASSERT_TRUE(ring.TryPush(std::make_unique<std::string>("beta")));
+  std::unique_ptr<std::string> out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(*out, "alpha");
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(*out, "beta");
+}
+
+TEST(SpscRingTest, DestructionReleasesUnpoppedSlots) {
+  // Leak-checked by ASan in the check.sh sweeps: items still in the ring
+  // when it dies must be destroyed.
+  auto tracked = std::make_shared<int>(7);
+  {
+    SpscRing<std::shared_ptr<int>> ring(4);
+    ASSERT_TRUE(ring.TryPush(std::shared_ptr<int>(tracked)));
+    ASSERT_TRUE(ring.TryPush(std::shared_ptr<int>(tracked)));
+    EXPECT_EQ(tracked.use_count(), 3);
+  }
+  EXPECT_EQ(tracked.use_count(), 1);
+}
+
+// The TSan stress shape mirrors production: each producer owns its OWN
+// ring (single-producer per ring), one consumer drains both. Order must
+// be FIFO per producer; cross-producer interleaving is unconstrained.
+TEST(SpscRingStressTest, TwoProducersOneConsumerPerLaneFifo) {
+  constexpr int kItems = 50000;
+  SpscRing<std::pair<int, int>> lane0(64);
+  SpscRing<std::pair<int, int>> lane1(64);
+  std::atomic<bool> done0{false}, done1{false};
+
+  auto produce = [kItems](SpscRing<std::pair<int, int>>* lane, int id,
+                          std::atomic<bool>* done) {
+    for (int i = 0; i < kItems; ++i) {
+      while (!lane->TryPush(std::make_pair(id, i))) {
+        std::this_thread::yield();
+      }
+    }
+    done->store(true, std::memory_order_release);
+  };
+  std::thread p0(produce, &lane0, 0, &done0);
+  std::thread p1(produce, &lane1, 1, &done1);
+
+  int next_expected[2] = {0, 0};
+  int received = 0;
+  while (received < 2 * kItems) {
+    bool progress = false;
+    std::pair<int, int> item;
+    if (lane0.TryPop(&item)) {
+      ASSERT_EQ(item.first, 0);
+      ASSERT_EQ(item.second, next_expected[0]++);
+      ++received;
+      progress = true;
+    }
+    if (lane1.TryPop(&item)) {
+      ASSERT_EQ(item.first, 1);
+      ASSERT_EQ(item.second, next_expected[1]++);
+      ++received;
+      progress = true;
+    }
+    if (!progress) std::this_thread::yield();
+  }
+  p0.join();
+  p1.join();
+  EXPECT_TRUE(lane0.ApproxEmpty());
+  EXPECT_TRUE(lane1.ApproxEmpty());
+  EXPECT_EQ(next_expected[0], kItems);
+  EXPECT_EQ(next_expected[1], kItems);
+}
+
+// --- Server-level lane coverage -------------------------------------------
+
+SmilerConfig TestConfig() {
+  SmilerConfig cfg;
+  cfg.rho = 4;
+  cfg.omega = 8;
+  cfg.elv = {16, 24};
+  cfg.ekv = {4, 8};
+  cfg.initial_cg_steps = 10;
+  cfg.online_cg_steps = 2;
+  return cfg;
+}
+
+std::unique_ptr<PredictionServer> MakeServer(int sensors,
+                                             const ServerOptions& options) {
+  static simgpu::Device device;  // outlives every server in this binary
+  auto data =
+      ts::MakeDataset({ts::DatasetKind::kMall, sensors, 640, 64, 23, true});
+  EXPECT_TRUE(data.ok());
+  auto manager = core::MultiSensorManager::Create(
+      &device, *data, TestConfig(), core::PredictorKind::kAr);
+  EXPECT_TRUE(manager.ok()) << manager.status().ToString();
+  auto server = PredictionServer::Create(std::move(*manager), options);
+  EXPECT_TRUE(server.ok());
+  return std::move(*server);
+}
+
+// More producer threads than dedicated lane slots (kMaxLanes = 32): the
+// overflow deque path must carry the excess without losing a response.
+TEST(SpscLaneTest, ManyProducerThreadsOverflowDedicatedLanes) {
+  ServerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 512;
+  auto server = MakeServer(/*sensors=*/4, options);
+
+  constexpr int kThreads = 40;  // > kMaxLanes
+  constexpr int kOpsPerThread = 20;
+  std::atomic<int> answered{0};
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const std::size_t sensor = static_cast<std::size_t>((t + op) % 4);
+        Response r = (op % 2 == 0)
+                         ? server->AsyncPredict(sensor).get()
+                         : server->AsyncObserve(sensor, 0.25 * op).get();
+        answered.fetch_add(1);
+        if (r.status.ok()) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(answered.load(), kThreads * kOpsPerThread);
+  // Closed-loop clients against a generous queue: everything succeeds.
+  EXPECT_EQ(ok_count.load(), kThreads * kOpsPerThread);
+  server->Shutdown();
+  // Gauge conservation after the drain (the satellite fix this PR pins):
+  // admitted == claimed, so the level gauges settle at exactly 0.
+  for (int s = 0; s < server->num_shards(); ++s) {
+    EXPECT_EQ(obs::Registry::Global()
+                  .GetGauge("serve.shard" + std::to_string(s) + ".queue_depth")
+                  .value(),
+              0.0);
+  }
+}
+
+// Shutdown racing a storm of producers: every future must be satisfied —
+// either answered (accepted before the stop) or rejected with
+// kFailedPrecondition — and none may hang. This is the drain protocol's
+// exactly-once contract under the worst interleaving.
+TEST(SpscLaneTest, ShutdownRacingProducersAnswersEveryFuture) {
+  ServerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 64;
+  auto server = MakeServer(/*sensors=*/4, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 50;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        std::future<Response> f =
+            server->AsyncPredict(static_cast<std::size_t>((t + op) % 4));
+        f.get();  // must never hang, whatever the status
+        answered.fetch_add(1);
+      }
+    });
+  }
+  server->Shutdown();  // races the storm
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(answered.load(), kThreads * kOpsPerThread);
+}
+
+// The adaptive micro-batch gauge is wired per shard and starts at the
+// documented floor (min(queue_capacity, 32)).
+TEST(SpscLaneTest, BatchTargetGaugeIsPublished) {
+  ServerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 8;
+  auto server = MakeServer(/*sensors=*/2, options);
+  for (int s = 0; s < server->num_shards(); ++s) {
+    const double target =
+        obs::Registry::Global()
+            .GetGauge("serve.shard" + std::to_string(s) + ".batch_target")
+            .value();
+    EXPECT_GE(target, 1.0);
+    EXPECT_LE(target, 8.0);  // clamped to queue_capacity
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace smiler
