@@ -20,6 +20,9 @@ std::string* g_trace_path = nullptr;
 std::string* g_trace_exemplars_path = nullptr;
 
 void DumpObsAtExit() {
+  // Final RSS sample so every exported exposition carries the OS's own
+  // memory accounting alongside the internal byte ledgers.
+  obs::UpdateProcessRssGauge();
   if (g_metrics_json_path != nullptr) {
     obs::Registry::Global().Dump(*g_metrics_json_path);
   }
@@ -66,6 +69,9 @@ void InitObsFlags(int argc, char** argv) {
     }
   }
   if (any) std::atexit(DumpObsAtExit);
+  // Baseline RSS sample before any workload allocates (every bench main
+  // funnels through here, so process.rss_bytes exists in all of them).
+  obs::UpdateProcessRssGauge();
   // Benches are long-lived enough to poll: honor SMILER_STATS_PORT.
   obs::StatsServer::StartFromEnvOnce();
 }

@@ -28,7 +28,15 @@
 # baseline. BENCH_serve_exemplars.json rides along: a Chrome/Perfetto
 # trace holding the span trees of the slowest requests of the run.
 #
-#   scripts/bench_regression.sh            # writes ./BENCH_{la,index,serve}.json
+# Stage 4 (tiered storage): runs the capacity workload — the same fleet
+# all-resident and under a TieredStateStore budgeted to a handful of
+# resident engine slots — and writes BENCH_capacity.json: the
+# demonstrated capacity ratio (fleet bytes / serving-phase resident
+# high-water), its 6 GiB extrapolation, the resident-bytes/RSS curve,
+# rehydration p50/p99, and the 8-stage attribution (rehydration lands in
+# batch_form).
+#
+#   scripts/bench_regression.sh            # writes ./BENCH_*.json
 #   scripts/bench_regression.sh /tmp/out   # writes them under /tmp/out
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -39,7 +47,26 @@ trap 'rm -rf "$WORK"' EXIT
 
 cmake -B build -S . >/dev/null
 cmake --build build -j --target bench_micro_kernels bench_table4_running_time \
-  bench_fig07_knn_search bench_serve >/dev/null
+  bench_fig07_knn_search bench_serve bench_capacity >/dev/null
+
+# Every binary the stages below invoke. A missing one must abort the run
+# up front with a loud error — not midway through with a partial set of
+# BENCH_*.json files that silently masquerades as a full refresh.
+REQUIRED_BINARIES=(
+  build/bench/bench_micro_kernels
+  build/bench/bench_table4_running_time
+  build/bench/bench_fig07_knn_search
+  build/bench/bench_serve
+  build/bench/bench_capacity
+)
+for bin in "${REQUIRED_BINARIES[@]}"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_regression.sh: ERROR: required bench binary '$bin' is" \
+      "missing or not executable after the build; refusing to emit a" \
+      "partial BENCH_*.json set" >&2
+    exit 1
+  fi
+done
 
 echo "== micro kernels (paired vs la::reference) =="
 ./build/bench/bench_micro_kernels \
@@ -240,3 +267,12 @@ echo "== serving layer (Fig-12 workload through PredictionServer) =="
 SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" SMILER_BACKEND=native \
   ./build/bench/bench_serve --sweep --out "$OUT_DIR/BENCH_serve.json" \
   --trace-exemplars "$OUT_DIR/BENCH_serve_exemplars.json"
+
+echo "== tiered-store capacity (all-resident vs budgeted spill) =="
+# bench_capacity probes the exact per-sensor resident footprint, serves
+# the fleet all-resident and again under a store budgeted to a few
+# resident engine slots, and writes the JSON itself — the demonstrated
+# ratio is fleet bytes over the serving-phase resident high-water, so
+# transient pinned-batch residency above the budget counts against it.
+SMILER_BENCH_SCALE="${SMILER_BENCH_SCALE:-smoke}" SMILER_BACKEND=native \
+  ./build/bench/bench_capacity --out "$OUT_DIR/BENCH_capacity.json"

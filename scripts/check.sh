@@ -10,6 +10,10 @@
 #   scripts/check.sh --fast      # tier-1 label only, skip the TSan pass
 #   scripts/check.sh --chaos     # fault-injection build: chaos seed sweep
 #                                # under ThreadSanitizer (docs/testing.md)
+#   scripts/check.sh --capacity  # tiered-store gate: evict/rehydrate
+#                                # bitwise equivalence, quantization
+#                                # properties, and the store fault points
+#                                # under ASan+UBSan with chaos enabled
 #   scripts/check.sh --coverage  # gcovr line coverage for src/serve +
 #                                # src/index (skipped if gcovr is absent)
 set -euo pipefail
@@ -19,6 +23,7 @@ MODE="full"
 case "${1:-}" in
   --fast) MODE="fast" ;;
   --chaos) MODE="chaos" ;;
+  --capacity) MODE="capacity" ;;
   --coverage) MODE="coverage" ;;
 esac
 
@@ -37,6 +42,28 @@ if [[ "$MODE" == "chaos" ]]; then
   ctest --test-dir build-chaos-tsan -R 'ChaosTest|ChaosSoakTest' \
     --output-on-failure
   echo "== chaos checks passed =="
+  exit 0
+fi
+
+if [[ "$MODE" == "capacity" ]]; then
+  echo "== capacity build (SMILER_ENABLE_CHAOS + ASan+UBSan) =="
+  # The tiered-store correctness surface: the evict/rehydrate bitwise
+  # equivalence and budget suites, the quantized-lower-bound property
+  # suite, and the chaos scenarios that arm store.spill_write /
+  # store.rehydrate_read_short — all under AddressSanitizer, since the
+  # store's hot path is mmap'd segment IO and engine teardown/rebuild.
+  cmake -B build-capacity-asan -S . \
+    -DSMILER_ENABLE_CHAOS=ON \
+    -DSMILER_ENABLE_ASAN=ON \
+    -DSMILER_BUILD_BENCHMARKS=OFF \
+    -DSMILER_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-capacity-asan -j \
+    --target store_equivalence_test store_quantize_test chaos_test >/dev/null
+  echo "== store equivalence + quantization + chaos under ASan =="
+  ctest --test-dir build-capacity-asan \
+    -R 'StoreEquivalenceTest|StoreBudgetTest|StoreQuantizeTest|ChaosTest' \
+    --output-on-failure
+  echo "== capacity checks passed =="
   exit 0
 fi
 
@@ -121,9 +148,13 @@ echo "== serve soak + SPSC lanes under ThreadSanitizer =="
 # the mid-run snapshot barrier, shutdown racing in-flight producers, and
 # checkpoint IO on the shared thread pool. serve_spsc_test is the
 # dedicated TSan target for the ring cursors and lane publication.
-cmake --build build-tsan -j --target serve_soak_test serve_spsc_test >/dev/null
+# store_equivalence_test rides along for its concurrent-clients-under-
+# tiny-budget case: shard workers pinning/unpinning and the budget sweep
+# racing client threads is exactly the store's racy surface.
+cmake --build build-tsan -j \
+  --target serve_soak_test serve_spsc_test store_equivalence_test >/dev/null
 ctest --test-dir build-tsan \
-  -R 'ServeSoakTest|SpscRingTest|SpscRingStressTest|SpscLaneTest' \
+  -R 'ServeSoakTest|SpscRingTest|SpscRingStressTest|SpscLaneTest|StoreEquivalenceTest' \
   --output-on-failure
 
 echo "== tracing overhead gate (smoke Fig-7 bench, on vs off) =="

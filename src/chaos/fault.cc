@@ -155,6 +155,14 @@ const std::vector<FaultPointInfo>& KnownFaultPoints() {
           {"ts.anomaly", "src/chaos (driver-side)",
            "ScenarioRunner corrupts the next observed value (NaN, +inf, "
            "spike, stuck sample) before feeding it to the server"},
+          {"store.spill_write", "src/store",
+           "TieredStateStore::Evict tears the .tmp segment write (half the "
+           "blob reaches disk) and fails with kInternal; the engine stays "
+           "resident and the previous segment must survive"},
+          {"store.rehydrate_read_short", "src/store",
+           "TieredStateStore::Pin sees a truncated segment read (half the "
+           "mapped bytes); must fail the Pin with a Status error, leaving "
+           "the cold state intact for a retry on the next batch"},
       };
   return *points;
 }

@@ -75,7 +75,8 @@ bool ReadFileBytes(const std::string& path, std::string* out) {
 
 int InvariantChecker::CheckEngineSnapshot(const std::string& label,
                                           const core::EngineSnapshot& snap,
-                                          std::vector<std::string>* out) {
+                                          std::vector<std::string>* out,
+                                          ArenaCheckMode mode) {
   Reporter report(label, out);
   const SmilerConfig& cfg = snap.config;
 
@@ -169,6 +170,11 @@ int InvariantChecker::CheckEngineSnapshot(const std::string& label,
   // head, SlidingWindowBegin < rho + 1) may have been computed against an
   // older, wider envelope clamp; the stored value must then only be a
   // valid (not larger) lower bound: stored <= recomputed.
+  // In kQuantizedLowerBound mode (engine round-tripped through the cold
+  // tier's 16-bit spill encoding) every entry — LBEC included — must only
+  // satisfy stored <= recomputed: the encoder rounds each level down, so
+  // decoded entries are valid but not bitwise-identical bounds.
+  const bool quantized = mode == ArenaCheckMode::kQuantizedLowerBound;
   if (envelopes_ok && geometry_ok) {
     dtw::Envelope env_c;
     env_c.upper = idx.env_c_upper;
@@ -199,15 +205,16 @@ int InvariantChecker::CheckEngineSnapshot(const std::string& label,
             env_mq, mq_begin, idx.series.data(), c_begin, omega);
         const double ec_expect =
             dtw::LbKeoghAligned(env_c, c_begin, mq, mq_begin, omega);
-        if (ec != ec_expect) {
-          report.Violate("LBEC(b=" + Str(b) + ", r=" + Str(r) +
-                         ") diverges from recompute: stored " +
-                         std::to_string(ec) + " expected " +
-                         std::to_string(ec_expect));
+        if (quantized ? (ec > ec_expect) : (ec != ec_expect)) {
+          report.Violate("LBEC(b=" + Str(b) + ", r=" + Str(r) + ") " +
+                         (quantized ? "exceeds" : "diverges from") +
+                         " recompute: stored " + std::to_string(ec) +
+                         " expected " + std::to_string(ec_expect));
         }
-        if (head_region ? (eq > eq_expect) : (eq != eq_expect)) {
+        const bool eq_lower_bound_only = head_region || quantized;
+        if (eq_lower_bound_only ? (eq > eq_expect) : (eq != eq_expect)) {
           report.Violate("LBEQ(b=" + Str(b) + ", r=" + Str(r) + ") " +
-                         (head_region ? "exceeds" : "diverges from") +
+                         (eq_lower_bound_only ? "exceeds" : "diverges from") +
                          " recompute: stored " + std::to_string(eq) +
                          " expected " + std::to_string(eq_expect));
         }
@@ -390,6 +397,43 @@ int InvariantChecker::CheckCheckpointRoundTrip(
   }
   std::remove(path_a.c_str());
   std::remove(path_b.c_str());
+  return report.count();
+}
+
+int InvariantChecker::CheckStoreResidency(const std::string& label,
+                                          const store::TieredStateStore& store,
+                                          std::vector<std::string>* out) {
+  Reporter report(label, out);
+  const std::vector<store::TieredStateStore::SlotInfo> slots = store.Inspect();
+  std::size_t charged = 0;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const store::TieredStateStore::SlotInfo& info = slots[s];
+    if (info.resident != info.engine_present) {
+      report.Violate("store sensor " + Str(static_cast<long>(s)) +
+                     (info.resident
+                          ? " marked RESIDENT but the manager slot is empty"
+                          : " marked COLD but a live engine occupies the "
+                            "manager slot"));
+    }
+    if (!info.resident && !info.has_segment) {
+      report.Violate("store sensor " + Str(static_cast<long>(s)) +
+                     " is COLD without a published spill segment");
+    }
+    if (info.pins < 0) {
+      report.Violate("store sensor " + Str(static_cast<long>(s)) +
+                     " has a negative pin count");
+    }
+    if (info.pins > 0 && !info.resident) {
+      report.Violate("store sensor " + Str(static_cast<long>(s)) +
+                     " is pinned but not RESIDENT");
+    }
+    if (info.resident) charged += info.bytes;
+  }
+  if (charged != store.resident_bytes()) {
+    report.Violate("store resident-byte ledger " +
+                   Str(static_cast<long>(store.resident_bytes())) +
+                   " != per-slot sum " + Str(static_cast<long>(charged)));
+  }
   return report.count();
 }
 

@@ -5,9 +5,24 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "store/tiered_store.h"
 
 namespace smiler {
 namespace chaos {
+
+/// How CheckEngineSnapshot judges posting-arena entries against a
+/// from-scratch recompute.
+enum class ArenaCheckMode {
+  /// Bitwise equality (head-region LBEQ rows excepted — see below). The
+  /// mode for engines whose arena was maintained purely incrementally.
+  kExact,
+  /// stored <= recomputed for EVERY entry. The mode for engines that
+  /// round-tripped through the cold tier: the 16-bit quantized spill
+  /// encoding rounds each lower bound DOWN, so decoded entries are valid
+  /// but not bitwise-identical bounds. Correctness (identical kNN sets,
+  /// bitwise-identical predictions) rests on exactly this property.
+  kQuantizedLowerBound,
+};
 
 /// \brief Structural validator for engine state, run by the chaos harness
 /// after every scripted step: whatever faults were injected, a surviving
@@ -45,6 +60,19 @@ class InvariantChecker {
   ///    non-negative finite variances
   static int CheckEngineSnapshot(const std::string& label,
                                  const core::EngineSnapshot& snapshot,
+                                 std::vector<std::string>* out,
+                                 ArenaCheckMode mode = ArenaCheckMode::kExact);
+
+  /// Store/engine residency agreement: for every slot of \p store,
+  /// resident <=> a live engine occupies the manager slot, COLD implies a
+  /// published spill segment, pin counts are non-negative, and the
+  /// resident-byte sum matches the per-slot charges. A fault that desyncs
+  /// the store's bookkeeping from the manager's actual slots (an eviction
+  /// that released the engine but kept charging it, a rehydration that
+  /// installed without accounting) shows up here. Violations appended to
+  /// \p out as "<label>: <description>"; returns the number appended.
+  static int CheckStoreResidency(const std::string& label,
+                                 const store::TieredStateStore& store,
                                  std::vector<std::string>* out);
 
   /// Checkpoint round-trip identity: Save(snapshots) -> Load -> re-Save

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <utility>
 
 #include "chaos/invariants.h"
@@ -14,6 +15,7 @@
 #include "serve/checkpoint.h"
 #include "serve/server.h"
 #include "simgpu/device.h"
+#include "store/tiered_store.h"
 #include "ts/datasets.h"
 
 namespace smiler {
@@ -151,6 +153,9 @@ ScenarioResult ScenarioRunner::Run() {
   serve::ServerOptions server_options;
   server_options.num_shards = opt_.num_shards;
   server_options.queue_capacity = opt_.queue_capacity;
+  // Declared before the server so it outlives the fleet holding a raw
+  // pointer to it (AttachStore), whatever the exit path.
+  std::unique_ptr<store::TieredStateStore> tiered_store;
   auto server_or =
       serve::PredictionServer::Create(std::move(*manager_or), server_options);
   if (!server_or.ok()) {
@@ -158,6 +163,30 @@ ScenarioResult ScenarioRunner::Run() {
     return result;
   }
   serve::PredictionServer& server = **server_or;
+  if (opt_.store_spill_every > 0) {
+    if (opt_.scratch_dir.empty()) {
+      result.status = Status::InvalidArgument(
+          "store_spill_every requires a scratch_dir for spill segments");
+      return result;
+    }
+    store::StoreOptions store_options;
+    store_options.dir = opt_.scratch_dir + "/store_segments";
+    // Unlimited budget on purpose: evictions happen on the driver's fixed
+    // cadence below, never on a timing-dependent byte threshold, so the
+    // store fault-hit sequence replays bit-identically from the options.
+    store_options.budget_bytes = std::numeric_limits<std::size_t>::max();
+    auto store_or = store::TieredStateStore::Create(store_options);
+    if (!store_or.ok()) {
+      result.status = store_or.status();
+      return result;
+    }
+    tiered_store = std::move(*store_or);
+    Status attached = server.AttachStore(tiered_store.get());
+    if (!attached.ok()) {
+      result.status = attached;
+      return result;
+    }
+  }
   const CounterBaseline base = CounterBaseline::Read();
 
   // Stats endpoint (scaffolding, started before arming): reuse the
@@ -270,6 +299,35 @@ ScenarioResult ScenarioRunner::Run() {
       maybe_quarantine(s, response.status);
     }
 
+    // Tiered-storage round: demote one healthy sensor (round-robin) to
+    // the cold tier with faults LIVE — a torn spill write
+    // (store.spill_write) must abort the eviction with the engine still
+    // resident, and the next batch's rehydrating Pin must survive (or
+    // cleanly retry after) store.rehydrate_read_short. Never quarantine
+    // on an eviction failure: the contract is precisely that the engine
+    // was not touched.
+    if (tiered_store != nullptr &&
+        (step + 1) % opt_.store_spill_every == 0) {
+      const int victim =
+          (step / opt_.store_spill_every) % opt_.num_sensors;
+      if (!quarantined[victim]) {
+        // Quiesce before evicting: a shard batch releases its pins AFTER
+        // answering its requests, so the driver's last response does not
+        // imply the pin is gone. A fleet snapshot barrier completes only
+        // after every in-flight batch (unpins included) has, which makes
+        // the Evict outcome a pure function of the schedule again.
+        // Paused, so the harness-internal barrier consumes no scheduled
+        // fault hits.
+        {
+          ScopedPause pause;
+          (void)server.Snapshot();
+        }
+        snapshot_barriers += static_cast<std::uint64_t>(server.num_shards());
+        record("store.evict", victim,
+               tiered_store->Evict(static_cast<std::size_t>(victim)));
+      }
+    }
+
     const bool checkpoint_now =
         (opt_.check_every > 0 && (step + 1) % opt_.check_every == 0) ||
         step == opt_.steps - 1;
@@ -312,17 +370,29 @@ ScenarioResult ScenarioRunner::Run() {
         result.violations.push_back("sweep: fleet snapshot failed: " +
                                     snapshots_or.status().ToString());
       } else {
+        // With the store attached, any sensor may have round-tripped
+        // through the quantized cold tier (cold snapshots decode the
+        // spill segment; rehydrated engines carry decoded arenas), so
+        // arena entries are judged as lower bounds, not bitwise.
+        const ArenaCheckMode arena_mode =
+            tiered_store != nullptr ? ArenaCheckMode::kQuantizedLowerBound
+                                    : ArenaCheckMode::kExact;
         std::vector<core::EngineSnapshot> healthy;
         for (int s = 0; s < opt_.num_sensors; ++s) {
           if (quarantined[s]) continue;
           InvariantChecker::CheckEngineSnapshot(
               "step " + std::to_string(step) + " sensor " + std::to_string(s),
-              (*snapshots_or)[s], &result.violations);
+              (*snapshots_or)[s], &result.violations, arena_mode);
           healthy.push_back(std::move((*snapshots_or)[s]));
         }
         if (!opt_.scratch_dir.empty() && !healthy.empty()) {
           InvariantChecker::CheckCheckpointRoundTrip(healthy, opt_.scratch_dir,
                                                      &result.violations);
+        }
+        if (tiered_store != nullptr) {
+          InvariantChecker::CheckStoreResidency("step " + std::to_string(step),
+                                                *tiered_store,
+                                                &result.violations);
         }
       }
     }

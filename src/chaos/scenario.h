@@ -53,6 +53,15 @@ struct ScenarioOptions {
   /// Directory for checkpoint traffic and round-trip scratch files.
   /// Empty disables all checkpoint exercising.
   std::string scratch_dir;
+  /// Tiered-storage exercise: every Nth step the driver explicitly
+  /// demotes one healthy sensor to the cold tier (round-robin), so the
+  /// following Predict/Observe batch must rehydrate it — exercising the
+  /// store.spill_write / store.rehydrate_read_short fault points on a
+  /// DETERMINISTIC cadence (a byte-budget-driven eviction would make the
+  /// fault-hit sequence timing-dependent and break fingerprint replay;
+  /// the attached store therefore runs with an unlimited budget). 0
+  /// disables; > 0 requires a non-empty scratch_dir for the segments.
+  int store_spill_every = 0;
   /// Live stats endpoint under fault load: -1 disables (default); >= 0
   /// starts (or reuses) the process StatsServer on that port (0 =
   /// ephemeral) and polls /metrics, /healthz and /attribution at every

@@ -44,6 +44,36 @@ Result<MultiSensorManager> MultiSensorManager::Adopt(
   return MultiSensorManager(std::move(engines));
 }
 
+MultiSensorManager::MultiSensorManager(std::vector<SensorEngine> engines) {
+  engines_.reserve(engines.size());
+  for (SensorEngine& engine : engines) {
+    engines_.emplace_back(std::move(engine));
+  }
+}
+
+Result<SensorEngine> MultiSensorManager::Release(std::size_t i) {
+  if (i >= engines_.size()) {
+    return Status::OutOfRange("sensor index out of range");
+  }
+  if (!engines_[i].has_value()) {
+    return Status::FailedPrecondition("sensor engine is not resident");
+  }
+  SensorEngine engine = std::move(*engines_[i]);
+  engines_[i].reset();
+  return engine;
+}
+
+Status MultiSensorManager::Install(std::size_t i, SensorEngine engine) {
+  if (i >= engines_.size()) {
+    return Status::OutOfRange("sensor index out of range");
+  }
+  if (engines_[i].has_value()) {
+    return Status::FailedPrecondition("sensor engine is already resident");
+  }
+  engines_[i].emplace(std::move(engine));
+  return Status::OK();
+}
+
 namespace {
 
 /// The fleet-level summary of per-sensor outcomes: OK when all sensors
@@ -66,8 +96,13 @@ Status MultiSensorManager::PredictAll(std::vector<predictors::Prediction>* out,
   std::mutex mu;
   EngineStats total;
   ThreadPool::Default().ParallelFor(engines_.size(), [&](std::size_t i) {
+    if (!engines_[i].has_value()) {
+      per_sensor[i] =
+          Status::FailedPrecondition("sensor engine is not resident");
+      return;
+    }
     EngineStats local;
-    auto pred = engines_[i].Predict(&local);
+    auto pred = engines_[i]->Predict(&local);
     if (pred.ok()) {
       (*out)[i] = *pred;
       std::lock_guard<std::mutex> lock(mu);
@@ -90,7 +125,12 @@ Status MultiSensorManager::ObserveAll(const std::vector<double>& values,
   }
   std::vector<Status> per_sensor(engines_.size());
   ThreadPool::Default().ParallelFor(engines_.size(), [&](std::size_t i) {
-    per_sensor[i] = engines_[i].Observe(values[i]);
+    if (!engines_[i].has_value()) {
+      per_sensor[i] =
+          Status::FailedPrecondition("sensor engine is not resident");
+      return;
+    }
+    per_sensor[i] = engines_[i]->Observe(values[i]);
   });
   Status summary = Summarize(per_sensor);
   if (statuses != nullptr) *statuses = std::move(per_sensor);

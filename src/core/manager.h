@@ -1,6 +1,7 @@
 #ifndef SMILER_CORE_MANAGER_H_
 #define SMILER_CORE_MANAGER_H_
 
+#include <optional>
 #include <vector>
 
 #include "common/config.h"
@@ -59,14 +60,31 @@ class MultiSensorManager {
                     std::vector<Status>* statuses = nullptr);
 
   std::size_t num_sensors() const { return engines_.size(); }
-  SensorEngine& engine(std::size_t i) { return engines_[i]; }
-  const SensorEngine& engine(std::size_t i) const { return engines_[i]; }
+
+  /// Whether sensor \p i currently holds a live engine. Every sensor is
+  /// resident after Create/Adopt; a tiered store (store::TieredStateStore)
+  /// may Release an inactive sensor's engine to its cold tier and Install
+  /// a rehydrated one later. Predict/Observe on a non-resident sensor
+  /// fails that sensor with FailedPrecondition (isolation contract: the
+  /// rest of the fleet is unaffected).
+  bool resident(std::size_t i) const {
+    return i < engines_.size() && engines_[i].has_value();
+  }
+
+  /// Callers must check resident(i); dereferencing an evicted slot is UB.
+  SensorEngine& engine(std::size_t i) { return *engines_[i]; }
+  const SensorEngine& engine(std::size_t i) const { return *engines_[i]; }
+
+  /// Moves sensor \p i's engine out of its slot, leaving it non-resident.
+  Result<SensorEngine> Release(std::size_t i);
+
+  /// Installs an engine into the empty slot \p i (the rehydration path).
+  Status Install(std::size_t i, SensorEngine engine);
 
  private:
-  explicit MultiSensorManager(std::vector<SensorEngine> engines)
-      : engines_(std::move(engines)) {}
+  explicit MultiSensorManager(std::vector<SensorEngine> engines);
 
-  std::vector<SensorEngine> engines_;
+  std::vector<std::optional<SensorEngine>> engines_;
 };
 
 }  // namespace core

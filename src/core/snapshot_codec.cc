@@ -1,0 +1,499 @@
+#include "core/snapshot_codec.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace smiler {
+namespace core {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'M', 'L', 'R', 'C', 'K', 'P', 'T'};
+
+// --- serialization primitives (fixed-width little-endian; the project
+// targets little-endian hosts, matching the raw-double CSV/bench IO) ---
+
+template <typename T>
+void Put(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+void PutF64Vec(std::string* out, const std::vector<double>& v) {
+  Put<std::uint64_t>(out, v.size());
+  out->append(reinterpret_cast<const char*>(v.data()),
+              v.size() * sizeof(double));
+}
+
+void PutI32Vec(std::string* out, const std::vector<int>& v) {
+  Put<std::uint64_t>(out, v.size());
+  for (int x : v) Put<std::int32_t>(out, x);
+}
+
+void PutVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+std::uint64_t ZigZag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t UnZigZag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Bounds-checked reader over a serialized payload. Every Get sets
+/// `ok = false` on truncation instead of reading past the end; callers
+/// check once after a batch of reads.
+struct Cursor {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  template <typename T>
+  T Get() {
+    T v{};
+    if (!ok || end - p < static_cast<std::ptrdiff_t>(sizeof(T))) {
+      ok = false;
+      return v;
+    }
+    std::memcpy(&v, p, sizeof(T));
+    p += sizeof(T);
+    return v;
+  }
+
+  /// Reads a u64 count bounded by the bytes remaining / \p elem_bytes —
+  /// a corrupt count can never trigger a huge allocation.
+  std::size_t GetCount(std::size_t elem_bytes) {
+    const std::uint64_t n = Get<std::uint64_t>();
+    if (!ok || n > static_cast<std::uint64_t>(end - p) / elem_bytes) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  std::vector<double> GetF64Vec() {
+    const std::size_t n = GetCount(sizeof(double));
+    std::vector<double> v(n);
+    if (ok && n > 0) {
+      std::memcpy(v.data(), p, n * sizeof(double));
+      p += n * sizeof(double);
+    }
+    return v;
+  }
+
+  std::vector<int> GetI32Vec() {
+    const std::size_t n = GetCount(sizeof(std::int32_t));
+    std::vector<int> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = Get<std::int32_t>();
+    return v;
+  }
+
+  std::uint64_t GetVarint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; ok && shift < 64; shift += 7) {
+      if (p >= end) {
+        ok = false;
+        return 0;
+      }
+      const unsigned char b = static_cast<unsigned char>(*p++);
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    ok = false;
+    return 0;
+  }
+};
+
+void PutPrediction(std::string* out, const predictors::Prediction& p) {
+  Put<double>(out, p.mean);
+  Put<double>(out, p.variance);
+}
+
+predictors::Prediction GetPrediction(Cursor* c) {
+  predictors::Prediction p;
+  p.mean = c->Get<double>();
+  p.variance = c->Get<double>();
+  return p;
+}
+
+// --- quantized arena half-rows ---
+//
+// Each arena row holds an LBEQ half then an LBEC half of `arena_stride`
+// doubles, the first `cols` of which are live lower bounds (the rest is
+// chunk-rounding padding, always zero). One quantized half is:
+//
+//   f64 lo | f64 step | `cols` levels, delta + zigzag + LEB128 varint
+//
+// with level q decoding to lo + q*step. The encoder picks the largest q
+// whose decoded value does not exceed the exact entry (a fix-up loop
+// absorbs floating-point drift in the floor division), so decoded values
+// never round a lower bound UP — the invariant the filter-and-verify
+// exactness proof needs.
+
+void PutQuantizedHalf(std::string* out, const double* vals,
+                      std::int64_t cols) {
+  double lo = 0.0;
+  double hi = 0.0;
+  if (cols > 0) {
+    lo = hi = vals[0];
+    for (std::int64_t i = 1; i < cols; ++i) {
+      lo = vals[i] < lo ? vals[i] : lo;
+      hi = vals[i] > hi ? vals[i] : hi;
+    }
+  }
+  double step = (hi - lo) / 65535.0;
+  if (!(step > 0.0) || !std::isfinite(step)) step = 0.0;
+  Put<double>(out, lo);
+  Put<double>(out, step);
+  std::uint32_t prev = 0;
+  for (std::int64_t i = 0; i < cols; ++i) {
+    std::uint32_t q = 0;
+    if (step > 0.0) {
+      const double f = std::floor((vals[i] - lo) / step);
+      if (f >= 65535.0) {
+        q = 65535;
+      } else if (f > 0.0) {
+        q = static_cast<std::uint32_t>(f);
+      }
+      while (q > 0 && lo + static_cast<double>(q) * step > vals[i]) --q;
+    }
+    PutVarint(out, ZigZag(static_cast<std::int64_t>(q) -
+                          static_cast<std::int64_t>(prev)));
+    prev = q;
+  }
+}
+
+void GetQuantizedHalf(Cursor* c, double* dst, std::int64_t cols) {
+  const double lo = c->Get<double>();
+  const double step = c->Get<double>();
+  std::uint32_t prev = 0;
+  for (std::int64_t i = 0; c->ok && i < cols; ++i) {
+    const std::int64_t q =
+        static_cast<std::int64_t>(prev) + UnZigZag(c->GetVarint());
+    if (q < 0 || q > 65535) {
+      c->ok = false;
+      return;
+    }
+    prev = static_cast<std::uint32_t>(q);
+    dst[i] = lo + static_cast<double>(prev) * step;
+  }
+}
+
+/// Quantization needs sane geometry and finite entries; anything else
+/// (mid-anomaly NaNs in the series propagate into the LBs) falls back to
+/// the raw representation for the whole arena.
+bool ArenaIsQuantizable(const index::IndexSnapshot& idx) {
+  if (idx.cols < 0 || idx.arena_stride < idx.cols) return false;
+  if (idx.arena.empty()) return true;
+  if (idx.arena_stride <= 0) return false;
+  if (idx.arena.size() %
+          (2 * static_cast<std::size_t>(idx.arena_stride)) != 0) {
+    return false;
+  }
+  for (double v : idx.arena) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+void PutQuantizedArena(std::string* out, const index::IndexSnapshot& idx) {
+  const std::int64_t stride = idx.arena_stride;
+  const std::size_t rows =
+      stride > 0 ? idx.arena.size() / (2 * static_cast<std::size_t>(stride))
+                 : 0;
+  Put<std::uint32_t>(out, static_cast<std::uint32_t>(rows));
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = idx.arena.data() + r * 2 * stride;
+    PutQuantizedHalf(out, row, idx.cols);
+    PutQuantizedHalf(out, row + stride, idx.cols);
+  }
+}
+
+std::vector<double> GetQuantizedArena(Cursor* c, std::int64_t cols,
+                                      std::int64_t stride) {
+  const std::uint32_t rows = c->Get<std::uint32_t>();
+  if (!c->ok) return {};
+  if (cols < 0 || stride < cols || (rows > 0 && stride <= 0)) {
+    c->ok = false;
+    return {};
+  }
+  // Each row costs at least two 16-byte headers plus one varint byte per
+  // live entry, and the decoded arena is bounded outright — a corrupt
+  // header can never trigger a runaway allocation.
+  const std::uint64_t min_row_bytes =
+      32 + 2 * static_cast<std::uint64_t>(cols);
+  if (rows > static_cast<std::uint64_t>(c->end - c->p) / min_row_bytes ||
+      static_cast<std::uint64_t>(rows) * 2 *
+              static_cast<std::uint64_t>(stride) >
+          (1ULL << 28)) {
+    c->ok = false;
+    return {};
+  }
+  std::vector<double> arena(
+      static_cast<std::size_t>(rows) * 2 * static_cast<std::size_t>(stride),
+      0.0);
+  for (std::uint32_t r = 0; c->ok && r < rows; ++r) {
+    double* row = arena.data() + static_cast<std::size_t>(r) * 2 * stride;
+    GetQuantizedHalf(c, row, cols);
+    GetQuantizedHalf(c, row + stride, cols);
+  }
+  return arena;
+}
+
+}  // namespace
+
+std::uint64_t SnapshotChecksum(const char* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string SerializeEngineSnapshot(const EngineSnapshot& snap,
+                                    ArenaEncoding arena) {
+  std::string out;
+  // Configuration.
+  const SmilerConfig& cfg = snap.config;
+  Put<std::int32_t>(&out, cfg.rho);
+  Put<std::int32_t>(&out, cfg.omega);
+  Put<std::int32_t>(&out, cfg.horizon);
+  Put<std::int32_t>(&out, cfg.online_cg_steps);
+  Put<std::int32_t>(&out, cfg.initial_cg_steps);
+  Put<std::uint8_t>(&out, cfg.gp_warm_start);
+  Put<std::uint8_t>(&out, cfg.parallel_prediction);
+  Put<std::uint8_t>(&out, cfg.use_ensemble);
+  Put<std::uint8_t>(&out, cfg.self_adaptive_weights);
+  Put<std::uint8_t>(&out, cfg.sleep_and_recovery);
+  PutI32Vec(&out, cfg.elv);
+  PutI32Vec(&out, cfg.ekv);
+  Put<std::uint8_t>(&out, static_cast<std::uint8_t>(snap.kind));
+  // Index state.
+  const index::IndexSnapshot& idx = snap.index;
+  PutF64Vec(&out, idx.series);
+  PutF64Vec(&out, idx.env_c_upper);
+  PutF64Vec(&out, idx.env_c_lower);
+  PutF64Vec(&out, idx.env_mq_upper);
+  PutF64Vec(&out, idx.env_mq_lower);
+  Put<std::int32_t>(&out, idx.head);
+  Put<std::int64_t>(&out, idx.cols);
+  Put<std::int64_t>(&out, idx.arena_stride);
+  ArenaEncoding effective = arena;
+  if (effective == ArenaEncoding::kQuantized16 && !ArenaIsQuantizable(idx)) {
+    effective = ArenaEncoding::kRaw;
+  }
+  Put<std::uint8_t>(&out, static_cast<std::uint8_t>(effective));
+  if (effective == ArenaEncoding::kQuantized16) {
+    PutQuantizedArena(&out, idx);
+  } else {
+    PutF64Vec(&out, idx.arena);
+  }
+  Put<std::uint64_t>(&out, idx.prev_knn.size());
+  for (const auto& knn : idx.prev_knn) {
+    Put<std::uint64_t>(&out, knn.size());
+    for (const index::Neighbor& nb : knn) {
+      Put<std::int64_t>(&out, nb.t);
+      Put<double>(&out, nb.dist);
+    }
+  }
+  // Ensemble state.
+  Put<std::uint64_t>(&out, snap.ensemble.cells.size());
+  for (const auto& cell : snap.ensemble.cells) {
+    Put<double>(&out, cell.weight);
+    Put<std::uint8_t>(&out, cell.awake);
+    Put<std::int32_t>(&out, cell.counter);
+    Put<std::int32_t>(&out, cell.remaining);
+    Put<std::uint8_t>(&out, cell.just_recovered);
+  }
+  Put<double>(&out, snap.ensemble.z_ewma);
+  Put<double>(&out, snap.ensemble.vif);
+  // GP warm-start kernels.
+  Put<std::uint64_t>(&out, snap.gp_kernels.size());
+  for (const auto& kernel : snap.gp_kernels) {
+    Put<std::uint8_t>(&out, kernel.has_value());
+    if (kernel.has_value()) {
+      for (double lp : *kernel) Put<double>(&out, lp);
+    }
+  }
+  // Pending forecasts.
+  Put<std::uint64_t>(&out, snap.pending.size());
+  for (const auto& pf : snap.pending) {
+    Put<std::int64_t>(&out, pf.target_time);
+    Put<std::int32_t>(&out, pf.grid.rows);
+    Put<std::int32_t>(&out, pf.grid.cols);
+    for (std::size_t i = 0; i < pf.grid.preds.size(); ++i) {
+      PutPrediction(&out, pf.grid.preds[i]);
+      Put<std::uint8_t>(&out, pf.grid.has[i]);
+    }
+    PutPrediction(&out, pf.raw);
+  }
+  return out;
+}
+
+Result<EngineSnapshot> ParseEngineSnapshot(const char* data,
+                                           std::size_t size) {
+  Cursor c{data, data + size};
+  EngineSnapshot snap;
+  SmilerConfig& cfg = snap.config;
+  cfg.rho = c.Get<std::int32_t>();
+  cfg.omega = c.Get<std::int32_t>();
+  cfg.horizon = c.Get<std::int32_t>();
+  cfg.online_cg_steps = c.Get<std::int32_t>();
+  cfg.initial_cg_steps = c.Get<std::int32_t>();
+  cfg.gp_warm_start = c.Get<std::uint8_t>() != 0;
+  cfg.parallel_prediction = c.Get<std::uint8_t>() != 0;
+  cfg.use_ensemble = c.Get<std::uint8_t>() != 0;
+  cfg.self_adaptive_weights = c.Get<std::uint8_t>() != 0;
+  cfg.sleep_and_recovery = c.Get<std::uint8_t>() != 0;
+  cfg.elv = c.GetI32Vec();
+  cfg.ekv = c.GetI32Vec();
+  const std::uint8_t kind = c.Get<std::uint8_t>();
+  if (kind > static_cast<std::uint8_t>(PredictorKind::kAr)) {
+    return Status::InvalidArgument("checkpoint holds unknown predictor kind");
+  }
+  snap.kind = static_cast<PredictorKind>(kind);
+  index::IndexSnapshot& idx = snap.index;
+  idx.series = c.GetF64Vec();
+  idx.env_c_upper = c.GetF64Vec();
+  idx.env_c_lower = c.GetF64Vec();
+  idx.env_mq_upper = c.GetF64Vec();
+  idx.env_mq_lower = c.GetF64Vec();
+  idx.head = c.Get<std::int32_t>();
+  idx.cols = c.Get<std::int64_t>();
+  idx.arena_stride = c.Get<std::int64_t>();
+  const std::uint8_t arena_tag = c.Get<std::uint8_t>();
+  if (c.ok &&
+      arena_tag > static_cast<std::uint8_t>(ArenaEncoding::kQuantized16)) {
+    return Status::InvalidArgument(
+        "checkpoint holds unknown arena encoding");
+  }
+  if (arena_tag == static_cast<std::uint8_t>(ArenaEncoding::kQuantized16)) {
+    idx.arena = GetQuantizedArena(&c, idx.cols, idx.arena_stride);
+  } else {
+    idx.arena = c.GetF64Vec();
+  }
+  idx.prev_knn.resize(c.GetCount(sizeof(std::uint64_t)));
+  for (auto& knn : idx.prev_knn) {
+    knn.resize(c.GetCount(sizeof(std::int64_t) + sizeof(double)));
+    for (index::Neighbor& nb : knn) {
+      nb.t = c.Get<std::int64_t>();
+      nb.dist = c.Get<double>();
+    }
+  }
+  snap.ensemble.cells.resize(c.GetCount(2 * sizeof(double)));
+  for (auto& cell : snap.ensemble.cells) {
+    cell.weight = c.Get<double>();
+    cell.awake = c.Get<std::uint8_t>() != 0;
+    cell.counter = c.Get<std::int32_t>();
+    cell.remaining = c.Get<std::int32_t>();
+    cell.just_recovered = c.Get<std::uint8_t>() != 0;
+  }
+  snap.ensemble.z_ewma = c.Get<double>();
+  snap.ensemble.vif = c.Get<double>();
+  snap.gp_kernels.resize(c.GetCount(sizeof(std::uint8_t)));
+  for (auto& kernel : snap.gp_kernels) {
+    if (c.Get<std::uint8_t>() != 0) {
+      std::array<double, 3> lp;
+      for (double& x : lp) x = c.Get<double>();
+      kernel = lp;
+    }
+  }
+  snap.pending.resize(c.GetCount(sizeof(std::int64_t)));
+  for (auto& pf : snap.pending) {
+    pf.target_time = c.Get<std::int64_t>();
+    const int rows = c.Get<std::int32_t>();
+    const int cols = c.Get<std::int32_t>();
+    if (!c.ok || rows < 0 || cols < 0 ||
+        static_cast<std::uint64_t>(rows) * cols >
+            static_cast<std::uint64_t>(c.end - c.p) / (2 * sizeof(double))) {
+      return Status::InvalidArgument("truncated checkpoint payload");
+    }
+    pf.grid = predictors::PredictionGrid(rows, cols);
+    for (std::size_t i = 0; i < pf.grid.preds.size(); ++i) {
+      pf.grid.preds[i] = GetPrediction(&c);
+      pf.grid.has[i] = static_cast<char>(c.Get<std::uint8_t>());
+    }
+    pf.raw = GetPrediction(&c);
+  }
+  if (!c.ok) {
+    return Status::InvalidArgument("truncated checkpoint payload");
+  }
+  if (c.p != c.end) {
+    return Status::InvalidArgument("checkpoint payload holds trailing bytes");
+  }
+  return snap;
+}
+
+std::string SerializeSnapshotBlob(const std::vector<EngineSnapshot>& engines,
+                                  ArenaEncoding arena) {
+  std::string blob;
+  blob.append(kMagic, sizeof(kMagic));
+  Put<std::uint32_t>(&blob, kSnapshotFormatVersion);
+  Put<std::uint32_t>(&blob, static_cast<std::uint32_t>(engines.size()));
+  for (const EngineSnapshot& snap : engines) {
+    const std::string payload = SerializeEngineSnapshot(snap, arena);
+    Put<std::uint64_t>(&blob, payload.size());
+    Put<std::uint64_t>(&blob, SnapshotChecksum(payload.data(),
+                                               payload.size()));
+    blob += payload;
+  }
+  return blob;
+}
+
+Result<std::vector<EngineSnapshot>> ParseSnapshotBlob(
+    const char* data, std::size_t size, const std::string& origin) {
+  Cursor c{data, data + size};
+  char magic[sizeof(kMagic)];
+  for (char& ch : magic) ch = c.Get<char>();
+  if (!c.ok || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + origin + "' is not a SMiLer "
+                                   "checkpoint (bad magic)");
+  }
+  const std::uint32_t version = c.Get<std::uint32_t>();
+  if (c.ok && version != kSnapshotFormatVersion) {
+    return Status::FailedPrecondition(
+        "checkpoint format version " + std::to_string(version) +
+        " unsupported (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  const std::uint32_t count = c.Get<std::uint32_t>();
+  std::vector<EngineSnapshot> engines;
+  for (std::uint32_t i = 0; c.ok && i < count; ++i) {
+    const std::uint64_t payload_size = c.Get<std::uint64_t>();
+    const std::uint64_t checksum = c.Get<std::uint64_t>();
+    if (!c.ok ||
+        payload_size > static_cast<std::uint64_t>(c.end - c.p)) {
+      return Status::InvalidArgument("truncated checkpoint '" + origin + "'");
+    }
+    if (SnapshotChecksum(c.p, payload_size) != checksum) {
+      return Status::InvalidArgument("checksum mismatch in checkpoint '" +
+                                     origin + "' (engine " +
+                                     std::to_string(i) + ")");
+    }
+    SMILER_ASSIGN_OR_RETURN(EngineSnapshot snap,
+                            ParseEngineSnapshot(c.p, payload_size));
+    engines.push_back(std::move(snap));
+    c.p += payload_size;
+  }
+  if (!c.ok) {
+    return Status::InvalidArgument("truncated checkpoint '" + origin + "'");
+  }
+  if (c.p != c.end) {
+    return Status::InvalidArgument("checkpoint '" + origin +
+                                   "' holds trailing bytes");
+  }
+  return engines;
+}
+
+}  // namespace core
+}  // namespace smiler

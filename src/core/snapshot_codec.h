@@ -1,0 +1,72 @@
+#ifndef SMILER_CORE_SNAPSHOT_CODEC_H_
+#define SMILER_CORE_SNAPSHOT_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace smiler {
+namespace core {
+
+/// Current SMLRCKPT payload layout version. Bumped whenever the payload
+/// layout changes; readers reject any other version with
+/// FailedPrecondition (v2 added the arena-encoding tag byte).
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+
+/// How the LbArena rows of an IndexSnapshot are encoded inside a
+/// serialized engine payload.
+///
+/// - kRaw: every arena entry verbatim as IEEE-754 f64. Byte-exact
+///   round-trips; warm-restart checkpoints use this.
+/// - kQuantized16: 16-bit fixed-point per half-row (LBEQ then LBEC),
+///   each half carrying an f64 [lo, step] header followed by
+///   delta+zigzag+varint coded quantization levels; stride padding is
+///   dropped and reconstructed as zeros. Quantization rounds DOWN:
+///   every decoded entry satisfies decoded <= exact. A lower bound that
+///   only ever shrinks stays a valid lower bound, and the
+///   filter-and-verify contract (verify computes exact banded DTW, tau
+///   seeds come from prev_knn which is preserved exactly) keeps the kNN
+///   set — and therefore every subsequent prediction — bitwise
+///   identical despite the lossy arena. The cold-tier spill leans on
+///   this; snapshots whose arena holds non-finite entries fall back to
+///   kRaw automatically.
+enum class ArenaEncoding : std::uint8_t { kRaw = 0, kQuantized16 = 1 };
+
+/// Serializes a fleet of engine snapshots into a self-contained SMLRCKPT
+/// blob:
+///
+///   magic "SMLRCKPT" | u32 format version | u32 engine count
+///   per engine: u64 payload bytes | u64 FNV-1a of payload | payload
+///
+/// The same bytes back warm-restart checkpoint files (serve::Checkpoint)
+/// and cold-tier spill segments (store::TieredStateStore) — one wire
+/// format, two IO paths.
+std::string SerializeSnapshotBlob(const std::vector<EngineSnapshot>& engines,
+                                  ArenaEncoding arena);
+
+/// Parses a blob produced by SerializeSnapshotBlob. \p origin names the
+/// byte source (a file path) for error messages only. Corruption (bad
+/// magic, truncation, checksum mismatch, trailing bytes) fails with
+/// InvalidArgument; a version mismatch fails with FailedPrecondition.
+Result<std::vector<EngineSnapshot>> ParseSnapshotBlob(
+    const char* data, std::size_t size, const std::string& origin);
+
+/// Serializes / parses one engine payload without the container framing.
+/// Exposed for the quantization property tests; production callers go
+/// through the blob functions above.
+std::string SerializeEngineSnapshot(const EngineSnapshot& snap,
+                                    ArenaEncoding arena);
+Result<EngineSnapshot> ParseEngineSnapshot(const char* data,
+                                           std::size_t size);
+
+/// FNV-1a over \p n bytes — the per-engine payload checksum.
+std::uint64_t SnapshotChecksum(const char* data, std::size_t n);
+
+}  // namespace core
+}  // namespace smiler
+
+#endif  // SMILER_CORE_SNAPSHOT_CODEC_H_

@@ -6,6 +6,10 @@
 #include <cstdlib>
 #include <sstream>
 
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
 namespace smiler {
 namespace obs {
 
@@ -262,6 +266,37 @@ std::vector<std::string> Registry::HistogramNames() const {
   names.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) names.push_back(name);
   return names;
+}
+
+std::size_t ReadProcessRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  // statm fields are in pages: size resident shared text lib data dt.
+  unsigned long long size_pages = 0, resident_pages = 0;
+  const int matched = std::fscanf(f, "%llu %llu", &size_pages,
+                                  &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::size_t>(resident_pages) *
+         static_cast<std::size_t>(page);
+#else
+  return 0;
+#endif
+}
+
+std::size_t UpdateProcessRssGauge() {
+  const std::size_t rss = ReadProcessRssBytes();
+  if (rss > 0) {
+    static Gauge& gauge = Registry::Global().GetGauge("process.rss_bytes");
+    static Gauge& high_water =
+        Registry::Global().GetGauge("process.rss_bytes_high_water");
+    gauge.Set(static_cast<double>(rss));
+    high_water.SetMax(static_cast<double>(rss));
+  }
+  return rss;
 }
 
 }  // namespace obs

@@ -154,6 +154,19 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Samples the process resident set size from /proc/self/statm, in bytes
+/// (resident pages * page size). Returns 0 when the proc file is
+/// unavailable (non-Linux) — callers treat 0 as "no sample", never as an
+/// empty process.
+std::size_t ReadProcessRssBytes();
+
+/// Samples ReadProcessRssBytes() into the "process.rss_bytes" gauge (and
+/// its high-water twin "process.rss_bytes_high_water") and returns the
+/// sample. Bench mains call this around measurement sections so memory
+/// capacity claims (docs/performance.md) rest on the OS's own accounting,
+/// not on internal byte ledgers.
+std::size_t UpdateProcessRssGauge();
+
 }  // namespace obs
 }  // namespace smiler
 

@@ -1,276 +1,22 @@
 #include "serve/checkpoint.h"
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 
 #include "chaos/fault.h"
+#include "core/snapshot_codec.h"
 
 namespace smiler {
 namespace serve {
 
-namespace {
-
-constexpr char kMagic[8] = {'S', 'M', 'L', 'R', 'C', 'K', 'P', 'T'};
-
-std::uint64_t Fnv1a(const char* data, std::size_t n) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-// --- serialization primitives (fixed-width little-endian; the project
-// targets little-endian hosts, matching the raw-double CSV/bench IO) ---
-
-template <typename T>
-void Put(std::string* out, T v) {
-  char buf[sizeof(T)];
-  std::memcpy(buf, &v, sizeof(T));
-  out->append(buf, sizeof(T));
-}
-
-void PutF64Vec(std::string* out, const std::vector<double>& v) {
-  Put<std::uint64_t>(out, v.size());
-  out->append(reinterpret_cast<const char*>(v.data()),
-              v.size() * sizeof(double));
-}
-
-void PutI32Vec(std::string* out, const std::vector<int>& v) {
-  Put<std::uint64_t>(out, v.size());
-  for (int x : v) Put<std::int32_t>(out, x);
-}
-
-/// Bounds-checked reader over a serialized payload. Every Get sets
-/// `ok = false` on truncation instead of reading past the end; callers
-/// check once after a batch of reads.
-struct Cursor {
-  const char* p;
-  const char* end;
-  bool ok = true;
-
-  template <typename T>
-  T Get() {
-    T v{};
-    if (!ok || end - p < static_cast<std::ptrdiff_t>(sizeof(T))) {
-      ok = false;
-      return v;
-    }
-    std::memcpy(&v, p, sizeof(T));
-    p += sizeof(T);
-    return v;
-  }
-
-  /// Reads a u64 count bounded by the bytes remaining / \p elem_bytes —
-  /// a corrupt count can never trigger a huge allocation.
-  std::size_t GetCount(std::size_t elem_bytes) {
-    const std::uint64_t n = Get<std::uint64_t>();
-    if (!ok || n > static_cast<std::uint64_t>(end - p) / elem_bytes) {
-      ok = false;
-      return 0;
-    }
-    return static_cast<std::size_t>(n);
-  }
-
-  std::vector<double> GetF64Vec() {
-    const std::size_t n = GetCount(sizeof(double));
-    std::vector<double> v(n);
-    if (ok && n > 0) {
-      std::memcpy(v.data(), p, n * sizeof(double));
-      p += n * sizeof(double);
-    }
-    return v;
-  }
-
-  std::vector<int> GetI32Vec() {
-    const std::size_t n = GetCount(sizeof(std::int32_t));
-    std::vector<int> v(n);
-    for (std::size_t i = 0; i < n; ++i) v[i] = Get<std::int32_t>();
-    return v;
-  }
-};
-
-void PutPrediction(std::string* out, const predictors::Prediction& p) {
-  Put<double>(out, p.mean);
-  Put<double>(out, p.variance);
-}
-
-predictors::Prediction GetPrediction(Cursor* c) {
-  predictors::Prediction p;
-  p.mean = c->Get<double>();
-  p.variance = c->Get<double>();
-  return p;
-}
-
-std::string SerializeEngine(const core::EngineSnapshot& snap) {
-  std::string out;
-  // Configuration.
-  const SmilerConfig& cfg = snap.config;
-  Put<std::int32_t>(&out, cfg.rho);
-  Put<std::int32_t>(&out, cfg.omega);
-  Put<std::int32_t>(&out, cfg.horizon);
-  Put<std::int32_t>(&out, cfg.online_cg_steps);
-  Put<std::int32_t>(&out, cfg.initial_cg_steps);
-  Put<std::uint8_t>(&out, cfg.gp_warm_start);
-  Put<std::uint8_t>(&out, cfg.parallel_prediction);
-  Put<std::uint8_t>(&out, cfg.use_ensemble);
-  Put<std::uint8_t>(&out, cfg.self_adaptive_weights);
-  Put<std::uint8_t>(&out, cfg.sleep_and_recovery);
-  PutI32Vec(&out, cfg.elv);
-  PutI32Vec(&out, cfg.ekv);
-  Put<std::uint8_t>(&out, static_cast<std::uint8_t>(snap.kind));
-  // Index state.
-  const index::IndexSnapshot& idx = snap.index;
-  PutF64Vec(&out, idx.series);
-  PutF64Vec(&out, idx.env_c_upper);
-  PutF64Vec(&out, idx.env_c_lower);
-  PutF64Vec(&out, idx.env_mq_upper);
-  PutF64Vec(&out, idx.env_mq_lower);
-  Put<std::int32_t>(&out, idx.head);
-  Put<std::int64_t>(&out, idx.cols);
-  Put<std::int64_t>(&out, idx.arena_stride);
-  PutF64Vec(&out, idx.arena);
-  Put<std::uint64_t>(&out, idx.prev_knn.size());
-  for (const auto& knn : idx.prev_knn) {
-    Put<std::uint64_t>(&out, knn.size());
-    for (const index::Neighbor& nb : knn) {
-      Put<std::int64_t>(&out, nb.t);
-      Put<double>(&out, nb.dist);
-    }
-  }
-  // Ensemble state.
-  Put<std::uint64_t>(&out, snap.ensemble.cells.size());
-  for (const auto& cell : snap.ensemble.cells) {
-    Put<double>(&out, cell.weight);
-    Put<std::uint8_t>(&out, cell.awake);
-    Put<std::int32_t>(&out, cell.counter);
-    Put<std::int32_t>(&out, cell.remaining);
-    Put<std::uint8_t>(&out, cell.just_recovered);
-  }
-  Put<double>(&out, snap.ensemble.z_ewma);
-  Put<double>(&out, snap.ensemble.vif);
-  // GP warm-start kernels.
-  Put<std::uint64_t>(&out, snap.gp_kernels.size());
-  for (const auto& kernel : snap.gp_kernels) {
-    Put<std::uint8_t>(&out, kernel.has_value());
-    if (kernel.has_value()) {
-      for (double lp : *kernel) Put<double>(&out, lp);
-    }
-  }
-  // Pending forecasts.
-  Put<std::uint64_t>(&out, snap.pending.size());
-  for (const auto& pf : snap.pending) {
-    Put<std::int64_t>(&out, pf.target_time);
-    Put<std::int32_t>(&out, pf.grid.rows);
-    Put<std::int32_t>(&out, pf.grid.cols);
-    for (std::size_t i = 0; i < pf.grid.preds.size(); ++i) {
-      PutPrediction(&out, pf.grid.preds[i]);
-      Put<std::uint8_t>(&out, pf.grid.has[i]);
-    }
-    PutPrediction(&out, pf.raw);
-  }
-  return out;
-}
-
-Result<core::EngineSnapshot> ParseEngine(const char* data, std::size_t size) {
-  Cursor c{data, data + size};
-  core::EngineSnapshot snap;
-  SmilerConfig& cfg = snap.config;
-  cfg.rho = c.Get<std::int32_t>();
-  cfg.omega = c.Get<std::int32_t>();
-  cfg.horizon = c.Get<std::int32_t>();
-  cfg.online_cg_steps = c.Get<std::int32_t>();
-  cfg.initial_cg_steps = c.Get<std::int32_t>();
-  cfg.gp_warm_start = c.Get<std::uint8_t>() != 0;
-  cfg.parallel_prediction = c.Get<std::uint8_t>() != 0;
-  cfg.use_ensemble = c.Get<std::uint8_t>() != 0;
-  cfg.self_adaptive_weights = c.Get<std::uint8_t>() != 0;
-  cfg.sleep_and_recovery = c.Get<std::uint8_t>() != 0;
-  cfg.elv = c.GetI32Vec();
-  cfg.ekv = c.GetI32Vec();
-  const std::uint8_t kind = c.Get<std::uint8_t>();
-  if (kind > static_cast<std::uint8_t>(core::PredictorKind::kAr)) {
-    return Status::InvalidArgument("checkpoint holds unknown predictor kind");
-  }
-  snap.kind = static_cast<core::PredictorKind>(kind);
-  index::IndexSnapshot& idx = snap.index;
-  idx.series = c.GetF64Vec();
-  idx.env_c_upper = c.GetF64Vec();
-  idx.env_c_lower = c.GetF64Vec();
-  idx.env_mq_upper = c.GetF64Vec();
-  idx.env_mq_lower = c.GetF64Vec();
-  idx.head = c.Get<std::int32_t>();
-  idx.cols = c.Get<std::int64_t>();
-  idx.arena_stride = c.Get<std::int64_t>();
-  idx.arena = c.GetF64Vec();
-  idx.prev_knn.resize(c.GetCount(sizeof(std::uint64_t)));
-  for (auto& knn : idx.prev_knn) {
-    knn.resize(c.GetCount(sizeof(std::int64_t) + sizeof(double)));
-    for (index::Neighbor& nb : knn) {
-      nb.t = c.Get<std::int64_t>();
-      nb.dist = c.Get<double>();
-    }
-  }
-  snap.ensemble.cells.resize(c.GetCount(2 * sizeof(double)));
-  for (auto& cell : snap.ensemble.cells) {
-    cell.weight = c.Get<double>();
-    cell.awake = c.Get<std::uint8_t>() != 0;
-    cell.counter = c.Get<std::int32_t>();
-    cell.remaining = c.Get<std::int32_t>();
-    cell.just_recovered = c.Get<std::uint8_t>() != 0;
-  }
-  snap.ensemble.z_ewma = c.Get<double>();
-  snap.ensemble.vif = c.Get<double>();
-  snap.gp_kernels.resize(c.GetCount(sizeof(std::uint8_t)));
-  for (auto& kernel : snap.gp_kernels) {
-    if (c.Get<std::uint8_t>() != 0) {
-      std::array<double, 3> lp;
-      for (double& x : lp) x = c.Get<double>();
-      kernel = lp;
-    }
-  }
-  snap.pending.resize(c.GetCount(sizeof(std::int64_t)));
-  for (auto& pf : snap.pending) {
-    pf.target_time = c.Get<std::int64_t>();
-    const int rows = c.Get<std::int32_t>();
-    const int cols = c.Get<std::int32_t>();
-    if (!c.ok || rows < 0 || cols < 0 ||
-        static_cast<std::uint64_t>(rows) * cols >
-            static_cast<std::uint64_t>(c.end - c.p) / (2 * sizeof(double))) {
-      return Status::InvalidArgument("truncated checkpoint payload");
-    }
-    pf.grid = predictors::PredictionGrid(rows, cols);
-    for (std::size_t i = 0; i < pf.grid.preds.size(); ++i) {
-      pf.grid.preds[i] = GetPrediction(&c);
-      pf.grid.has[i] = static_cast<char>(c.Get<std::uint8_t>());
-    }
-    pf.raw = GetPrediction(&c);
-  }
-  if (!c.ok) {
-    return Status::InvalidArgument("truncated checkpoint payload");
-  }
-  if (c.p != c.end) {
-    return Status::InvalidArgument("checkpoint payload holds trailing bytes");
-  }
-  return snap;
-}
-
-}  // namespace
-
 Status Checkpoint::Save(const std::string& path,
                         const std::vector<core::EngineSnapshot>& engines) {
-  std::string blob;
-  blob.append(kMagic, sizeof(kMagic));
-  Put<std::uint32_t>(&blob, kFormatVersion);
-  Put<std::uint32_t>(&blob, static_cast<std::uint32_t>(engines.size()));
-  for (const core::EngineSnapshot& snap : engines) {
-    const std::string payload = SerializeEngine(snap);
-    Put<std::uint64_t>(&blob, payload.size());
-    Put<std::uint64_t>(&blob, Fnv1a(payload.data(), payload.size()));
-    blob += payload;
-  }
+  // Warm restarts keep the raw arena representation: a checkpoint must
+  // round-trip byte-exactly (Save -> Load -> Save reproduces identical
+  // files); the lossy-but-monotone quantized encoding is reserved for
+  // the cold-tier spill segments (store::TieredStateStore).
+  const std::string blob =
+      core::SerializeSnapshotBlob(engines, core::ArenaEncoding::kRaw);
 
   const std::string tmp = path + ".tmp";
   {
@@ -314,47 +60,7 @@ Result<std::vector<core::EngineSnapshot>> Checkpoint::Load(
     // Status error — never an OK result carrying a partial fleet.
     blob.resize(blob.size() / 2);
   }
-  Cursor c{blob.data(), blob.data() + blob.size()};
-  char magic[sizeof(kMagic)];
-  for (char& ch : magic) ch = c.Get<char>();
-  if (!c.ok || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("'" + path + "' is not a SMiLer "
-                                   "checkpoint (bad magic)");
-  }
-  const std::uint32_t version = c.Get<std::uint32_t>();
-  if (c.ok && version != kFormatVersion) {
-    return Status::FailedPrecondition(
-        "checkpoint format version " + std::to_string(version) +
-        " unsupported (this build reads version " +
-        std::to_string(kFormatVersion) + ")");
-  }
-  const std::uint32_t count = c.Get<std::uint32_t>();
-  std::vector<core::EngineSnapshot> engines;
-  for (std::uint32_t i = 0; c.ok && i < count; ++i) {
-    const std::uint64_t payload_size = c.Get<std::uint64_t>();
-    const std::uint64_t checksum = c.Get<std::uint64_t>();
-    if (!c.ok ||
-        payload_size > static_cast<std::uint64_t>(c.end - c.p)) {
-      return Status::InvalidArgument("truncated checkpoint '" + path + "'");
-    }
-    if (Fnv1a(c.p, payload_size) != checksum) {
-      return Status::InvalidArgument("checksum mismatch in checkpoint '" +
-                                     path + "' (engine " + std::to_string(i) +
-                                     ")");
-    }
-    SMILER_ASSIGN_OR_RETURN(core::EngineSnapshot snap,
-                            ParseEngine(c.p, payload_size));
-    engines.push_back(std::move(snap));
-    c.p += payload_size;
-  }
-  if (!c.ok) {
-    return Status::InvalidArgument("truncated checkpoint '" + path + "'");
-  }
-  if (c.p != c.end) {
-    return Status::InvalidArgument("checkpoint '" + path +
-                                   "' holds trailing bytes");
-  }
-  return engines;
+  return core::ParseSnapshotBlob(blob.data(), blob.size(), path);
 }
 
 }  // namespace serve

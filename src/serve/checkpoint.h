@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "core/engine.h"
+#include "core/snapshot_codec.h"
 
 namespace smiler {
 namespace serve {
@@ -32,10 +33,15 @@ namespace serve {
 /// a rejected checkpoint means the server falls back to a cold build).
 /// Corruption (bad magic, truncation, checksum mismatch) fails with
 /// InvalidArgument; a version mismatch fails with FailedPrecondition.
+///
+/// The payload codec itself lives in core::SerializeSnapshotBlob /
+/// core::ParseSnapshotBlob so the cold-tier spill segments
+/// (store::TieredStateStore) share the exact wire format; this class
+/// owns only the checkpoint-file IO (atomic tmp+rename, fault points).
 class Checkpoint {
  public:
   /// Current payload layout version.
-  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr std::uint32_t kFormatVersion = core::kSnapshotFormatVersion;
 
   /// Serializes \p engines to \p path. The write is atomic: the payload
   /// lands in "<path>.tmp" and is renamed over \p path only once fully

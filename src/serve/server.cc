@@ -12,6 +12,7 @@
 #include "obs/stats_server.h"
 #include "obs/trace.h"
 #include "serve/checkpoint.h"
+#include "store/tiered_store.h"
 
 namespace smiler {
 namespace serve {
@@ -308,6 +309,20 @@ Status PredictionServer::Observe(std::size_t sensor, double value,
   return AsyncObserve(sensor, value, deadline).get().status;
 }
 
+Status PredictionServer::AttachStore(store::TieredStateStore* store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("store must be non-null");
+  }
+  if (store_.load(std::memory_order_acquire) != nullptr) {
+    return Status::FailedPrecondition("a store is already attached");
+  }
+  // The fleet is fully resident before any store exists, so sensor 0's
+  // engine names the shared device rehydrations charge against.
+  SMILER_RETURN_NOT_OK(store->Bind(&manager_, manager_.engine(0).device()));
+  store_.store(store, std::memory_order_release);
+  return Status::OK();
+}
+
 std::size_t PredictionServer::ClaimBatch(Shard* shard,
                                          std::vector<Request>* batch,
                                          std::size_t limit) {
@@ -364,16 +379,34 @@ void PredictionServer::DrainControl(Shard* shard) {
     shard->control_size.store(0, std::memory_order_release);
   }
   for (Request& req : barriers) {
-    std::vector<std::pair<std::size_t, core::EngineSnapshot>> snaps;
-    snaps.reserve(shard->sensors.size());
-    for (std::size_t sensor : shard->sensors) {
+    ServeSnapshotBarrier(shard, &req);
+  }
+}
+
+void PredictionServer::ServeSnapshotBarrier(Shard* shard, Request* req) {
+  store::TieredStateStore* store = store_.load(std::memory_order_acquire);
+  std::vector<std::pair<std::size_t, core::EngineSnapshot>> snaps;
+  snaps.reserve(shard->sensors.size());
+  Status st = Status::OK();
+  for (std::size_t sensor : shard->sensors) {
+    if (store != nullptr) {
+      // Store-aware barrier: a cold sensor's state comes from its spill
+      // segment — the checkpoint covers the whole fleet without forcing
+      // every evicted engine back into memory.
+      auto snap = store->StableSnapshot(sensor);
+      if (!snap.ok()) {
+        st = snap.status();
+        break;
+      }
+      snaps.emplace_back(sensor, std::move(*snap));
+    } else {
       snaps.emplace_back(sensor, manager_.engine(sensor).Snapshot());
     }
-    if (req.snapshot_promise) {
-      req.snapshot_promise->set_value(std::move(snaps));
-    }
-    Respond(shard, &req, {Status::OK(), predictors::Prediction{}});
   }
+  if (req->snapshot_promise) {
+    req->snapshot_promise->set_value(std::move(snaps));
+  }
+  Respond(shard, req, {std::move(st), predictors::Prediction{}});
 }
 
 void PredictionServer::ShardLoop(Shard* shard) {
@@ -428,25 +461,44 @@ std::size_t PredictionServer::ProcessBatch(Shard* shard,
   // update when the target observation arrives).
   PredictCache predict_cache;
   std::size_t sheds = 0;
+  // Residency: pin every distinct data-plane sensor of the batch up
+  // front, rehydrating cold ones, so no request below ever touches a
+  // non-resident engine. The pins sit between the batch claim and each
+  // request's start, so rehydration cost lands in the batch_form stage
+  // of the latency taxonomy — attributed, not hidden. A failed pin
+  // (e.g. the store.rehydrate_read_short fault) answers that sensor's
+  // requests with the Status; the cold state is intact and the next
+  // batch retries.
+  store::TieredStateStore* store = store_.load(std::memory_order_acquire);
+  std::vector<std::size_t> pinned;
+  std::unordered_map<std::size_t, Status> pin_failed;
+  if (store != nullptr) {
+    for (const Request& r : *batch) {
+      if (r.kind == Request::Kind::kSnapshot) continue;
+      if (std::find(pinned.begin(), pinned.end(), r.sensor) != pinned.end() ||
+          pin_failed.count(r.sensor) != 0) {
+        continue;
+      }
+      Status st = store->Pin(r.sensor);
+      if (st.ok()) {
+        pinned.push_back(r.sensor);
+      } else {
+        pin_failed.emplace(r.sensor, std::move(st));
+      }
+    }
+  }
   for (std::size_t i = 0; i < batch->size();) {
     Request& req = (*batch)[i];
     if (req.kind == Request::Kind::kPredict) {
       i = ExecutePredictSegment(shard, batch, i, claim_us, &predict_cache,
-                                &sheds);
+                                &sheds, store != nullptr ? &pin_failed
+                                                         : nullptr);
       continue;
     }
     if (req.kind == Request::Kind::kSnapshot) {
       // Defensive: barriers travel on the control queue, but one landing
       // here anyway gets identical semantics.
-      std::vector<std::pair<std::size_t, core::EngineSnapshot>> snaps;
-      snaps.reserve(shard->sensors.size());
-      for (std::size_t sensor : shard->sensors) {
-        snaps.emplace_back(sensor, manager_.engine(sensor).Snapshot());
-      }
-      if (req.snapshot_promise) {
-        req.snapshot_promise->set_value(std::move(snaps));
-      }
-      Respond(shard, &req, {Status::OK(), predictors::Prediction{}});
+      ServeSnapshotBarrier(shard, &req);
       ++i;
       continue;
     }
@@ -472,6 +524,12 @@ std::size_t PredictionServer::ProcessBatch(Shard* shard,
       ++i;
       continue;
     }
+    auto failed_pin = pin_failed.find(req.sensor);
+    if (failed_pin != pin_failed.end()) {
+      Respond(shard, &req, {failed_pin->second, predictors::Prediction{}});
+      ++i;
+      continue;
+    }
     predict_cache.erase(req.sensor);
     Status st;
     {
@@ -482,12 +540,21 @@ std::size_t PredictionServer::ProcessBatch(Shard* shard,
     Respond(shard, &req, {std::move(st), predictors::Prediction{}});
     ++i;
   }
+  for (std::size_t sensor : pinned) store->Unpin(sensor);
+  if (store != nullptr) {
+    // Budget sweep at the batch boundary: every pin is released and the
+    // shard's engines are quiescent. A failed spill leaves the fleet
+    // over budget but consistent (store.evict_failures counts it), so
+    // the status is advisory here — serving continues either way.
+    (void)store->EnforceBudget();
+  }
   return sheds;
 }
 
 std::size_t PredictionServer::ExecutePredictSegment(
     Shard* shard, std::vector<Request>* batch, std::size_t begin,
-    std::int64_t claim_us, PredictCache* cache, std::size_t* sheds) {
+    std::int64_t claim_us, PredictCache* cache, std::size_t* sheds,
+    const std::unordered_map<std::size_t, Status>* pin_failed) {
   // Maximal run of Predict requests. With coalescing off a repeated
   // sensor ends the segment first — each repeat must be its own engine
   // pass, in order, exactly like the sequential path.
@@ -511,6 +578,7 @@ std::size_t PredictionServer::ExecutePredictSegment(
   for (std::size_t j = begin; j < end; ++j) {
     const Request& r = (*batch)[j];
     if (r.deadline != kNoDeadline && scan_now > r.deadline) continue;
+    if (pin_failed != nullptr && pin_failed->count(r.sensor) != 0) continue;
     if (cache->count(r.sensor) != 0) continue;
     if (std::find(fresh.begin(), fresh.end(), r.sensor) == fresh.end()) {
       fresh.push_back(r.sensor);
@@ -533,6 +601,15 @@ std::size_t PredictionServer::ExecutePredictSegment(
               {Status::DeadlineExceeded("deadline expired before execution"),
                predictors::Prediction{}});
       continue;
+    }
+    if (pin_failed != nullptr) {
+      auto failed = pin_failed->find(req.sensor);
+      if (failed != pin_failed->end()) {
+        // Residency pin failed (transient rehydrate fault): answer with
+        // the pin Status without touching the non-resident engine.
+        Respond(shard, &req, {failed->second, predictors::Prediction{}});
+        continue;
+      }
     }
     if (!computed) {
       // The whole segment's engine passes run here, under the FIRST live

@@ -26,6 +26,9 @@
 #include "serve/spsc_ring.h"
 
 namespace smiler {
+namespace store {
+class TieredStateStore;
+}  // namespace store
 namespace serve {
 
 /// Wall clock of the serving layer (deadlines, latency accounting).
@@ -112,6 +115,17 @@ class PredictionServer {
                                          Deadline deadline = kNoDeadline);
   Status Observe(std::size_t sensor, double value,
                  Deadline deadline = kNoDeadline);
+
+  /// Attaches a tiered state store (store::TieredStateStore) that takes
+  /// over engine residency for this fleet. Call once, before issuing
+  /// traffic. Shard workers then Pin every distinct sensor of a batch at
+  /// batch formation — a cold sensor rehydrates there, so the cost lands
+  /// in the batch_form stage of the latency taxonomy — and sweep the
+  /// byte budget at each batch boundary. A request whose sensor fails to
+  /// rehydrate (e.g. the store.rehydrate_read_short fault) is answered
+  /// with that Status; the cold state stays intact and the next batch
+  /// retries. The store must outlive the server.
+  Status AttachStore(store::TieredStateStore* store);
 
   /// Exports every engine's state, one snapshot per sensor in sensor
   /// order. Each shard snapshots its engines at a batch boundary, so
@@ -250,16 +264,22 @@ class PredictionServer {
   std::size_t ProcessBatch(Shard* shard, std::vector<Request>* batch,
                            std::int64_t claim_us);
   /// Handles the maximal Predict segment starting at \p begin; returns
-  /// the index one past the segment.
-  std::size_t ExecutePredictSegment(Shard* shard, std::vector<Request>* batch,
-                                    std::size_t begin, std::int64_t claim_us,
-                                    PredictCache* cache, std::size_t* sheds);
+  /// the index one past the segment. \p pin_failed (may be null) maps
+  /// sensors whose residency pin failed to the failure Status — their
+  /// requests are answered with it instead of touching the engine.
+  std::size_t ExecutePredictSegment(
+      Shard* shard, std::vector<Request>* batch, std::size_t begin,
+      std::int64_t claim_us, PredictCache* cache, std::size_t* sheds,
+      const std::unordered_map<std::size_t, Status>* pin_failed);
   /// Runs the engine passes for \p sensors — batched across sensors
   /// (one fused gram launch) when there are several — into \p results.
   void ExecutePredictFleet(const std::vector<std::size_t>& sensors,
                            std::unordered_map<std::size_t, Response>* results);
   void Respond(Shard* shard, Request* req, Response response);
   void UpdateBatchTarget(Shard* shard, std::size_t backlog, std::size_t sheds);
+  /// Answers one snapshot barrier: store-aware (cold sensors decode from
+  /// their spill segment) when a store is attached, direct otherwise.
+  void ServeSnapshotBarrier(Shard* shard, Request* req);
 
   core::MultiSensorManager manager_;
   ServerOptions options_;
@@ -270,6 +290,8 @@ class PredictionServer {
   std::atomic<int> next_lane_slot_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> running_{true};
+  /// Residency owner when attached (not owned; outlives the server).
+  std::atomic<store::TieredStateStore*> store_{nullptr};
 };
 
 }  // namespace serve

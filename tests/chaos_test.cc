@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -9,7 +10,11 @@
 #include "chaos/invariants.h"
 #include "chaos/scenario.h"
 #include "core/engine.h"
+#include "core/manager.h"
+#include "core/snapshot_codec.h"
+#include "obs/metrics.h"
 #include "simgpu/device.h"
+#include "store/tiered_store.h"
 #include "ts/datasets.h"
 
 namespace smiler {
@@ -135,7 +140,7 @@ TEST_F(ChaosTest, SkipFirstAndMaxTriggersShapeTheSchedule) {
 
 TEST_F(ChaosTest, CatalogNamesAreUniqueAndDocumented) {
   const std::vector<FaultPointInfo>& catalog = KnownFaultPoints();
-  EXPECT_GE(catalog.size(), 8u);
+  EXPECT_GE(catalog.size(), 11u);
   std::unordered_set<std::string> names;
   for (const FaultPointInfo& info : catalog) {
     EXPECT_TRUE(names.insert(info.name).second)
@@ -253,6 +258,76 @@ TEST_F(ChaosTest, CheckpointRoundTripIsByteStable) {
 }
 
 // ---------------------------------------------------------------------------
+// Tiered-storage invariants (ChaosStoreTest surface).
+
+TEST_F(ChaosTest, QuantizedRoundTripPassesLowerBoundModeOnly) {
+  simgpu::Device device;
+  core::SensorEngine engine = StreamedEngine(&device, 64, 12);
+  const core::EngineSnapshot exact = engine.Snapshot();
+  const std::string blob = core::SerializeSnapshotBlob(
+      {exact}, core::ArenaEncoding::kQuantized16);
+  auto parsed = core::ParseSnapshotBlob(blob.data(), blob.size(), "mem");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+
+  // The decoded arena holds round-DOWN 16-bit reconstructions: every
+  // entry is still a valid lower bound, so the tolerant mode accepts it.
+  std::vector<std::string> tolerant;
+  EXPECT_EQ(InvariantChecker::CheckEngineSnapshot(
+                "quantized", (*parsed)[0], &tolerant,
+                ArenaCheckMode::kQuantizedLowerBound),
+            0)
+      << tolerant.front();
+
+  // The strict mode must flag exactly the quantization drift (whenever
+  // any entry actually moved — with 16-bit levels over a real spread,
+  // some always does).
+  if ((*parsed)[0].index.arena != exact.index.arena) {
+    std::vector<std::string> strict;
+    EXPECT_GT(InvariantChecker::CheckEngineSnapshot(
+                  "strict", (*parsed)[0], &strict, ArenaCheckMode::kExact),
+              0);
+  }
+}
+
+TEST_F(ChaosTest, StoreResidencyCheckTracksEvictAndRehydrate) {
+  simgpu::Device device;
+  auto data = ts::MakeDataset({ts::DatasetKind::kRoad, 2, 96, 64, 5, true});
+  ASSERT_TRUE(data.ok());
+  auto manager = core::MultiSensorManager::Create(&device, *data, SmallConfig(),
+                                                  core::PredictorKind::kAr);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+
+  store::StoreOptions options;
+  options.dir = testing::TempDir() + "/chaos_store_residency";
+  options.budget_bytes = std::numeric_limits<std::size_t>::max();
+  auto store_or = store::TieredStateStore::Create(options);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  store::TieredStateStore& store = **store_or;
+  ASSERT_TRUE(store.Bind(&*manager, &device).ok());
+
+  std::vector<std::string> v;
+  EXPECT_EQ(InvariantChecker::CheckStoreResidency("fresh", store, &v), 0)
+      << v.front();
+
+  // COLD: the manager slot empties, a segment appears, bookkeeping agrees.
+  ASSERT_TRUE(store.Evict(1).ok());
+  EXPECT_FALSE(manager->resident(1));
+  EXPECT_FALSE(store.resident(1));
+  EXPECT_EQ(InvariantChecker::CheckStoreResidency("cold", store, &v), 0)
+      << v.back();
+
+  // RESIDENT again via a rehydrating Pin; pinned slots stay consistent.
+  ASSERT_TRUE(store.Pin(1).ok());
+  EXPECT_TRUE(manager->resident(1));
+  EXPECT_EQ(InvariantChecker::CheckStoreResidency("pinned", store, &v), 0)
+      << v.back();
+  store.Unpin(1);
+  EXPECT_EQ(InvariantChecker::CheckStoreResidency("unpinned", store, &v), 0)
+      << v.back();
+}
+
+// ---------------------------------------------------------------------------
 // ScenarioRunner determinism.
 
 TEST_F(ChaosTest, ScenarioReplaysBitIdentically) {
@@ -316,6 +391,50 @@ TEST_F(ChaosTest, ScenarioPollsLiveStatsWithoutPerturbingReplay) {
   EXPECT_EQ(with_stats.fingerprint, without.fingerprint);
   EXPECT_EQ(with_stats.status_counts, without.status_counts);
   EXPECT_FALSE(without.stats_probe_ok);  // never polled
+}
+
+TEST_F(ChaosTest, ScenarioWithStoreSpillReplaysBitIdentically) {
+  ScenarioOptions options;
+  options.seed = 31;
+  options.num_sensors = 3;
+  options.history_points = 64;
+  options.steps = 10;
+  options.check_every = 5;
+  options.scratch_dir = testing::TempDir();
+  // Demote a sensor every other step: the following batch rehydrates it
+  // through the quantized cold tier, and the sweeps run in
+  // kQuantizedLowerBound mode plus the store-residency agreement check.
+  options.store_spill_every = 2;
+  // Arm both store fault points hard (live only in chaos builds; the
+  // default build still exercises the healthy spill/rehydrate cycle).
+  FaultSchedule schedule;
+  FaultSpec spec;
+  spec.probability = 0.25;
+  schedule.points["store.spill_write"] = spec;
+  schedule.points["store.rehydrate_read_short"] = spec;
+  options.schedule = schedule;
+
+  const std::uint64_t evictions_before =
+      obs::Registry::Global().GetCounter("store.evictions").value();
+  ScenarioResult a = ScenarioRunner(options).Run();
+  ScenarioResult b = ScenarioRunner(options).Run();
+
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  EXPECT_TRUE(a.violations.empty()) << a.violations.front();
+  // The cadence actually demoted sensors (not every attempt must succeed
+  // under a torn-write storm, but across two runs some must).
+  EXPECT_GT(obs::Registry::Global().GetCounter("store.evictions").value(),
+            evictions_before);
+
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.status_counts, b.status_counts);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.quarantined, b.quarantined);
+  ASSERT_EQ(a.trigger_log.size(), b.trigger_log.size());
+  for (std::size_t i = 0; i < a.trigger_log.size(); ++i) {
+    EXPECT_EQ(a.trigger_log[i].point, b.trigger_log[i].point);
+    EXPECT_EQ(a.trigger_log[i].hit, b.trigger_log[i].hit);
+  }
 }
 
 TEST_F(ChaosTest, ScenarioDifferentSeedsDiverge) {

@@ -1,0 +1,263 @@
+// Property suite for the 16-bit quantized arena encoding that backs the
+// cold tier (core::ArenaEncoding::kQuantized16). Two properties carry the
+// whole tiered-storage correctness argument:
+//
+//  1. Monotone round-down: for ANY finite arena contents, every decoded
+//     entry satisfies decoded <= exact — a quantized lower bound is still
+//     a lower bound, so filter-and-verify only ever verifies MORE
+//     candidates, never prunes a true neighbor.
+//  2. kNN stream equivalence: an engine rebuilt from a quantized snapshot
+//     mid-stream returns kNN sets and predictions bitwise-identical to a
+//     twin that never round-tripped, across continued appends (the
+//     streamed mirror of index_equivalence_test).
+//
+// Plus the guardrails: non-finite arenas fall back to the raw encoding
+// bitwise, and raw-mode blobs stay byte-stable across re-serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/snapshot_codec.h"
+#include "simgpu/device.h"
+#include "ts/series.h"
+
+namespace smiler {
+namespace {
+
+SmilerConfig SmallConfig() {
+  SmilerConfig cfg;
+  cfg.rho = 4;
+  cfg.omega = 8;
+  cfg.elv = {16, 24};
+  cfg.ekv = {4, 8};
+  cfg.horizon = 1;
+  return cfg;
+}
+
+std::vector<double> RandomWalk(Rng* rng, int n) {
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (int i = 0; i < n; ++i) {
+    x += rng->Normal();
+    v[i] = x;
+  }
+  return v;
+}
+
+core::SensorEngine MakeEngine(simgpu::Device* device, Rng* rng, int history,
+                              int streamed) {
+  ts::TimeSeries series("q", RandomWalk(rng, history));
+  auto engine = core::SensorEngine::Create(device, series, SmallConfig(),
+                                           core::PredictorKind::kAr);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  for (int i = 0; i < streamed; ++i) {
+    EXPECT_TRUE(engine->Predict().ok());
+    EXPECT_TRUE(engine->Observe(rng->Normal()).ok());
+  }
+  return std::move(*engine);
+}
+
+core::EngineSnapshot QuantizedRoundTrip(const core::EngineSnapshot& snap) {
+  const std::string blob =
+      core::SerializeSnapshotBlob({snap}, core::ArenaEncoding::kQuantized16);
+  auto parsed = core::ParseSnapshotBlob(blob.data(), blob.size(), "mem");
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 1u);
+  return std::move((*parsed)[0]);
+}
+
+/// Walks the valid (non-padding) arena entries: rows x {LBEQ, LBEC} x
+/// cols, in the head-rotated physical layout the index stores.
+template <typename Fn>
+void ForEachArenaEntry(const core::EngineSnapshot& snap, Fn&& fn) {
+  const long stride = snap.index.arena_stride;
+  const long cols = snap.index.cols;
+  const std::size_t rows = snap.index.arena.size() /
+                           (2 * static_cast<std::size_t>(stride));
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (int half = 0; half < 2; ++half) {
+      const std::size_t base =
+          row * 2 * static_cast<std::size_t>(stride) +
+          static_cast<std::size_t>(half) * static_cast<std::size_t>(stride);
+      for (long r = 0; r < cols; ++r) {
+        fn(base + static_cast<std::size_t>(r));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: decoded <= exact, always.
+
+TEST(StoreQuantizeTest, DecodedEntriesNeverExceedExactOnRealEngines) {
+  simgpu::Device device;
+  for (std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    Rng rng(seed);
+    core::SensorEngine engine =
+        MakeEngine(&device, &rng, 120, 8 + static_cast<int>(seed % 13));
+    const core::EngineSnapshot exact = engine.Snapshot();
+    const core::EngineSnapshot decoded = QuantizedRoundTrip(exact);
+    ASSERT_EQ(decoded.index.arena.size(), exact.index.arena.size());
+
+    std::size_t moved = 0;
+    ForEachArenaEntry(exact, [&](std::size_t i) {
+      EXPECT_LE(decoded.index.arena[i], exact.index.arena[i])
+          << "seed " << seed << " arena[" << i << "]";
+      moved += decoded.index.arena[i] != exact.index.arena[i];
+    });
+    // The encoding is lossy on real spreads — if nothing ever moves the
+    // test is vacuous, not passing.
+    EXPECT_GT(moved, 0u) << "seed " << seed;
+
+    // Everything outside the arena round-trips exactly: series,
+    // envelopes, prev_knn threshold seeds (tau seeding must stay exact
+    // for the kNN-equivalence argument).
+    EXPECT_EQ(decoded.index.series, exact.index.series);
+    EXPECT_EQ(decoded.index.env_c_upper, exact.index.env_c_upper);
+    EXPECT_EQ(decoded.index.env_c_lower, exact.index.env_c_lower);
+    EXPECT_EQ(decoded.index.env_mq_upper, exact.index.env_mq_upper);
+    EXPECT_EQ(decoded.index.env_mq_lower, exact.index.env_mq_lower);
+    ASSERT_EQ(decoded.index.prev_knn.size(), exact.index.prev_knn.size());
+    for (std::size_t i = 0; i < exact.index.prev_knn.size(); ++i) {
+      EXPECT_EQ(decoded.index.prev_knn[i], exact.index.prev_knn[i]);
+    }
+  }
+}
+
+TEST(StoreQuantizeTest, DecodedEntriesNeverExceedExactOnAdversarialArenas) {
+  simgpu::Device device;
+  Rng rng(99);
+  core::SensorEngine engine = MakeEngine(&device, &rng, 96, 4);
+  const core::EngineSnapshot base = engine.Snapshot();
+
+  // Synthetic fills chosen to stress the fixed-point math: flat rows
+  // (step == 0), huge spreads, tiny spreads around a large offset
+  // (catastrophic cancellation in (hi - lo) / 65535), and mixtures.
+  for (int variant = 0; variant < 5; ++variant) {
+    core::EngineSnapshot snap = base;
+    Rng fill(1000 + variant);
+    ForEachArenaEntry(snap, [&](std::size_t i) {
+      double v = 0.0;
+      switch (variant) {
+        case 0: v = 3.25; break;                          // constant row
+        case 1: v = fill.Uniform() * 1e12; break;         // huge spread
+        case 2: v = 1e9 + fill.Uniform() * 1e-6; break;   // tiny spread
+        case 3: v = fill.Uniform() < 0.5 ? 0.0 : fill.Uniform(); break;
+        default: v = std::exp(20.0 * (fill.Uniform() - 0.5)); break;
+      }
+      snap.index.arena[i] = v;
+    });
+    const core::EngineSnapshot decoded = QuantizedRoundTrip(snap);
+    ASSERT_EQ(decoded.index.arena.size(), snap.index.arena.size());
+    ForEachArenaEntry(snap, [&](std::size_t i) {
+      ASSERT_LE(decoded.index.arena[i], snap.index.arena[i])
+          << "variant " << variant << " arena[" << i << "]";
+      ASSERT_TRUE(std::isfinite(decoded.index.arena[i]));
+    });
+  }
+}
+
+TEST(StoreQuantizeTest, NonFiniteArenaFallsBackToRawBitwise) {
+  simgpu::Device device;
+  Rng rng(5);
+  core::SensorEngine engine = MakeEngine(&device, &rng, 96, 4);
+  core::EngineSnapshot snap = engine.Snapshot();
+  snap.index.arena[snap.index.arena.size() / 3] =
+      std::numeric_limits<double>::quiet_NaN();
+
+  const std::string blob =
+      core::SerializeSnapshotBlob({snap}, core::ArenaEncoding::kQuantized16);
+  auto parsed = core::ParseSnapshotBlob(blob.data(), blob.size(), "mem");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // The whole arena came back raw: bitwise equal, NaN preserved.
+  const std::vector<double>& got = (*parsed)[0].index.arena;
+  ASSERT_EQ(got.size(), snap.index.arena.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const std::uint64_t a = *reinterpret_cast<const std::uint64_t*>(
+        &snap.index.arena[i]);
+    const std::uint64_t b = *reinterpret_cast<const std::uint64_t*>(&got[i]);
+    ASSERT_EQ(a, b) << "arena[" << i << "]";
+  }
+}
+
+TEST(StoreQuantizeTest, RawModeStaysByteStableAcrossReserialization) {
+  simgpu::Device device;
+  Rng rng(8);
+  core::SensorEngine engine = MakeEngine(&device, &rng, 96, 6);
+  const core::EngineSnapshot snap = engine.Snapshot();
+  const std::string a =
+      core::SerializeSnapshotBlob({snap}, core::ArenaEncoding::kRaw);
+  auto parsed = core::ParseSnapshotBlob(a.data(), a.size(), "mem");
+  ASSERT_TRUE(parsed.ok());
+  const std::string b =
+      core::SerializeSnapshotBlob(*parsed, core::ArenaEncoding::kRaw);
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: kNN sets and predictions stay bitwise across the round trip.
+
+TEST(StoreQuantizeTest, KnnAndPredictionsBitwiseAcrossStreamedRoundTrips) {
+  simgpu::Device device;
+  Rng rng(2015);
+  const int kHistory = 120;
+  const int kSteps = 24;
+  const std::vector<double> series = RandomWalk(&rng, kHistory + kSteps);
+
+  ts::TimeSeries history(
+      "q", std::vector<double>(series.begin(), series.begin() + kHistory));
+  auto control = core::SensorEngine::Create(&device, history, SmallConfig(),
+                                            core::PredictorKind::kAr);
+  ASSERT_TRUE(control.ok());
+  auto tiered = core::SensorEngine::Create(&device, history, SmallConfig(),
+                                           core::PredictorKind::kAr);
+  ASSERT_TRUE(tiered.ok());
+
+  for (int step = 0; step < kSteps; ++step) {
+    // Round-trip the tiered twin through the quantized codec every fourth
+    // step — the same path a spill + rehydration takes.
+    if (step % 4 == 0) {
+      auto restored = core::SensorEngine::Restore(
+          &device, QuantizedRoundTrip(tiered->Snapshot()));
+      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      *tiered = std::move(*restored);
+    }
+
+    // Compare the full kNN result (every ELV item, every neighbor, t and
+    // dist bitwise) via the split-predict hook, which runs the Search
+    // Step without mutating engine state.
+    auto control_pending = control->BeginPredict();
+    ASSERT_TRUE(control_pending.ok());
+    auto tiered_pending = tiered->BeginPredict();
+    ASSERT_TRUE(tiered_pending.ok());
+    ASSERT_EQ(tiered_pending->knn.items.size(),
+              control_pending->knn.items.size());
+    for (std::size_t i = 0; i < control_pending->knn.items.size(); ++i) {
+      EXPECT_EQ(tiered_pending->knn.items[i].neighbors,
+                control_pending->knn.items[i].neighbors)
+          << "step " << step << " item " << i;
+    }
+
+    // And the predictions they finish into.
+    auto want = control->FinishPredict(std::move(*control_pending), nullptr);
+    ASSERT_TRUE(want.ok());
+    auto got = tiered->FinishPredict(std::move(*tiered_pending), nullptr);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->mean, want->mean) << "step " << step;
+    EXPECT_EQ(got->variance, want->variance) << "step " << step;
+
+    const double next = series[kHistory + step];
+    ASSERT_TRUE(control->Observe(next).ok());
+    ASSERT_TRUE(tiered->Observe(next).ok());
+  }
+}
+
+}  // namespace
+}  // namespace smiler
