@@ -22,7 +22,7 @@
 # Stage 3 (serving layer): runs the Fig-12 continuous-prediction workload
 # through the sharded PredictionServer under closed-loop clients and
 # writes BENCH_serve.json — throughput, p50/p99 request latency, and the
-# per-stage attribution table (owner-clock seconds for each of the eight
+# per-stage attribution table (owner-clock seconds for each of the nine
 # taxonomy stages, globally and per shard) — with the pre-serve
 # single-caller manager loop re-measured in the same run as the embedded
 # baseline. BENCH_serve_exemplars.json rides along: a Chrome/Perfetto
@@ -33,8 +33,9 @@
 # resident engine slots — and writes BENCH_capacity.json: the
 # demonstrated capacity ratio (fleet bytes / serving-phase resident
 # high-water), its 6 GiB extrapolation, the resident-bytes/RSS curve,
-# rehydration p50/p99, and the 8-stage attribution (rehydration lands in
-# batch_form).
+# rehydration p50/p99, and the 9-stage attribution (rehydration is its
+# own `rehydrate` stage — an overlapped IO leaf of the predict graph, no
+# longer folded into batch_form).
 #
 #   scripts/bench_regression.sh            # writes ./BENCH_*.json
 #   scripts/bench_regression.sh /tmp/out   # writes them under /tmp/out

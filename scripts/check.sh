@@ -119,7 +119,7 @@ echo "== backend equivalence (tier-1 index/GP/DTW suites, SMILER_BACKEND=native)
 # execution path. Runs in fast mode too — backend drift is a correctness
 # bug, not a stress-only concern.
 SMILER_BACKEND=native ctest --test-dir build \
-  -R 'IndexTest|IndexEquivalenceTest|GpTest|DtwTest|DtwPropertyTest|BackendSelectionTest|BackendEquivalenceTest|BackendExactnessContractTest' \
+  -R 'IndexTest|IndexEquivalenceTest|GpTest|DtwTest|DtwPropertyTest|BackendSelectionTest|BackendEquivalenceTest|BackendExactnessContractTest|TaskGraphEquivalenceTest' \
   --output-on-failure -j "$(nproc)" | tail -n 3
 
 if [[ "$MODE" == "fast" ]]; then
@@ -150,11 +150,16 @@ echo "== serve soak + SPSC lanes under ThreadSanitizer =="
 # dedicated TSan target for the ring cursors and lane publication.
 # store_equivalence_test rides along for its concurrent-clients-under-
 # tiny-budget case: shard workers pinning/unpinning and the budget sweep
-# racing client threads is exactly the store's racy surface.
+# racing client threads is exactly the store's racy surface. The task
+# graph suites join the pass: the executor's ready queue is drained by
+# the caller and pool helpers concurrently, and the equivalence suite's
+# burst traffic drives the fleet-wide graph (shared gram join, rehydrate
+# leaf nodes) under that contention.
 cmake --build build-tsan -j \
-  --target serve_soak_test serve_spsc_test store_equivalence_test >/dev/null
+  --target serve_soak_test serve_spsc_test store_equivalence_test \
+  task_graph_test task_graph_equivalence_test >/dev/null
 ctest --test-dir build-tsan \
-  -R 'ServeSoakTest|SpscRingTest|SpscRingStressTest|SpscLaneTest|StoreEquivalenceTest' \
+  -R 'ServeSoakTest|SpscRingTest|SpscRingStressTest|SpscLaneTest|StoreEquivalenceTest|TaskGraphTest|TaskGraphPropertyTest|TaskGraphStressTest|LaunchGraphTest|TaskGraphEquivalenceTest' \
   --output-on-failure
 
 echo "== tracing overhead gate (smoke Fig-7 bench, on vs off) =="

@@ -112,21 +112,41 @@ Result<predictors::Prediction> SensorEngine::Predict(EngineStats* stats) {
 }
 
 Result<PendingPredict> SensorEngine::BeginPredict() {
-  static obs::Histogram& search_hist =
-      obs::Registry::Global().GetHistogram("engine.search_seconds");
+  SMILER_ASSIGN_OR_RETURN(PendingPredict pending, BeginPredictLb());
+  SMILER_RETURN_NOT_OK(FinishPredictVerify(&pending));
+  return pending;
+}
 
+Result<PendingPredict> SensorEngine::BeginPredictLb() {
   PendingPredict pending;
   WallTimer timer;
   index::SuffixSearchOptions opts;
   opts.k = cfg_.MaxK();
   opts.reserve_horizon = cfg_.horizon;
+  Result<index::PendingSearch> search_or = [&] {
+    SMILER_TRACE_SPAN("engine.search");
+    return index_.BeginSearch(opts);
+  }();
+  if (!search_or.ok()) return search_or.status();
+  pending.search = std::move(*search_or);
+  pending.search_seconds += timer.ElapsedSeconds();
+  return pending;
+}
+
+Status SensorEngine::FinishPredictVerify(PendingPredict* pending_out) {
+  static obs::Histogram& search_hist =
+      obs::Registry::Global().GetHistogram("engine.search_seconds");
+
+  PendingPredict& pending = *pending_out;
+  WallTimer timer;
   Result<index::SuffixKnnResult> knn_or = [&] {
     SMILER_TRACE_SPAN("engine.search");
-    return index_.Search(opts, &pending.search_stats);
+    return index_.FinishSearch(std::move(pending.search),
+                               &pending.search_stats);
   }();
   if (!knn_or.ok()) return knn_or.status();
   pending.knn = std::move(*knn_or);
-  pending.search_seconds = timer.ElapsedSeconds();
+  pending.search_seconds += timer.ElapsedSeconds();
   search_hist.Observe(pending.search_seconds);
 
   // Collect the awake cells; fitting happens in FinishPredict.
@@ -165,7 +185,7 @@ Result<PendingPredict> SensorEngine::BeginPredict() {
     }
     pending.gram_seconds += gram_timer.ElapsedSeconds();
   }
-  return pending;
+  return Status::OK();
 }
 
 void SensorEngine::ComputeGrams(PendingPredict* pending) {
@@ -193,18 +213,17 @@ void SensorEngine::ComputeGrams(PendingPredict* pending) {
   pending->gram_seconds += gram_timer.ElapsedSeconds();
 }
 
-Result<predictors::Prediction> SensorEngine::FinishPredict(
-    PendingPredict pending, EngineStats* stats) {
-  static obs::Counter& predictions =
-      obs::Registry::Global().GetCounter("engine.predictions");
-  static obs::Histogram& predict_hist =
-      obs::Registry::Global().GetHistogram("engine.predict_seconds");
-
+Status SensorEngine::FitCells(PendingPredict* pending_out) {
+  PendingPredict& pending = *pending_out;
+  if (pending.cells_fit) return Status::OK();
+  pending.cells_fit = true;
   if (!pending.grams_ready) ComputeGrams(&pending);
   WallTimer timer;
-  SMILER_TRACE_SPAN("engine.predict_step");
+  SMILER_TRACE_SPAN("engine.fit_cells");
   const int cols = static_cast<int>(cfg_.elv.size());
-  predictors::PredictionGrid grid(static_cast<int>(cfg_.ekv.size()), cols);
+  pending.grid =
+      predictors::PredictionGrid(static_cast<int>(cfg_.ekv.size()), cols);
+  predictors::PredictionGrid& grid = pending.grid;
   const std::vector<double>& series = index_.series();
   const index::SuffixKnnResult& knn = pending.knn;
 
@@ -243,15 +262,31 @@ Result<predictors::Prediction> SensorEngine::FinishPredict(
       fit_cell(idx);
     }
   }
-  const predictors::Prediction raw = ensemble_.CombineRaw(grid);
+  pending.fit_seconds += timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<predictors::Prediction> SensorEngine::FinishPredict(
+    PendingPredict pending, EngineStats* stats) {
+  static obs::Counter& predictions =
+      obs::Registry::Global().GetCounter("engine.predictions");
+  static obs::Histogram& predict_hist =
+      obs::Registry::Global().GetHistogram("engine.predict_seconds");
+
+  SMILER_RETURN_NOT_OK(FitCells(&pending));
+  WallTimer timer;
+  SMILER_TRACE_SPAN("engine.predict_step");
+  const predictors::Prediction raw = ensemble_.CombineRaw(pending.grid);
   predictors::Prediction combined = raw;
   combined.variance *= ensemble_.variance_scale();
-  pending_.push_back(
-      PendingForecast{now() + cfg_.horizon, std::move(grid), raw});
+  pending_.push_back(PendingForecast{now() + cfg_.horizon,
+                                     std::move(pending.grid), raw});
 
-  // The Prediction Step's cost spans both phases: the Gram/training-set
-  // assembly (wherever it ran) plus the fits and combine here.
-  const double predict_seconds = pending.gram_seconds + timer.ElapsedSeconds();
+  // The Prediction Step's cost spans all of its phases: the
+  // Gram/training-set assembly and cell fits (wherever they ran) plus the
+  // combine here.
+  const double predict_seconds =
+      pending.gram_seconds + pending.fit_seconds + timer.ElapsedSeconds();
   predict_hist.Observe(predict_seconds);
   predictions.Increment();
   if (stats != nullptr) {

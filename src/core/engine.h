@@ -97,11 +97,17 @@ struct PendingPredict {
   /// FinishPredict, the engine computes them itself (solo launches).
   bool grams_ready = false;
 
+  /// Filled by FitCells (the cholesky phase); consumed by FinishPredict.
+  predictors::PredictionGrid grid;
+  bool cells_fit = false;
+
   // Engine-internal plumbing between the phases.
+  index::PendingSearch search;  ///< between BeginPredictLb and ...Verify
   index::SuffixKnnResult knn;
   index::SearchStats search_stats;
   double search_seconds = 0.0;
   double gram_seconds = 0.0;
+  double fit_seconds = 0.0;
   std::vector<std::pair<int, int>> cells;
 };
 
@@ -130,8 +136,18 @@ class SensorEngine {
 
   /// Phase 1 of a split Predict: runs the Search Step and publishes the
   /// per-column Gram jobs (see PendingPredict). No engine state changes
-  /// until FinishPredict.
+  /// until FinishPredict. Exactly BeginPredictLb + FinishPredictVerify.
   Result<PendingPredict> BeginPredict();
+
+  /// Phase 1a: the Search Step's group-level lower-bound pass alone
+  /// (the lb_filter graph node). The task-graph serve pipeline splits
+  /// here so sensor A's DTW verify overlaps sensor B's lower bounds.
+  Result<PendingPredict> BeginPredictLb();
+
+  /// Phase 1b: DTW verify fan-out, awake-cell collection, and per-column
+  /// training-input assembly (the dtw_verify graph node). Mutates the
+  /// index's threshold seeds — one in-flight phase per engine at a time.
+  Status FinishPredictVerify(PendingPredict* pending);
 
   /// Computes every pending column Gram with this engine's own device
   /// launches ("gp.gram", one per column) — the solo path. Batch callers
@@ -139,8 +155,14 @@ class SensorEngine {
   /// gp::PairwiseSquaredDistancesOnDeviceBatch instead and skip this.
   void ComputeGrams(PendingPredict* pending);
 
-  /// Phase 2: fits the awake cells against the (now computed) Grams,
-  /// combines the ensemble, and records the pending forecast. The
+  /// Phase 2a: fits the awake cells against the (now computed) Grams into
+  /// `pending->grid` — the cholesky graph node. Computes the Grams solo
+  /// first if no one has. Idempotent; FinishPredict runs it itself when
+  /// the caller has not.
+  Status FitCells(PendingPredict* pending);
+
+  /// Phase 2b: combines the ensemble over the fitted grid and records the
+  /// pending forecast (runs FitCells first if the caller has not). The
   /// prediction is bitwise-identical to a monolithic Predict() whenever
   /// the supplied Grams are (both backends and the batched launch
   /// guarantee that).
@@ -168,6 +190,9 @@ class SensorEngine {
   /// The device this engine launches kernels on (shared by the fleet);
   /// batch callers route fused launches through it.
   simgpu::Device* device() const { return index_.device(); }
+  /// Which abstract predictor this engine runs; batch callers use it to
+  /// decide whether the engine participates in fused Gram launches.
+  PredictorKind kind() const { return kind_; }
   const SmilerConfig& config() const { return cfg_; }
   const predictors::Ensemble& ensemble() const { return ensemble_; }
   const index::SmilerIndex& index() const { return index_; }

@@ -767,24 +767,34 @@ Status SmilerIndex::SearchItem(std::size_t item, const LowerBoundTable& table,
 
 Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
                                             SearchStats* stats) {
+  SMILER_TRACE_SPAN("index.search");
+  SMILER_ASSIGN_OR_RETURN(PendingSearch pending, BeginSearch(options));
+  return FinishSearch(std::move(pending), stats);
+}
+
+Result<PendingSearch> SmilerIndex::BeginSearch(
+    const SuffixSearchOptions& options) {
   if (options.k <= 0) {
     return Status::InvalidArgument("k must be positive");
   }
   if (options.reserve_horizon < 0) {
     return Status::InvalidArgument("reserve_horizon must be >= 0");
   }
-  SMILER_TRACE_SPAN("index.search");
-  SearchStats local_stats;
+  PendingSearch pending;
+  pending.options = options;
   WallTimer timer;
-
-  LowerBoundTable table;
   {
     SMILER_TRACE_SPAN("search.lower_bound");
     obs::StageScope lb_stage(obs::Stage::kLbFilter);
-    SMILER_ASSIGN_OR_RETURN(table, GroupLowerBounds(options.reserve_horizon));
+    SMILER_ASSIGN_OR_RETURN(pending.table,
+                            GroupLowerBounds(options.reserve_horizon));
   }
-  local_stats.lower_bound_seconds = timer.ElapsedSeconds();
+  pending.stats.lower_bound_seconds = timer.ElapsedSeconds();
+  return pending;
+}
 
+Result<SuffixKnnResult> SmilerIndex::FinishSearch(PendingSearch pending,
+                                                  SearchStats* stats) {
   const std::size_t n_items = cfg_.elv.size();
   SuffixKnnResult result;
   result.items.resize(n_items);
@@ -804,17 +814,17 @@ Result<SuffixKnnResult> SmilerIndex::Search(const SuffixSearchOptions& options,
     // through the same scopes.
     obs::StageScope verify_stage(obs::Stage::kDtwVerify);
     ThreadPool::Default().ParallelFor(n_items, [&](std::size_t i) {
-      item_status[i] =
-          SearchItem(i, table, options, &result.items[i], &item_stats[i]);
+      item_status[i] = SearchItem(i, pending.table, pending.options,
+                                  &result.items[i], &item_stats[i]);
     });
   }
   for (std::size_t i = 0; i < n_items; ++i) {
     SMILER_RETURN_NOT_OK(item_status[i]);
-    local_stats.Add(item_stats[i]);
+    pending.stats.Add(item_stats[i]);
   }
 
-  local_stats.Publish();
-  if (stats != nullptr) stats->Add(local_stats);
+  pending.stats.Publish();
+  if (stats != nullptr) stats->Add(pending.stats);
   return result;
 }
 

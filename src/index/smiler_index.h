@@ -64,6 +64,19 @@ struct LowerBoundTable {
   }
 };
 
+/// \brief Phase-1 state of a split Search(): the validated options plus
+/// the group-level lower-bound table, awaiting the per-item verify
+/// fan-out. Produced by BeginSearch and consumed exactly once by
+/// FinishSearch on the same index, with no index mutation in between
+/// (Append invalidates it).
+struct PendingSearch {
+  SuffixSearchOptions options;
+  LowerBoundTable table;
+  /// lower_bound_seconds is filled by BeginSearch; FinishSearch adds the
+  /// filter/verify/select phases and publishes the merged stats.
+  SearchStats stats;
+};
+
 /// \brief Complete serializable state of a SmilerIndex.
 ///
 /// Everything the incremental-maintenance paths (Remark 1) have built up:
@@ -142,6 +155,22 @@ class SmilerIndex {
   /// phase timings and candidate counts.
   Result<SuffixKnnResult> Search(const SuffixSearchOptions& options,
                                  SearchStats* stats = nullptr);
+
+  /// Phase 1 of a split Search: validates \p options and runs the
+  /// group-level lower-bound pass (the lb_filter stage). The returned
+  /// state feeds FinishSearch; Search() is exactly BeginSearch +
+  /// FinishSearch, so a split invocation is bitwise-identical to the
+  /// monolithic one. The task-graph predict pipeline runs the two
+  /// phases as separate nodes so one sensor's verify overlaps another's
+  /// lower bounds.
+  Result<PendingSearch> BeginSearch(const SuffixSearchOptions& options);
+
+  /// Phase 2: the per-item filter → verify → select fan-out (the
+  /// dtw_verify stage) over \p pending's lower bounds, merging and
+  /// publishing the search stats. Mutates the per-item threshold seeds
+  /// (prev_knn_), so calls for the same index must not race.
+  Result<SuffixKnnResult> FinishSearch(PendingSearch pending,
+                                       SearchStats* stats = nullptr);
 
   /// \brief Group-level pass alone: lower bounds for every item query and
   /// candidate via the two-level index (the "SMiLer-Idx" side of Fig 8).

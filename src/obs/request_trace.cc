@@ -13,14 +13,14 @@ namespace obs {
 namespace {
 
 constexpr const char* kStageNames[kNumStages] = {
-    "queue_wait", "batch_form", "lb_filter", "dtw_verify",
+    "queue_wait", "batch_form", "rehydrate", "lb_filter", "dtw_verify",
     "gram",       "cholesky",   "forecast",  "publish",
 };
 
 constexpr const char* kStageSpanNames[kNumStages] = {
-    "stage.queue_wait", "stage.batch_form", "stage.lb_filter",
-    "stage.dtw_verify", "stage.gram",       "stage.cholesky",
-    "stage.forecast",   "stage.publish",
+    "stage.queue_wait", "stage.batch_form", "stage.rehydrate",
+    "stage.lb_filter",  "stage.dtw_verify", "stage.gram",
+    "stage.cholesky",   "stage.forecast",   "stage.publish",
 };
 
 std::atomic<std::uint64_t> g_next_trace_id{1};

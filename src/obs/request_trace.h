@@ -25,6 +25,7 @@ namespace obs {
 enum class Stage : int {
   kQueueWait = 0,  ///< minted → claimed by a shard worker's batch drain
   kBatchForm,      ///< batch claimed → this request's turn in the batch
+  kRehydrate,      ///< tiered-store pin IO: cold engine state → resident
   kLbFilter,       ///< LB_kim / group lower bounds, seeding, pruning
   kDtwVerify,      ///< exact DTW verification (device launches + select)
   kGram,           ///< covariance / Gram matrix construction
@@ -33,7 +34,7 @@ enum class Stage : int {
   kPublish,        ///< response bookkeeping + promise fulfilment
 };
 
-inline constexpr int kNumStages = 8;
+inline constexpr int kNumStages = 9;
 
 /// Stage names in enum order ("queue_wait", ..., "publish"); used in
 /// metric names (`obs.request.stage.<name>_seconds`), per-shard gauges

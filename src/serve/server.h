@@ -52,6 +52,16 @@ struct ServerOptions {
   /// previous Predict of that sensor share one engine pass (one set of
   /// simgpu launches serves every co-resident client).
   bool coalesce_predicts = true;
+  /// Execute multi-sensor Predict segments as a dataflow task graph
+  /// (TaskGraph over the process pool): per-sensor stage chains
+  /// rehydrate -> lb_filter -> dtw_verify -> cholesky -> forecast, with
+  /// the cross-sensor fused Gram launch as a join node between verify and
+  /// cholesky, so one sensor's DTW verify overlaps another's lower
+  /// bounds and tiered-store rehydration IO overlaps warm sensors'
+  /// compute. Predictions are bitwise-identical to the phase-barrier
+  /// path (task_graph_equivalence_test pins that); disable to fall back
+  /// to barriered phases (the bench's comparison baseline).
+  bool use_task_graph = true;
 };
 
 /// \brief Outcome of one request. `prediction` is meaningful only for
@@ -72,8 +82,10 @@ struct Response {
 /// a shard-wide reservation counter enforces `queue_capacity` across the
 /// lanes. Each shard's single worker thread drains the lanes into
 /// near-FIFO micro-batches (merged by enqueue time) whose size adapts to
-/// the observed backlog, and executes Predict segments with one fused
-/// cross-sensor `gp.gram_batch` device launch per batch. Admission
+/// the observed backlog, and executes each multi-sensor Predict segment
+/// as one fleet-wide dataflow task graph (per-sensor stage chains with
+/// the fused cross-sensor `gp.gram_batch` device launch as a join node;
+/// see ServerOptions::use_task_graph). Admission
 /// control rejects when the shard is full; expired deadlines are shed at
 /// dequeue time, before any search work is paid for. `Snapshot` barriers
 /// travel on a separate control-plane queue (exempt from data-plane
@@ -118,13 +130,15 @@ class PredictionServer {
 
   /// Attaches a tiered state store (store::TieredStateStore) that takes
   /// over engine residency for this fleet. Call once, before issuing
-  /// traffic. Shard workers then Pin every distinct sensor of a batch at
-  /// batch formation — a cold sensor rehydrates there, so the cost lands
-  /// in the batch_form stage of the latency taxonomy — and sweep the
-  /// byte budget at each batch boundary. A request whose sensor fails to
-  /// rehydrate (e.g. the store.rehydrate_read_short fault) is answered
-  /// with that Status; the cold state stays intact and the next batch
-  /// retries. The store must outlive the server.
+  /// traffic. Shard workers then Pin each distinct sensor of a batch at
+  /// its first engine touch — as a leaf IO node of the predict task
+  /// graph (overlapping other sensors' compute) or inline before an
+  /// Observe — so rehydration cost lands in the dedicated `rehydrate`
+  /// stage of the latency taxonomy, not hidden inside batch_form. The
+  /// byte budget is swept at each batch boundary. A request whose sensor
+  /// fails to rehydrate (e.g. the store.rehydrate_read_short fault) is
+  /// answered with that Status; the cold state stays intact and the next
+  /// batch retries. The store must outlive the server.
   Status AttachStore(store::TieredStateStore* store);
 
   /// Exports every engine's state, one snapshot per sensor in sensor
@@ -264,17 +278,32 @@ class PredictionServer {
   std::size_t ProcessBatch(Shard* shard, std::vector<Request>* batch,
                            std::int64_t claim_us);
   /// Handles the maximal Predict segment starting at \p begin; returns
-  /// the index one past the segment. \p pin_failed (may be null) maps
-  /// sensors whose residency pin failed to the failure Status — their
-  /// requests are answered with it instead of touching the engine.
+  /// the index one past the segment. \p pinned / \p pin_failed carry the
+  /// batch's residency state (sensors pinned so far, and sensors whose
+  /// pin failed mapped to the failure Status — their requests are
+  /// answered with it instead of touching the engine); the segment's
+  /// lazy pins are merged back into both.
   std::size_t ExecutePredictSegment(
       Shard* shard, std::vector<Request>* batch, std::size_t begin,
       std::int64_t claim_us, PredictCache* cache, std::size_t* sheds,
-      const std::unordered_map<std::size_t, Status>* pin_failed);
-  /// Runs the engine passes for \p sensors — batched across sensors
-  /// (one fused gram launch) when there are several — into \p results.
+      store::TieredStateStore* store, std::vector<std::size_t>* pinned,
+      std::unordered_map<std::size_t, Status>* pin_failed);
+  /// Runs the engine passes for \p sensors into \p results, pinning any
+  /// sensor not yet resident (outcomes merged into \p pinned /
+  /// \p pin_failed). Several sensors execute as one fleet — a task graph
+  /// (options_.use_task_graph) or barriered phases — sharing one fused
+  /// gram launch; a single sensor takes the monolithic path.
   void ExecutePredictFleet(const std::vector<std::size_t>& sensors,
-                           std::unordered_map<std::size_t, Response>* results);
+                           std::unordered_map<std::size_t, Response>* results,
+                           store::TieredStateStore* store,
+                           std::vector<std::size_t>* pinned,
+                           std::unordered_map<std::size_t, Status>* pin_failed);
+  /// The task-graph fleet executor behind ExecutePredictFleet.
+  void ExecutePredictFleetGraph(
+      const std::vector<std::size_t>& sensors,
+      std::unordered_map<std::size_t, Response>* results,
+      store::TieredStateStore* store, std::vector<std::size_t>* pinned,
+      std::unordered_map<std::size_t, Status>* pin_failed);
   void Respond(Shard* shard, Request* req, Response response);
   void UpdateBatchTarget(Shard* shard, std::size_t backlog, std::size_t sheds);
   /// Answers one snapshot barrier: store-aware (cold sensors decode from

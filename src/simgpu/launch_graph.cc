@@ -1,0 +1,40 @@
+#include "simgpu/launch_graph.h"
+
+#include <utility>
+
+namespace smiler {
+namespace simgpu {
+
+LaunchGraph::NodeId LaunchGraph::AddLaunch(const char* name, int grid_dim,
+                                           int block_dim, Kernel kernel) {
+  Device* device = device_;
+  return graph_.AddNode(
+      name, [device, name, grid_dim, block_dim, kernel = std::move(kernel)] {
+        return device->Launch(name, grid_dim, block_dim, kernel);
+      });
+}
+
+LaunchGraph::NodeId LaunchGraph::AddLaunch(const char* name, int grid_dim,
+                                           int block_dim, Kernel kernel,
+                                           NativeKernel native) {
+  Device* device = device_;
+  return graph_.AddNode(
+      name, [device, name, grid_dim, block_dim, kernel = std::move(kernel),
+             native = std::move(native)] {
+        return device->Launch(name, grid_dim, block_dim, kernel, native);
+      });
+}
+
+LaunchGraph::NodeId LaunchGraph::AddHostNode(std::string label,
+                                             std::function<Status()> fn) {
+  return graph_.AddNode(std::move(label), std::move(fn));
+}
+
+Status LaunchGraph::Run() {
+  // Blocks of each node still spread over the pool via Device::Launch;
+  // the graph overlaps whole launches on top of that.
+  return graph_.Run();
+}
+
+}  // namespace simgpu
+}  // namespace smiler

@@ -1,0 +1,82 @@
+#ifndef SMILER_SIMGPU_LAUNCH_GRAPH_H_
+#define SMILER_SIMGPU_LAUNCH_GRAPH_H_
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "common/task_graph.h"
+#include "simgpu/device.h"
+
+namespace smiler {
+namespace simgpu {
+
+/// \brief Dependency-edged batch launches: the graph-native counterpart
+/// of `Device::Launch`'s blocking, stream-synchronous call.
+///
+/// A LaunchGraph collects kernel launches (and host closures interleaved
+/// with them — Gram assembly, result scatter) as nodes of a
+/// `common::TaskGraph`, with explicit happens-before edges instead of the
+/// implicit "everything before me already finished" of a blocking launch
+/// sequence. `Run` executes the whole DAG over the device's thread pool:
+/// independent launches overlap, dependent ones are ordered, and each
+/// individual launch keeps the blocking `Device::Launch` semantics (all
+/// blocks of a node complete before its dependents start), so a linear
+/// chain is bitwise-identical to the equivalent blocking sequence.
+///
+/// Error containment matches TaskGraph: a failed launch (device fault
+/// injection, backend resolution error) poisons only its dependents;
+/// independent launches still run, and per-node futures carry each
+/// launch's own Status.
+class LaunchGraph {
+ public:
+  using NodeId = TaskGraph::NodeId;
+
+  explicit LaunchGraph(Device* device) : device_(device) {}
+
+  LaunchGraph(const LaunchGraph&) = delete;
+  LaunchGraph& operator=(const LaunchGraph&) = delete;
+
+  /// Adds a kernel launch node (grid body only). \p name is the kernel's
+  /// profiling name, exactly as in Device::Launch.
+  NodeId AddLaunch(const char* name, int grid_dim, int block_dim,
+                   Kernel kernel);
+
+  /// Adds a dual-body launch node: the native backend executes \p native
+  /// as one straight-line call, the simulated grid runs \p kernel
+  /// block-by-block — the same bitwise-equivalence contract as
+  /// Device::Launch's dual-body overload.
+  NodeId AddLaunch(const char* name, int grid_dim, int block_dim,
+                   Kernel kernel, NativeKernel native);
+
+  /// Adds a host-side node (no device launch): result gather/scatter,
+  /// fallback recomputation, CPU-side joins between launches.
+  NodeId AddHostNode(std::string label, std::function<Status()> fn);
+
+  /// Declares that \p from must complete before \p to starts.
+  Status AddEdge(NodeId from, NodeId to) { return graph_.AddEdge(from, to); }
+
+  /// Completion future of one node (valid after Run).
+  std::shared_future<Status> Future(NodeId id) const {
+    return graph_.Future(id);
+  }
+
+  /// Executes the DAG to completion on the device's pool. Returns
+  /// kInvalidArgument on a cyclic edge set, otherwise the first non-OK
+  /// node Status (per-node futures disambiguate), or OK. One-shot.
+  Status Run();
+
+  std::size_t num_nodes() const { return graph_.num_nodes(); }
+
+ private:
+  Device* device_;
+  TaskGraph graph_;
+};
+
+}  // namespace simgpu
+}  // namespace smiler
+
+#endif  // SMILER_SIMGPU_LAUNCH_GRAPH_H_

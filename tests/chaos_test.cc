@@ -437,6 +437,54 @@ TEST_F(ChaosTest, ScenarioWithStoreSpillReplaysBitIdentically) {
   }
 }
 
+TEST_F(ChaosTest, ScenarioNodeDeferIsBenignAndReplaysBitIdentically) {
+  // graph.node_defer adversarially reschedules the predict task graph's
+  // ready nodes. Two contracts under test: (a) the armed scenario replays
+  // bit-identically (the defer decisions are pure functions of seed and
+  // per-point hit index, and every graph claim is deterministic in the
+  // serial driver), and (b) the fault is benign — the client-observable
+  // outcome digest matches an unperturbed run exactly.
+  ScenarioOptions options;
+  options.seed = 47;
+  options.num_sensors = 3;
+  options.history_points = 64;
+  options.steps = 10;
+  options.check_every = 5;
+  options.scratch_dir = testing::TempDir();
+  // Demotions add rehydrate leaf nodes to the chains, so the defer also
+  // claims the store-IO node shape.
+  options.store_spill_every = 2;
+  options.schedule = OnePoint("graph.node_defer", 0.5);
+  ScenarioResult a = ScenarioRunner(options).Run();
+  ScenarioResult b = ScenarioRunner(options).Run();
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  EXPECT_TRUE(a.violations.empty()) << a.violations.front();
+#if defined(SMILER_ENABLE_CHAOS)
+  EXPECT_GT(a.faults_fired, 0u);  // the executor actually consumed defers
+#endif
+
+  // (a) Bit-for-bit replay, defer trigger log included.
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.value_fingerprint, b.value_fingerprint);
+  EXPECT_EQ(a.status_counts, b.status_counts);
+  ASSERT_EQ(a.trigger_log.size(), b.trigger_log.size());
+  for (std::size_t i = 0; i < a.trigger_log.size(); ++i) {
+    EXPECT_EQ(a.trigger_log[i].point, b.trigger_log[i].point);
+    EXPECT_EQ(a.trigger_log[i].hit, b.trigger_log[i].hit);
+  }
+
+  // (b) Benign across adversarial schedules: ops, outcomes, and
+  // prediction bits are identical with the executor unperturbed.
+  options.schedule = FaultSchedule{};
+  ScenarioResult clean = ScenarioRunner(options).Run();
+  ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+  EXPECT_TRUE(clean.violations.empty());
+  EXPECT_EQ(a.value_fingerprint, clean.value_fingerprint);
+  EXPECT_EQ(a.status_counts, clean.status_counts);
+  EXPECT_EQ(a.ops, clean.ops);
+  EXPECT_EQ(a.quarantined, clean.quarantined);
+}
+
 TEST_F(ChaosTest, ScenarioDifferentSeedsDiverge) {
   ScenarioOptions options;
   options.num_sensors = 2;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <future>
 #include <map>
 #include <memory>
@@ -17,6 +18,7 @@
 #include "obs/obs.h"
 #include "serve/server.h"
 #include "simgpu/device.h"
+#include "store/tiered_store.h"
 #include "ts/datasets.h"
 
 namespace smiler {
@@ -44,10 +46,10 @@ class RequestTraceTest : public ::testing::Test {
 };
 
 TEST_F(RequestTraceTest, StageTaxonomyIsStable) {
-  ASSERT_EQ(kNumStages, 8);
-  const char* expected[] = {"queue_wait", "batch_form", "lb_filter",
-                            "dtw_verify", "gram",       "cholesky",
-                            "forecast",   "publish"};
+  ASSERT_EQ(kNumStages, 9);
+  const char* expected[] = {"queue_wait", "batch_form", "rehydrate",
+                            "lb_filter",  "dtw_verify", "gram",
+                            "cholesky",   "forecast",   "publish"};
   std::set<std::string> names;
   for (int s = 0; s < kNumStages; ++s) {
     EXPECT_STREQ(StageName(static_cast<Stage>(s)), expected[s]);
@@ -55,7 +57,7 @@ TEST_F(RequestTraceTest, StageTaxonomyIsStable) {
               std::string("stage.") + expected[s]);
     names.insert(StageName(static_cast<Stage>(s)));
   }
-  EXPECT_EQ(names.size(), 8u);  // no duplicates
+  EXPECT_EQ(names.size(), 9u);  // no duplicates
 }
 
 TEST_F(RequestTraceTest, OwnerClockTilesNestedStagesExclusively) {
@@ -333,6 +335,91 @@ TEST_F(RequestTraceTest, ServeRequestFormsOneCrossThreadSpanTree) {
         filtered.find("\"trace\":" + std::to_string(ex.trace_id) + "}"),
         std::string::npos);
   }
+}
+
+// Store rehydration is an overlapped IO stage of its own (`rehydrate`),
+// NOT a slice of batch_form: with a 1-byte-budget tiered store attached
+// (every request re-pins through the cold tier) the rehydrate stage must
+// actually accrue owner time, and the per-stage owner sums must still
+// tile end-to-end latency with the same slack bound as the storeless
+// path — attributing the pin outside the stage clock would reopen the
+// unattributed-gap hole this taxonomy exists to close.
+TEST_F(RequestTraceTest, TieredStoreRehydrateIsAttributedAndStillTiles) {
+  Tracer::Global().Start();
+
+  const int kSensors = 3;
+  const int kWarmup = 96;
+  const int kSteps = 8;
+  auto data = ts::MakeDataset(
+      {ts::DatasetKind::kMall, kSensors, kWarmup + kSteps, 64, 5, true});
+  ASSERT_TRUE(data.ok());
+  std::vector<ts::TimeSeries> histories;
+  for (const auto& s : *data) {
+    histories.emplace_back(
+        s.sensor_id(),
+        std::vector<double>(s.values().begin(),
+                            s.values().begin() + kWarmup));
+  }
+  simgpu::Device device;
+  auto manager = core::MultiSensorManager::Create(
+      &device, histories, SmallConfig(), core::PredictorKind::kAr);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+
+  std::unique_ptr<store::TieredStateStore> store;  // outlives the server
+  serve::ServerOptions options;
+  options.num_shards = 1;
+  auto server =
+      serve::PredictionServer::Create(std::move(*manager), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  store::StoreOptions store_options;
+  store_options.dir = testing::TempDir() + "/request_trace_rehydrate";
+  (void)std::system(("rm -rf '" + store_options.dir + "'").c_str());
+  store_options.budget_bytes = 1;  // everything spills at every batch end
+  auto store_or = store::TieredStateStore::Create(store_options);
+  ASSERT_TRUE(store_or.ok()) << store_or.status().ToString();
+  store = std::move(*store_or);
+  ASSERT_TRUE((*server)->AttachStore(store.get()).ok());
+
+  Gauge& rehydrate_total = Registry::Global().GetGauge(
+      "serve.shard0.stage.rehydrate_seconds_total");
+  const double rehydrate_before = rehydrate_total.value();
+
+  for (int step = 0; step < kSteps; ++step) {
+    for (int s = 0; s < kSensors; ++s) {
+      ASSERT_TRUE((*server)->Predict(s).ok());
+      ASSERT_TRUE(
+          (*server)->Observe(s, (*data)[s].values()[kWarmup + step]).ok());
+    }
+  }
+  (*server)->Shutdown();
+
+  // The rehydrate stage accrued real owner time on the serving shard.
+  EXPECT_GT(rehydrate_total.value(), rehydrate_before);
+
+  // Stage sums still tile e2e with the store in the path: same slack
+  // tolerances as the storeless span-tree test.
+  const auto exemplars = ExemplarReservoir::Global().Snapshot();
+  ASSERT_FALSE(exemplars.empty());
+  std::int64_t rehydrate_exemplar_us = 0;
+  for (const auto& ex : exemplars) {
+    std::int64_t owner_sum_us = 0;
+    for (int s = 0; s < kNumStages; ++s) owner_sum_us += ex.stage_micros[s];
+    rehydrate_exemplar_us +=
+        ex.stage_micros[static_cast<int>(Stage::kRehydrate)];
+    const double owner_sum = static_cast<double>(owner_sum_us) * 1e-6;
+    EXPECT_LE(owner_sum, ex.e2e_seconds * 1.02 + 0.002)
+        << "owner clock exceeded e2e for trace " << ex.trace_id;
+    const double gap = ex.e2e_seconds - owner_sum;
+    EXPECT_LE(gap, std::max(0.35 * ex.e2e_seconds, 500e-6))
+        << "attribution gap too large for trace " << ex.trace_id;
+  }
+  // At least one retained request spent visible time rehydrating (with a
+  // 1-byte budget every single request re-pins through the cold tier).
+  EXPECT_GT(rehydrate_exemplar_us, 0);
+
+  // And the human-facing table reports the stage alongside the others.
+  EXPECT_NE(AttributionTableText().find("rehydrate"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,354 @@
+// Property and stress suite for smiler::TaskGraph — the dataflow DAG
+// executor under the serve layer's graph-mode predict pipeline. The
+// contracts pinned here:
+//
+//  * Execution respects every declared edge under randomized node
+//    completion (seeded RNG, replayable from the logged seed), both on
+//    the calling thread alone and with thread-pool helpers racing over
+//    the ready queue.
+//  * A dependency cycle is rejected with kInvalidArgument before any
+//    node runs, and every future is still satisfied.
+//  * A failing node poisons exactly its transitive dependents — with the
+//    failing node's Status verbatim — while unrelated nodes complete.
+//  * Cancel mid-graph drains the remaining nodes as kFailedPrecondition
+//    without leaking a single future.
+//  * The serve.graph-style conservation gauges settle back to their
+//    pre-run levels after every drain.
+//  * simgpu::LaunchGraph schedules device launches with the same edge
+//    semantics.
+
+#include "common/task_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "simgpu/device.h"
+#include "simgpu/launch_graph.h"
+
+namespace smiler {
+namespace {
+
+/// Execution log shared by the nodes of one graph run.
+struct ExecLog {
+  std::mutex mu;
+  std::vector<std::size_t> order;
+
+  void Record(std::size_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(id);
+  }
+
+  /// Position of \p id in the recorded order; -1 when never executed.
+  int Position(std::size_t id) const {
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == id) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+TEST(TaskGraphTest, EmptyGraphRunsToOk) {
+  TaskGraph graph;
+  EXPECT_TRUE(graph.Run().ok());
+}
+
+TEST(TaskGraphTest, RunTwiceIsRejected) {
+  TaskGraph graph;
+  graph.AddNode("only", [] { return Status::OK(); });
+  ASSERT_TRUE(graph.Run().ok());
+  EXPECT_EQ(graph.Run().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TaskGraphTest, AddEdgeValidatesIds) {
+  TaskGraph graph;
+  const TaskGraph::NodeId a = graph.AddNode("a", [] { return Status::OK(); });
+  EXPECT_EQ(graph.AddEdge(a, a).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(graph.AddEdge(a, 99).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(graph.AddEdge(99, a).code(), StatusCode::kInvalidArgument);
+  // Duplicate edges are idempotent, not an error (and not a double-dep:
+  // the graph still runs).
+  const TaskGraph::NodeId b = graph.AddNode("b", [] { return Status::OK(); });
+  EXPECT_TRUE(graph.AddEdge(a, b).ok());
+  EXPECT_TRUE(graph.AddEdge(a, b).ok());
+  EXPECT_TRUE(graph.Run().ok());
+  EXPECT_TRUE(graph.Future(b).get().ok());
+}
+
+TEST(TaskGraphTest, CycleIsRejectedWithEveryFutureSatisfied) {
+  TaskGraph graph;
+  std::atomic<int> executed{0};
+  const TaskGraph::NodeId a = graph.AddNode("a", [&] {
+    ++executed;
+    return Status::OK();
+  });
+  const TaskGraph::NodeId b = graph.AddNode("b", [&] {
+    ++executed;
+    return Status::OK();
+  });
+  const TaskGraph::NodeId lone = graph.AddNode("lone", [&] {
+    ++executed;
+    return Status::OK();
+  });
+  ASSERT_TRUE(graph.AddEdge(a, b).ok());
+  ASSERT_TRUE(graph.AddEdge(b, a).ok());
+
+  const Status run = graph.Run();
+  EXPECT_EQ(run.code(), StatusCode::kInvalidArgument);
+  // NOTHING ran — not even the node outside the cycle: a cyclic build is
+  // a caller bug, and partial execution would mask it.
+  EXPECT_EQ(executed.load(), 0);
+  for (TaskGraph::NodeId id : {a, b, lone}) {
+    auto future = graph.Future(id);
+    ASSERT_TRUE(future.valid());
+    EXPECT_EQ(future.get().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(TaskGraphTest, DiamondPoisoningIsolatesDependents) {
+  // a ok; bad fails; joint depends on {a, bad}; clean depends on a only;
+  // downstream depends on joint. The failure must reach exactly joint
+  // and downstream, verbatim, and never run their closures.
+  TaskGraph graph;
+  ExecLog log;
+  const Status boom = Status::NumericalError("cholesky blew up");
+  const TaskGraph::NodeId a = graph.AddNode("a", [&] {
+    log.Record(0);
+    return Status::OK();
+  });
+  const TaskGraph::NodeId bad = graph.AddNode("bad", [&] {
+    log.Record(1);
+    return boom;
+  });
+  const TaskGraph::NodeId joint = graph.AddNode("joint", [&] {
+    log.Record(2);
+    return Status::OK();
+  });
+  const TaskGraph::NodeId clean = graph.AddNode("clean", [&] {
+    log.Record(3);
+    return Status::OK();
+  });
+  const TaskGraph::NodeId downstream = graph.AddNode("downstream", [&] {
+    log.Record(4);
+    return Status::OK();
+  });
+  ASSERT_TRUE(graph.AddEdge(a, joint).ok());
+  ASSERT_TRUE(graph.AddEdge(bad, joint).ok());
+  ASSERT_TRUE(graph.AddEdge(a, clean).ok());
+  ASSERT_TRUE(graph.AddEdge(joint, downstream).ok());
+
+  const Status run = graph.Run();
+  // Run summarizes with the first (lowest-id) failure.
+  EXPECT_EQ(run.code(), StatusCode::kNumericalError);
+
+  EXPECT_TRUE(graph.Future(a).get().ok());
+  EXPECT_EQ(graph.Future(bad).get().ToString(), boom.ToString());
+  // Poison carries the failed parent's Status verbatim, transitively.
+  EXPECT_EQ(graph.Future(joint).get().ToString(), boom.ToString());
+  EXPECT_EQ(graph.Future(downstream).get().ToString(), boom.ToString());
+  // The sibling that does not depend on the failure ran normally.
+  EXPECT_TRUE(graph.Future(clean).get().ok());
+  EXPECT_GE(log.Position(3), 0);
+  // Poisoned closures never executed.
+  EXPECT_EQ(log.Position(2), -1);
+  EXPECT_EQ(log.Position(4), -1);
+}
+
+TEST(TaskGraphTest, CancelMidGraphDrainsWithoutLeakingFutures) {
+  // A linear chain whose second node cancels the graph: the nodes after
+  // it must complete (without running) as kFailedPrecondition, and every
+  // future — including the cancelled ones — must be satisfied.
+  constexpr std::size_t kChain = 8;
+  TaskGraph graph;
+  ExecLog log;
+  std::vector<TaskGraph::NodeId> ids;
+  for (std::size_t i = 0; i < kChain; ++i) {
+    ids.push_back(graph.AddNode("n" + std::to_string(i), [&, i] {
+      log.Record(i);
+      if (i == 1) graph.Cancel();
+      return Status::OK();
+    }));
+    if (i > 0) ASSERT_TRUE(graph.AddEdge(ids[i - 1], ids[i]).ok());
+  }
+  const Status run = graph.Run();
+  EXPECT_EQ(run.code(), StatusCode::kFailedPrecondition);
+
+  EXPECT_TRUE(graph.Future(ids[0]).get().ok());
+  EXPECT_TRUE(graph.Future(ids[1]).get().ok());
+  for (std::size_t i = 2; i < kChain; ++i) {
+    auto future = graph.Future(ids[i]);
+    ASSERT_TRUE(future.valid()) << "leaked future " << i;
+    EXPECT_EQ(future.get().code(), StatusCode::kFailedPrecondition)
+        << "node " << i;
+    EXPECT_EQ(log.Position(i), -1) << "cancelled node " << i << " ran";
+  }
+}
+
+/// Builds a random DAG (edges only from lower to higher ids — acyclic by
+/// construction), runs it, and asserts every edge was respected in the
+/// execution order and every future is OK.
+void RunRandomDagTrial(std::uint64_t seed, ThreadPool* pool) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               (pool != nullptr ? " (pooled)" : " (caller-only)"));
+  std::mt19937_64 rng(seed);
+  const std::size_t num_nodes = 12 + rng() % 30;
+  std::uniform_int_distribution<int> edge_coin(0, 3);
+  std::uniform_int_distribution<int> delay_us(0, 40);
+
+  TaskGraph graph;
+  ExecLog log;
+  std::vector<TaskGraph::NodeId> ids;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::vector<int> delays;
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    delays.push_back(delay_us(rng));
+    ids.push_back(graph.AddNode("n" + std::to_string(i), [&, i] {
+      // Randomized completion time: shuffles which ready node finishes
+      // first so the schedule varies across nodes and trials.
+      std::this_thread::sleep_for(std::chrono::microseconds(delays[i]));
+      log.Record(i);
+      return Status::OK();
+    }));
+    for (std::size_t j = 0; j < i; ++j) {
+      if (edge_coin(rng) == 0) {
+        ASSERT_TRUE(graph.AddEdge(ids[j], ids[i]).ok());
+        edges.emplace_back(j, i);
+      }
+    }
+  }
+
+  ASSERT_TRUE(graph.Run(pool).ok());
+  ASSERT_EQ(log.order.size(), num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    EXPECT_TRUE(graph.Future(ids[i]).get().ok()) << "node " << i;
+  }
+  for (const auto& [from, to] : edges) {
+    EXPECT_LT(log.Position(from), log.Position(to))
+        << "edge " << from << "->" << to << " violated";
+  }
+}
+
+TEST(TaskGraphPropertyTest, RandomDagsRespectTopologicalOrder) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RunRandomDagTrial(seed, /*pool=*/nullptr);
+  }
+}
+
+TEST(TaskGraphStressTest, RandomDagsOnThreadPool) {
+  // Same property with helpers racing the caller over the ready queue —
+  // the configuration the TSan stage hammers.
+  for (std::uint64_t seed = 101; seed <= 112; ++seed) {
+    RunRandomDagTrial(seed, &ThreadPool::Default());
+  }
+}
+
+TEST(TaskGraphStressTest, WideFanOutFanInOnThreadPool) {
+  // source -> 64 middles -> sink, all racing through the pool; the sink
+  // must observe every middle's side effect.
+  constexpr std::size_t kWidth = 64;
+  TaskGraph graph;
+  std::atomic<std::size_t> middles_done{0};
+  std::size_t observed_at_sink = 0;
+  const TaskGraph::NodeId source =
+      graph.AddNode("source", [] { return Status::OK(); });
+  std::vector<TaskGraph::NodeId> middles;
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    middles.push_back(graph.AddNode("middle", [&] {
+      middles_done.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }));
+    ASSERT_TRUE(graph.AddEdge(source, middles.back()).ok());
+  }
+  const TaskGraph::NodeId sink = graph.AddNode("sink", [&] {
+    observed_at_sink = middles_done.load(std::memory_order_relaxed);
+    return Status::OK();
+  });
+  for (TaskGraph::NodeId m : middles) {
+    ASSERT_TRUE(graph.AddEdge(m, sink).ok());
+  }
+  ASSERT_TRUE(graph.Run(&ThreadPool::Default()).ok());
+  EXPECT_EQ(observed_at_sink, kWidth);
+  EXPECT_TRUE(graph.Future(sink).get().ok());
+}
+
+TEST(TaskGraphTest, ConservationGaugesSettleToZeroDelta) {
+  obs::Registry& reg = obs::Registry::Global();
+  const double ready0 = reg.GetGauge("test.graph.ready_nodes").value();
+  const double running0 = reg.GetGauge("test.graph.running_nodes").value();
+  const double done0 = reg.GetGauge("test.graph.done_nodes").value();
+
+  // A mixed run: successes, a failure with poisoned dependents, and a
+  // pooled schedule — the gauges must conserve regardless of outcome.
+  TaskGraph graph(TaskGraph::Options{"test.graph"});
+  const TaskGraph::NodeId a = graph.AddNode("a", [] { return Status::OK(); });
+  const TaskGraph::NodeId bad =
+      graph.AddNode("bad", [] { return Status::Internal("boom"); });
+  const TaskGraph::NodeId child =
+      graph.AddNode("child", [] { return Status::OK(); });
+  ASSERT_TRUE(graph.AddEdge(a, child).ok());
+  ASSERT_TRUE(graph.AddEdge(bad, child).ok());
+  EXPECT_EQ(graph.Run(&ThreadPool::Default()).code(), StatusCode::kInternal);
+
+  EXPECT_EQ(reg.GetGauge("test.graph.ready_nodes").value(), ready0);
+  EXPECT_EQ(reg.GetGauge("test.graph.running_nodes").value(), running0);
+  EXPECT_EQ(reg.GetGauge("test.graph.done_nodes").value(), done0);
+}
+
+TEST(LaunchGraphTest, LaunchesRespectDependencies) {
+  simgpu::Device device;
+  simgpu::LaunchGraph graph(&device);
+
+  // stage1 writes, stage2 (dependent launch) transforms, host node checks.
+  std::vector<double> buffer(64, 0.0);
+  const auto stage1 = graph.AddLaunch(
+      "test.stage1", /*grid_dim=*/4, /*block_dim=*/16,
+      [&](simgpu::BlockContext& ctx) {
+        for (int t = 0; t < ctx.block_dim; ++t) {
+          const std::size_t i =
+              static_cast<std::size_t>(ctx.block_id * ctx.block_dim + t);
+          if (i < buffer.size()) buffer[i] = static_cast<double>(i);
+        }
+      });
+  const auto stage2 = graph.AddLaunch(
+      "test.stage2", /*grid_dim=*/4, /*block_dim=*/16,
+      [&](simgpu::BlockContext& ctx) {
+        for (int t = 0; t < ctx.block_dim; ++t) {
+          const std::size_t i =
+              static_cast<std::size_t>(ctx.block_id * ctx.block_dim + t);
+          if (i < buffer.size()) buffer[i] = 2.0 * buffer[i] + 1.0;
+        }
+      });
+  bool host_saw_final = false;
+  const auto check = graph.AddHostNode("check", [&] {
+    host_saw_final = true;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      if (buffer[i] != 2.0 * static_cast<double>(i) + 1.0) {
+        return Status::Internal("stage2 ran before stage1 at " +
+                                std::to_string(i));
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(graph.AddEdge(stage1, stage2).ok());
+  ASSERT_TRUE(graph.AddEdge(stage2, check).ok());
+
+  ASSERT_TRUE(graph.Run().ok());
+  EXPECT_TRUE(host_saw_final);
+  EXPECT_TRUE(graph.Future(check).get().ok());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    ASSERT_EQ(buffer[i], 2.0 * static_cast<double>(i) + 1.0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace smiler
